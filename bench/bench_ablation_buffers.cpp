@@ -1,0 +1,100 @@
+// Ablation: architectural knobs of the MPEG-2 SoC that a designer explores
+// with this model beyond the headline overhead sweep —
+//   (1) inter-stage queue capacity (backpressure vs memory),
+//   (2) round-robin quantum on the software processors,
+//   (3) engine choice (must NOT change results — only simulation cost).
+// Together these show the model answering DESIGN.md's "design choices"
+// questions with the same machinery as the paper's experiments.
+#include <iomanip>
+#include <iostream>
+
+#include "kernel/simulator.hpp"
+#include "workload/mpeg2.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct Row {
+    double avg_latency_us;
+    Time max_latency;
+    std::uint64_t misses;
+};
+
+Row run(const w::Mpeg2Config& cfg) {
+    k::Simulator sim;
+    w::Mpeg2System soc(cfg);
+    sim.run_until(400_ms);
+    return {soc.average_latency_us(), soc.max_latency(), soc.deadline_misses()};
+}
+
+w::Mpeg2Config base() {
+    // Near-saturation operating point: fast frame cadence and a slow CPU so
+    // backpressure and scheduling choices actually matter.
+    w::Mpeg2Config cfg;
+    cfg.frames = 60;
+    cfg.frame_period = 500_us;
+    cfg.display_deadline = 4_ms;
+    cfg.sw_overheads = r::RtosOverheads::uniform(25_us);
+    cfg.sw_speed_factor = 1.6;
+    return cfg;
+}
+
+} // namespace
+
+int main() {
+    std::cout << "=== ablation: MPEG-2 SoC architectural knobs (overheads "
+                 "25 us) ===\n\n";
+
+    std::cout << "(1) inter-stage queue capacity:\n";
+    std::cout << "  capacity  avg-lat(us)  max-lat       misses\n";
+    for (const std::size_t cap : {1u, 2u, 4u, 8u, 16u}) {
+        auto cfg = base();
+        cfg.queue_capacity = cap;
+        const Row row = run(cfg);
+        std::cout << "  " << std::setw(8) << cap << "  " << std::setw(10)
+                  << std::fixed << std::setprecision(1) << row.avg_latency_us
+                  << "  " << std::setw(12) << row.max_latency.to_string()
+                  << "  " << std::setw(6) << row.misses << "\n";
+    }
+
+    std::cout << "\n(2) round-robin quantum on the software processors:\n";
+    std::cout << "  quantum   avg-lat(us)  max-lat       misses\n";
+    for (const Time q : {25_us, 50_us, 100_us, 250_us, 1000_us}) {
+        auto cfg = base();
+        cfg.round_robin = true;
+        cfg.rr_quantum = q;
+        const Row row = run(cfg);
+        std::cout << "  " << std::setw(8) << q.to_string() << "  "
+                  << std::setw(10) << std::fixed << std::setprecision(1)
+                  << row.avg_latency_us << "  " << std::setw(12)
+                  << row.max_latency.to_string() << "  " << std::setw(6)
+                  << row.misses << "\n";
+    }
+
+    std::cout << "\n(3) engine choice (results must be identical):\n";
+    auto proc_cfg = base();
+    proc_cfg.engine = r::EngineKind::procedure_calls;
+    auto thrd_cfg = base();
+    thrd_cfg.engine = r::EngineKind::rtos_thread;
+    const Row p = run(proc_cfg);
+    const Row t = run(thrd_cfg);
+    std::cout << "  procedure_calls: avg " << p.avg_latency_us << " us, max "
+              << p.max_latency.to_string() << ", misses " << p.misses << "\n";
+    std::cout << "  rtos_thread:     avg " << t.avg_latency_us << " us, max "
+              << t.max_latency.to_string() << ", misses " << t.misses << "\n";
+    const bool identical = p.avg_latency_us == t.avg_latency_us &&
+                           p.max_latency == t.max_latency && p.misses == t.misses;
+    std::cout << "  identical: " << (identical ? "YES" : "NO -- BUG") << "\n";
+
+    std::cout << "\nExpected shape: tiny queues throttle the pipeline "
+                 "(backpressure raises latency), large ones stop helping once "
+                 "the bottleneck stage dominates; very small RR quanta pay "
+                 "rotation overhead, very large ones approach FIFO behaviour; "
+                 "the engine knob changes nothing but simulation speed.\n";
+    return identical ? 0 : 1;
+}

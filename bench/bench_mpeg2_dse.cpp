@@ -1,0 +1,90 @@
+// Experiment MPEG2 (paper §5 closing case study): design-space exploration of
+// the MPEG-2 codec SoC — 18 tasks on six processors, three software
+// processors with the RTOS model. The paper uses this system to show the
+// model scales beyond toy examples; here we regenerate the exploration a
+// designer would run: RTOS overheads x scheduling policy x CPU speed, with
+// end-to-end frame latency and deadline misses as the metrics, plus a
+// simulation-performance benchmark of the whole SoC model under both engines.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "kernel/simulator.hpp"
+#include "workload/mpeg2.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct DseRow {
+    double avg_latency_us;
+    Time max_latency;
+    std::uint64_t misses;
+    std::uint64_t displayed;
+};
+
+DseRow run_soc(const w::Mpeg2Config& cfg) {
+    k::Simulator sim;
+    w::Mpeg2System soc(cfg);
+    sim.run_until(400_ms);
+    return {soc.average_latency_us(), soc.max_latency(), soc.deadline_misses(),
+            soc.displayed_frames().size()};
+}
+
+void BM_Mpeg2Simulation(benchmark::State& state, r::EngineKind kind) {
+    for (auto _ : state) {
+        w::Mpeg2Config cfg;
+        cfg.frames = static_cast<std::uint64_t>(state.range(0));
+        cfg.engine = kind;
+        const auto row = run_soc(cfg);
+        benchmark::DoNotOptimize(row.avg_latency_us);
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Mpeg2Simulation, procedural, r::EngineKind::procedure_calls)
+    ->Arg(30)->Arg(120)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Mpeg2Simulation, rtos_thread, r::EngineKind::rtos_thread)
+    ->Arg(30)->Arg(120)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::cout << "\n=== MPEG2: design-space exploration (30 frames @ 1 ms, "
+                 "display deadline 5 ms) ===\n\n";
+    std::cout << "  overhead  policy           speed  avg-lat(us)  max-lat     "
+                 " misses/disp\n";
+    for (const Time ovh : {Time::zero(), 5_us, 25_us, 75_us}) {
+        for (const bool rr : {false, true}) {
+            for (const double speed : {1.0, 2.0}) {
+                w::Mpeg2Config cfg;
+                cfg.frames = 30;
+                cfg.sw_overheads = r::RtosOverheads::uniform(ovh);
+                cfg.round_robin = rr;
+                cfg.sw_speed_factor = speed;
+                const DseRow row = run_soc(cfg);
+                std::cout << "  " << std::left << std::setw(8) << ovh.to_string()
+                          << "  " << std::setw(15)
+                          << (rr ? "round_robin" : "priority") << std::right
+                          << std::setw(7) << speed << "  " << std::setw(10)
+                          << std::fixed << std::setprecision(1)
+                          << row.avg_latency_us << "  " << std::setw(11)
+                          << row.max_latency.to_string() << "  " << std::setw(6)
+                          << row.misses << "/" << row.displayed << "\n";
+            }
+        }
+    }
+    std::cout << "\nExpected shape: latency grows with overhead and CPU load; "
+                 "round-robin adds rotation overheads on the busy decoder "
+                 "processor; large overheads plus a slow CPU start missing the "
+                 "display deadline.\n";
+    return 0;
+}

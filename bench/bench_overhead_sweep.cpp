@@ -1,0 +1,124 @@
+// Experiment OVH (paper §3.2): the three RTOS overhead parameters — fixed or
+// given by a formula of the live system state — and their effect on task
+// response times. Sweeps the overhead magnitude, compares fixed vs
+// ready-count-dependent scheduling durations, and checks simulated responses
+// against the overhead-extended response-time analysis bound.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "analysis/response_time.hpp"
+#include "kernel/simulator.hpp"
+#include "rtos/processor.hpp"
+#include "workload/taskset.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+namespace a = rtsc::analysis;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+std::vector<w::PeriodicSpec> the_set() {
+    return {
+        {.name = "t1", .period = 4_ms, .wcet = 1_ms, .priority = 3},
+        {.name = "t2", .period = 6_ms, .wcet = 2_ms, .priority = 2},
+        {.name = "t3", .period = 20_ms, .wcet = 3_ms, .priority = 1},
+    };
+}
+
+struct Row {
+    Time r1, r2, r3;
+    bool t3_completed;
+    std::uint64_t misses;
+    double overhead_ratio;
+};
+
+/// "never" instead of a misleading 0 when a task starved completely.
+std::string fmt_response(Time r, bool completed) {
+    return completed ? r.to_string() : std::string("never");
+}
+
+Row run(const r::RtosOverheads& ov) {
+    k::Simulator sim;
+    r::Processor cpu("cpu");
+    cpu.set_overheads(ov);
+    w::PeriodicTaskSet ts(cpu, the_set());
+    sim.run_until(120_ms);
+    const auto ps = cpu.engine().phase_stats();
+    return Row{ts.results()[0].max_response, ts.results()[1].max_response,
+               ts.results()[2].max_response, !ts.results()[2].jobs.empty(),
+               ts.total_misses(), ps.overhead_time.to_sec() / sim.now().to_sec()};
+}
+
+} // namespace
+
+int main() {
+    std::cout << "=== OVH: RTOS overhead sweep (T=4/6/20 ms, C=1/2/3 ms, RM "
+                 "priorities) ===\n\n";
+    std::cout << "fixed overheads (each of sched/load/save):\n";
+    std::cout << "  overhead   R(t1)      R(t2)      R(t3)       misses  "
+                 "rtos-share\n";
+    for (const Time ovh :
+         {Time::zero(), 10_us, 50_us, 100_us, 200_us, 400_us}) {
+        const Row row = run(r::RtosOverheads::uniform(ovh));
+        std::cout << "  " << std::left << std::setw(9) << ovh.to_string()
+                  << std::right << "  " << std::setw(9) << row.r1.to_string()
+                  << "  " << std::setw(9) << row.r2.to_string() << "  "
+                  << std::setw(10) << fmt_response(row.r3, row.t3_completed) << "  " << std::setw(6)
+                  << row.misses << "  " << std::fixed << std::setprecision(1)
+                  << row.overhead_ratio * 100 << "%\n";
+    }
+
+    std::cout << "\nready-count-dependent scheduling duration "
+                 "(sched = base * ready_tasks, load = save = base):\n";
+    std::cout << "  base       R(t1)      R(t2)      R(t3)       misses  "
+                 "rtos-share\n";
+    for (const Time base : {10_us, 50_us, 100_us, 200_us}) {
+        r::RtosOverheads ov;
+        ov.scheduling = r::OverheadModel::formula([base](const r::SystemState& s) {
+            return base * static_cast<Time::rep>(std::max<std::size_t>(
+                              1, s.ready_tasks));
+        });
+        ov.context_load = base;
+        ov.context_save = base;
+        const Row row = run(ov);
+        std::cout << "  " << std::left << std::setw(9) << base.to_string()
+                  << std::right << "  " << std::setw(9) << row.r1.to_string()
+                  << "  " << std::setw(9) << row.r2.to_string() << "  "
+                  << std::setw(10) << fmt_response(row.r3, row.t3_completed) << "  " << std::setw(6)
+                  << row.misses << "  " << std::fixed << std::setprecision(1)
+                  << row.overhead_ratio * 100 << "%\n";
+    }
+
+    std::cout << "\ncross-check against overhead-extended RTA (cs = 3 * "
+                 "overhead lumped per switch):\n";
+    int failures = 0;
+    for (const Time ovh : {Time::zero(), 50_us, 100_us}) {
+        const Row row = run(r::RtosOverheads::uniform(ovh));
+        std::vector<a::PeriodicTask> at;
+        for (const auto& s : the_set())
+            at.push_back({s.name, s.period, s.wcet, s.deadline, s.priority,
+                          Time::zero()});
+        const auto bound = a::response_time_analysis(
+            at, {.context_switch = 3u * ovh, .max_iterations = 1000});
+        const Time rs[3] = {row.r1, row.r2, row.r3};
+        for (int i = 0; i < 3; ++i) {
+            const bool ok = bound[static_cast<std::size_t>(i)].response &&
+                            rs[i] <= *bound[static_cast<std::size_t>(i)].response;
+            if (!ok) ++failures;
+            std::cout << "  ovh=" << std::setw(6) << ovh.to_string() << "  "
+                      << at[static_cast<std::size_t>(i)].name << ": sim "
+                      << std::setw(9) << rs[i].to_string() << " <= RTA "
+                      << bound[static_cast<std::size_t>(i)].response->to_string()
+                      << "  " << (ok ? "PASS" : "FAIL") << "\n";
+        }
+    }
+    std::cout << (failures == 0
+                      ? "\nresponse times grow with overheads and stay within "
+                        "the analytical bound\n"
+                      : "\nFAILURES present\n");
+    return failures == 0 ? 0 : 1;
+}

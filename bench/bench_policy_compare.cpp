@@ -1,0 +1,93 @@
+// Experiment POL (paper §3.1): the generic scheduling-policy interface.
+// Runs the same periodic task set under every built-in policy plus a
+// user-defined one (the paper's "overload the SchedulingPolicy method"
+// extension point) and reports worst-case response times and deadline
+// misses. Also demonstrates the runtime-switchable preemptive mode.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "kernel/simulator.hpp"
+#include "rtos/processor.hpp"
+#include "workload/taskset.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+std::vector<w::PeriodicSpec> the_set(bool edf) {
+    return {
+        {.name = "fast", .period = 5_ms, .wcet = 1_ms, .priority = 3,
+         .edf_deadlines = edf},
+        {.name = "medium", .period = 8_ms, .wcet = 2_ms, .priority = 2,
+         .edf_deadlines = edf},
+        {.name = "slow", .period = 20_ms, .wcet = 5_ms, .priority = 1,
+         .edf_deadlines = edf},
+    };
+}
+
+/// User-defined policy: "most-starved first" — pick the ready task with the
+/// least accumulated running time. Plausible for fairness experiments and
+/// trivially expressed against the policy interface.
+class MostStarvedFirst final : public r::SchedulingPolicy {
+public:
+    [[nodiscard]] std::string name() const override { return "most_starved_first"; }
+    [[nodiscard]] r::Task* select(const r::ReadyQueue& ready) const override {
+        r::Task* best = nullptr;
+        for (r::Task* t : ready)
+            if (best == nullptr ||
+                t->stats().running_time < best->stats().running_time)
+                best = t;
+        return best;
+    }
+    [[nodiscard]] bool should_preempt(const r::Task&, const r::Task&) const override {
+        return false;
+    }
+};
+
+void run_policy(const char* label, std::unique_ptr<r::SchedulingPolicy> policy,
+                bool edf, bool preemptive) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::move(policy));
+    cpu.set_overheads(r::RtosOverheads::uniform(20_us));
+    cpu.set_preemptive(preemptive);
+    w::PeriodicTaskSet ts(cpu, the_set(edf));
+    sim.run_until(120_ms);
+    std::cout << "  " << std::left << std::setw(28) << label << std::right;
+    for (const auto& res : ts.results())
+        std::cout << std::setw(11) << res.max_response.to_string();
+    std::cout << std::setw(9) << ts.total_misses();
+    const auto ps = cpu.engine().phase_stats();
+    std::cout << std::setw(12) << ps.dispatches << "\n";
+}
+
+} // namespace
+
+int main() {
+    std::cout << "=== POL: scheduling policies on one task set "
+                 "(T=5/8/20 ms, C=1/2/5 ms, overheads 20 us) ===\n\n";
+    std::cout << "  policy                        R(fast)   R(medium)  "
+                 "R(slow)   misses  dispatches\n";
+    run_policy("priority_preemptive",
+               std::make_unique<r::PriorityPreemptivePolicy>(), false, true);
+    run_policy("priority (non-preemptive mode)",
+               std::make_unique<r::PriorityPreemptivePolicy>(), false, false);
+    run_policy("fifo", std::make_unique<r::FifoPolicy>(), false, true);
+    run_policy("round_robin q=250us",
+               std::make_unique<r::RoundRobinPolicy>(250_us), false, true);
+    run_policy("round_robin q=1ms",
+               std::make_unique<r::RoundRobinPolicy>(1_ms), false, true);
+    run_policy("edf", std::make_unique<r::EdfPolicy>(), true, true);
+    run_policy("most_starved_first (custom)",
+               std::make_unique<MostStarvedFirst>(), false, true);
+
+    std::cout << "\nExpected shape: priority-preemptive minimises R(fast); "
+                 "non-preemptive/FIFO inflate it by up to one slow job; "
+                 "round-robin trades fairness for response time and many more "
+                 "dispatches; EDF keeps the set schedulable.\n";
+    return 0;
+}

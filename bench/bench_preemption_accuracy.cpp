@@ -1,0 +1,122 @@
+// Experiment ACC (paper §3/§6 claim): "our model allows an accurate RTOS
+// time representation [...] and accurately depicts task preemption by a
+// hardware event without adding any delay due to simulation technique",
+// unlike clock-quantised RTOS models (Gerstlauer et al. [1]) whose preemption
+// precision is bounded by the model clock.
+//
+// Setup: a low-priority task computes while a hardware interrupt arrives at
+// deliberately awkward instants (prime-numbered nanoseconds). We measure the
+// error between the interrupt instant and the moment the victim task stops
+// running, for (a) this library's exact model and (b) an emulated
+// clock-quantised model where computation advances in discrete quanta and
+// preemption is only honoured at quantum boundaries.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "rtos/processor.hpp"
+#include "trace/recorder.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+const std::vector<Time> irq_times = {
+    Time::ns(104729), Time::ns(319993), Time::ns(611953),
+    Time::ns(919393), Time::ns(1299709)}; // primes, in ns
+
+struct AccuracyResult {
+    Time max_error{};
+    Time avg_error{};
+};
+
+/// quantum == zero -> exact model: the victim computes in one preemptible
+/// operation. quantum > 0 -> emulated clock-quantised model: the victim
+/// computes in fixed chunks with preemption disabled inside each chunk.
+AccuracyResult measure(Time quantum) {
+    k::Simulator sim;
+    r::Processor cpu("cpu");
+    tr::Recorder rec;
+    rec.attach(cpu);
+    m::Event irq("irq", m::EventPolicy::counter);
+
+    cpu.create_task({.name = "isr", .priority = 9}, [&](r::Task& self) {
+        for (;;) {
+            irq.await();
+            self.compute(1_us);
+        }
+    });
+    cpu.create_task({.name = "victim", .priority = 1}, [&](r::Task& self) {
+        if (quantum.is_zero()) {
+            self.compute(2_ms);
+        } else {
+            const auto chunks = (2_ms) / quantum;
+            for (Time::rep i = 0; i < chunks; ++i) {
+                r::Processor::PreemptionGuard guard(cpu);
+                self.compute(quantum);
+            }
+        }
+    });
+    sim.spawn("hw", [&] {
+        Time prev{};
+        for (const Time at : irq_times) {
+            k::wait(at - prev);
+            prev = at;
+            irq.signal();
+        }
+    });
+    sim.run_until(2_ms);
+
+    // For each interrupt, find when the victim actually stopped running.
+    AccuracyResult res;
+    Time total{};
+    for (const Time at : irq_times) {
+        Time stopped = Time::max();
+        for (const auto& s : rec.states()) {
+            if (s.task->name() == "victim" && s.to == r::TaskState::ready &&
+                s.at >= at) {
+                stopped = s.at;
+                break;
+            }
+        }
+        const Time err = stopped == Time::max() ? Time::max() : stopped - at;
+        res.max_error = std::max(res.max_error, err);
+        total += err;
+    }
+    res.avg_error = total / static_cast<Time::rep>(irq_times.size());
+    return res;
+}
+
+} // namespace
+
+int main() {
+    std::cout << "=== ACC: preemption time accuracy, exact model vs "
+                 "clock-quantised emulation ===\n\n";
+    std::cout << "interrupts at prime instants: ";
+    for (const Time t : irq_times) std::cout << t.to_string() << "  ";
+    std::cout << "\n\n  model                 max preemption error   avg error\n";
+
+    const auto exact = measure(Time::zero());
+    std::cout << "  exact (this library)  " << std::setw(14)
+              << exact.max_error.to_string() << "        "
+              << exact.avg_error.to_string() << "\n";
+    for (const Time q : {10_us, 50_us, 100_us, 500_us}) {
+        const auto res = measure(q);
+        std::cout << "  quantum = " << std::setw(7) << q.to_string() << "    "
+                  << std::setw(14) << res.max_error.to_string() << "        "
+                  << res.avg_error.to_string() << "\n";
+    }
+
+    std::cout << "\nThe exact model preempts at the interrupt instant (zero "
+                 "error); the quantised model's error grows with the quantum, "
+                 "up to one full quantum.\n";
+    return exact.max_error.is_zero() ? 0 : 1;
+}

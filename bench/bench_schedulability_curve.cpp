@@ -1,0 +1,128 @@
+// Schedulability curves from simulation — the design-space-exploration use
+// the paper motivates, run at statistical scale: random UUniFast task sets
+// swept across total utilisation, simulated under rate-monotonic
+// fixed-priority and EDF scheduling, with and without RTOS overheads.
+// Prints the fraction of schedulable sets (no deadline miss in the horizon)
+// per utilisation point, next to the analytical predictors (RM bound,
+// exact RTA, EDF bound).
+//
+// Expected shape (textbook): EDF tracks the U<=1 bound; RM starts losing
+// sets past the Liu&Layland bound but exact RTA predicts the simulated
+// outcome; overheads shift both curves left.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "analysis/response_time.hpp"
+#include "kernel/simulator.hpp"
+#include "rtos/processor.hpp"
+#include "workload/taskset.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+namespace a = rtsc::analysis;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+constexpr int kSetsPerPoint = 20;
+constexpr std::size_t kTasksPerSet = 4;
+
+struct Point {
+    int sim_rm_ok = 0;
+    int sim_edf_ok = 0;
+    int sim_rm_ovh_ok = 0;
+    int rta_ok = 0;
+    int rm_bound_ok = 0;
+    int edf_bound_ok = 0;
+};
+
+bool simulate(const std::vector<w::PeriodicSpec>& specs, bool edf, Time overhead) {
+    k::Simulator sim;
+    std::unique_ptr<r::SchedulingPolicy> pol;
+    if (edf)
+        pol = std::make_unique<r::EdfPolicy>();
+    else
+        pol = std::make_unique<r::PriorityPreemptivePolicy>();
+    r::Processor cpu("cpu", std::move(pol));
+    cpu.set_overheads(r::RtosOverheads::uniform(overhead));
+    auto adjusted = specs;
+    if (edf)
+        for (auto& s : adjusted) s.edf_deadlines = true;
+    w::PeriodicTaskSet ts(cpu, adjusted);
+    sim.run_until(200_ms);
+    return ts.total_misses() == 0;
+}
+
+std::vector<w::PeriodicSpec> unique_priorities(std::vector<w::PeriodicSpec> specs) {
+    std::vector<std::pair<Time, std::size_t>> order;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        order.emplace_back(specs[i].period, i);
+    std::sort(order.begin(), order.end());
+    for (std::size_t rank = 0; rank < order.size(); ++rank)
+        specs[order[rank].second].priority =
+            static_cast<int>(order.size() - rank);
+    return specs;
+}
+
+} // namespace
+
+int main() {
+    std::cout << "=== schedulability curves: " << kSetsPerPoint
+              << " random sets of " << kTasksPerSet
+              << " tasks per utilisation point (periods 1-20 ms) ===\n\n";
+    std::cout << "   U    sim-RM  sim-EDF  sim-RM+50us  RTA-pred  RM-bound  "
+                 "EDF-bound\n";
+
+    int rta_mispredictions = 0;
+    for (const double u : {0.55, 0.65, 0.75, 0.82, 0.88, 0.94, 0.99}) {
+        Point pt;
+        for (int s = 0; s < kSetsPerPoint; ++s) {
+            const auto seed =
+                static_cast<std::uint64_t>(u * 1000) * 131u + static_cast<std::uint64_t>(s);
+            const auto specs = unique_priorities(
+                w::random_task_set(kTasksPerSet, u, 1_ms, 20_ms, seed));
+
+            std::vector<a::PeriodicTask> at;
+            for (const auto& sp : specs)
+                at.push_back({sp.name, sp.period, sp.wcet, sp.deadline,
+                              sp.priority, Time::zero()});
+            bool rta_schedulable = true;
+            for (const auto& res : a::response_time_analysis(at))
+                rta_schedulable &= res.schedulable;
+            const double real_u = a::utilization(at);
+
+            const bool rm_ok = simulate(specs, false, Time::zero());
+            const bool edf_ok = simulate(specs, true, Time::zero());
+            const bool rm_ovh_ok = simulate(specs, false, 50_us);
+            pt.sim_rm_ok += rm_ok;
+            pt.sim_edf_ok += edf_ok;
+            pt.sim_rm_ovh_ok += rm_ovh_ok;
+            pt.rta_ok += rta_schedulable;
+            pt.rm_bound_ok += real_u <= a::rm_utilization_bound(kTasksPerSet);
+            pt.edf_bound_ok += real_u <= 1.0;
+            // RTA must predict the zero-overhead RM simulation. (The horizon
+            // is finite, so a simulated pass with RTA-fail is possible only
+            // if the first busy period exceeds the horizon — not here.)
+            if (rta_schedulable != rm_ok) ++rta_mispredictions;
+        }
+        auto pc = [](int n) {
+            std::ostringstream os;
+            os << std::setw(5) << 100 * n / kSetsPerPoint << "%";
+            return os.str();
+        };
+        std::cout << "  " << std::fixed << std::setprecision(2) << u << "  "
+                  << pc(pt.sim_rm_ok) << "  " << pc(pt.sim_edf_ok) << "   "
+                  << pc(pt.sim_rm_ovh_ok) << "       " << pc(pt.rta_ok) << "    "
+                  << pc(pt.rm_bound_ok) << "     " << pc(pt.edf_bound_ok) << "\n";
+    }
+
+    std::cout << "\nRTA vs zero-overhead RM simulation mispredictions: "
+              << rta_mispredictions << " (must be 0)\n";
+    std::cout << "Expected shape: EDF ~= 100% until U->1; RM degrades past "
+                 "the Liu&Layland bound but matches exact RTA; 50 us "
+                 "overheads shift the RM curve left.\n";
+    return rta_mispredictions == 0 ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// The paper's closing case study: an MPEG-2 compressing/decompressing SoC
+// with 18 tasks on six processors, three of them software processors with an
+// RTOS model. Runs the nominal configuration, prints per-frame latencies,
+// per-processor statistics, and a small design-space exploration over RTOS
+// overheads and CPU speed.
+#include <iomanip>
+#include <iostream>
+
+#include "kernel/simulator.hpp"
+#include "trace/recorder.hpp"
+#include "trace/statistics.hpp"
+#include "workload/mpeg2.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+namespace tr = rtsc::trace;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+int main() {
+    std::cout << "MPEG-2 codec SoC (18 tasks, 6 processors, 3 with RTOS model)\n\n";
+
+    // ---- nominal run with full observation ----
+    {
+        k::Simulator sim;
+        w::Mpeg2Config cfg;
+        cfg.frames = 30;
+        cfg.frame_period = 1000_us;
+        cfg.display_deadline = 5_ms;
+        w::Mpeg2System soc(cfg);
+        tr::Recorder rec;
+        for (auto* cpu : soc.sw_processors()) rec.attach(*cpu);
+        for (auto* rel : soc.relations()) rec.attach(*rel);
+        sim.run_until(200_ms);
+
+        std::cout << "frame  type  captured      displayed     latency\n";
+        for (const auto& f : soc.displayed_frames()) {
+            std::cout << std::setw(5) << f.index << "  " << f.type << "     "
+                      << std::setw(12) << f.captured.to_string() << "  "
+                      << std::setw(12) << f.displayed.to_string() << "  "
+                      << std::setw(10) << f.latency().to_string()
+                      << (f.missed_deadline ? "  MISSED" : "") << "\n";
+        }
+        std::cout << "\nencoded " << soc.frames_encoded() << " frames, displayed "
+                  << soc.displayed_frames().size() << ", deadline misses "
+                  << soc.deadline_misses() << ", max latency "
+                  << soc.max_latency().to_string() << "\n\n";
+        tr::StatisticsReport::collect(rec, sim.now()).print(std::cout);
+    }
+
+    // ---- design-space exploration: overheads x CPU speed ----
+    std::cout << "\ndesign-space exploration (30 frames @ 1 ms):\n";
+    std::cout << "  overhead  speed   avg latency (us)  max latency     misses\n";
+    for (const Time ovh : {Time::zero(), Time::us(5), Time::us(20), Time::us(50)}) {
+        for (const double speed : {1.0, 1.5, 2.0}) {
+            k::Simulator sim;
+            w::Mpeg2Config cfg;
+            cfg.frames = 30;
+            cfg.frame_period = 1000_us;
+            cfg.display_deadline = 5_ms;
+            cfg.sw_overheads = r::RtosOverheads::uniform(ovh);
+            cfg.sw_speed_factor = speed;
+            w::Mpeg2System soc(cfg);
+            sim.run_until(400_ms);
+            std::cout << "  " << std::setw(8) << ovh.to_string() << "  "
+                      << std::setw(5) << speed << "   " << std::setw(16)
+                      << std::fixed << std::setprecision(1)
+                      << soc.average_latency_us() << "  " << std::setw(12)
+                      << soc.max_latency().to_string() << "  " << std::setw(7)
+                      << soc.deadline_misses() << "\n";
+        }
+    }
+    std::cout << "\nLatency grows with both the RTOS overhead and the software "
+                 "execution scale —\nexactly the early design-space signals the "
+                 "paper's model is built to expose.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+// The paper's Figure 7 scenario: mutual-exclusion blocking on a shared
+// variable, run three times with different protection strategies —
+//   none                 : the blocking/inversion of Figure 7,
+//   preemption_lock      : the paper's proposed fix,
+//   priority_inheritance : the textbook alternative (extension).
+// Prints one TimeLine per strategy plus a comparison of blocking times.
+#include <iostream>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "mcse/shared_variable.hpp"
+#include "rtos/processor.hpp"
+#include "trace/recorder.hpp"
+#include "trace/timeline.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct Result {
+    k::Time f2_resource_wait;
+    k::Time f1_finish;
+    std::uint64_t f3_preemptions;
+};
+
+Result run_scenario(m::Protection protection, bool print_chart) {
+    k::Simulator sim;
+    r::Processor cpu("Processor");
+    cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+    tr::Recorder rec;
+    rec.attach(cpu);
+    m::Event clk("Clk", m::EventPolicy::fugitive);
+    m::Event event1("Event_1", m::EventPolicy::boolean);
+    m::SharedVariable<int> shared_var("SharedVar_1", 0, protection);
+    rec.attach(shared_var);
+
+    k::Time f1_finish{};
+    cpu.create_task({.name = "Function_1", .priority = 5}, [&](r::Task& self) {
+        clk.await();
+        self.compute(20_us);
+        event1.signal();
+        self.compute(10_us);
+        f1_finish = sim.now();
+    });
+    cpu.create_task({.name = "Function_2", .priority = 3}, [&](r::Task&) {
+        event1.await();
+        (void)shared_var.read(10_us);
+    });
+    cpu.create_task({.name = "Function_3", .priority = 2}, [&](r::Task& self) {
+        (void)shared_var.read(60_us);
+        self.compute(10_us);
+    });
+    sim.spawn("Clock", [&] {
+        k::wait(70_us);
+        clk.signal();
+    });
+    sim.run();
+
+    if (print_chart) {
+        std::cout << "--- protection = " << m::to_string(protection) << " ---\n";
+        tr::Timeline(rec).render(std::cout,
+                                 {.columns = 100, .show_accesses = false});
+        std::cout << '\n';
+    }
+    return Result{shared_var.access_stats().blocked_time, f1_finish,
+                  cpu.tasks()[2]->stats().preemptions};
+}
+
+} // namespace
+
+int main() {
+    std::cout << "Paper Figure 7 — mutual-exclusion blocking on SharedVar_1\n\n";
+    const Result none = run_scenario(m::Protection::none, true);
+    const Result plock = run_scenario(m::Protection::preemption_lock, true);
+    const Result pinherit = run_scenario(m::Protection::priority_inheritance, true);
+
+    std::cout << "comparison:\n";
+    std::cout << "  protection            resource-block   F1 finishes   F3 preemptions\n";
+    auto row = [](const char* name, const Result& res) {
+        std::cout << "  " << name << std::string(22 - std::string(name).size(), ' ')
+                  << res.f2_resource_wait.to_string() << std::string(8, ' ')
+                  << res.f1_finish.to_string() << std::string(9, ' ')
+                  << res.f3_preemptions << "\n";
+    };
+    row("none", none);
+    row("preemption_lock", plock);
+    row("priority_inheritance", pinherit);
+    std::cout << "\nWith preemption disabled during accesses (the paper's fix) "
+                 "no task ever blocks on the resource;\nthe cost is a delayed "
+                 "reaction of Function_1 to the Clk interrupt.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Automatic timing-constraint verification — the paper's §6 future work,
+// implemented: declare response and latency constraints against the model,
+// simulate, and get the violations reported instead of reading them off a
+// TimeLine chart by hand.
+//
+// The system: an interrupt-driven controller with a heavy logging task.
+// The designer asks two questions:
+//   1. does the control task always react to the sensor interrupt within
+//      120 us end-to-end (irq -> actuator command written)?
+//   2. does each activation of the control task complete within 80 us?
+// Then the same system is re-run with a larger RTOS overhead to show the
+// constraints catching the regression.
+#include <iostream>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "mcse/message_queue.hpp"
+#include "rtos/processor.hpp"
+#include "trace/constraints.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+void run_once(k::Time overhead) {
+    k::Simulator sim;
+    r::Processor cpu("ecu");
+    cpu.set_overheads(r::RtosOverheads::uniform(overhead));
+
+    m::Event sensor_irq("sensor_irq", m::EventPolicy::counter);
+    m::MessageQueue<int> actuator("actuator", 8);
+
+    auto& control = cpu.create_task({.name = "control", .priority = 8},
+                                    [&](r::Task& self) {
+                                        for (;;) {
+                                            sensor_irq.await();
+                                            self.compute(60_us);
+                                            actuator.write(1);
+                                        }
+                                    });
+    cpu.create_task({.name = "logger", .priority = 2}, [](r::Task& self) {
+        for (;;) {
+            self.compute(300_us);
+            self.sleep_for(200_us);
+        }
+    });
+    sim.spawn("actuator_hw", [&] {
+        for (;;) (void)actuator.read();
+    });
+    sim.spawn("sensor_hw", [&] {
+        for (int i = 0; i < 10; ++i) {
+            k::wait(500_us);
+            sensor_irq.signal();
+        }
+    });
+
+    tr::ConstraintMonitor monitor;
+    monitor.require_latency("irq_to_actuator", sensor_irq,
+                            m::AccessKind::signal_op, actuator,
+                            m::AccessKind::write_op, 120_us);
+    monitor.require_response(control, 80_us, "control_activation");
+
+    sim.run_until(6_ms);
+
+    std::cout << "RTOS overheads = " << overhead.to_string() << ":\n  ";
+    monitor.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+    std::cout << "Automatic timing-constraint verification by simulation\n"
+                 "(the paper's future-work item, implemented)\n\n";
+    run_once(5_us);   // meets both constraints
+    run_once(25_us);  // the same design misses them
+    std::cout << "The second run shows the designer exactly which constraint "
+                 "an RTOS with 25 us overheads would break — before any "
+                 "implementation exists.\n";
+    return 0;
+}

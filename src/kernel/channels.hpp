@@ -1,0 +1,183 @@
+#pragma once
+// Kernel-level primitive channels for the hardware side of a co-simulated
+// model: Signal<T> (sc_signal-like, with evaluate/update semantics), Fifo<T>
+// (sc_fifo-like), KMutex and KSemaphore (sc_mutex/sc_semaphore-like).
+//
+// These block at *kernel* level and know nothing about the RTOS model; the
+// RTOS-aware counterparts that serialize software tasks live in rtsc::mcse.
+
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "kernel/event.hpp"
+#include "kernel/report.hpp"
+#include "kernel/simulator.hpp"
+#include "kernel/time.hpp"
+
+namespace rtsc::kernel {
+
+/// sc_signal-like channel: writes are committed in the update phase, so all
+/// processes in one evaluation phase observe the same (old) value.
+template <typename T>
+class Signal final : private UpdateHook {
+public:
+    explicit Signal(std::string name = "signal", T initial = T{})
+        : sim_(Simulator::current()),
+          name_(std::move(name)),
+          current_(initial),
+          next_(initial),
+          changed_(name_ + ".value_changed") {}
+
+    [[nodiscard]] const T& read() const noexcept { return current_; }
+
+    void write(const T& v) {
+        next_ = v;
+        sim_.request_update(*this);
+    }
+
+    /// Notified (delta) whenever a committed write changes the value.
+    [[nodiscard]] Event& value_changed_event() noexcept { return changed_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    void update() override {
+        if (next_ != current_) {
+            current_ = next_;
+            changed_.notify_delta();
+        }
+    }
+
+    Simulator& sim_;
+    std::string name_;
+    T current_;
+    T next_;
+    Event changed_;
+};
+
+/// Bounded blocking FIFO with sc_fifo semantics (blocking read/write plus
+/// non-blocking nb_ variants).
+template <typename T>
+class Fifo {
+public:
+    explicit Fifo(std::string name = "fifo", std::size_t capacity = 16)
+        : name_(std::move(name)),
+          capacity_(capacity),
+          data_written_(name_ + ".data_written"),
+          data_read_(name_ + ".data_read") {
+        if (capacity_ == 0)
+            throw SimulationError("Fifo capacity must be >= 1: " + name_);
+    }
+
+    void write(const T& v) {
+        while (buf_.size() >= capacity_) Simulator::current().wait(data_read_);
+        buf_.push_back(v);
+        data_written_.notify_delta();
+    }
+
+    [[nodiscard]] T read() {
+        while (buf_.empty()) Simulator::current().wait(data_written_);
+        T v = std::move(buf_.front());
+        buf_.pop_front();
+        data_read_.notify_delta();
+        return v;
+    }
+
+    [[nodiscard]] bool nb_write(const T& v) {
+        if (buf_.size() >= capacity_) return false;
+        buf_.push_back(v);
+        data_written_.notify_delta();
+        return true;
+    }
+
+    [[nodiscard]] bool nb_read(T& out) {
+        if (buf_.empty()) return false;
+        out = std::move(buf_.front());
+        buf_.pop_front();
+        data_read_.notify_delta();
+        return true;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] Event& data_written_event() noexcept { return data_written_; }
+    [[nodiscard]] Event& data_read_event() noexcept { return data_read_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    std::size_t capacity_;
+    std::deque<T> buf_;
+    Event data_written_;
+    Event data_read_;
+};
+
+/// Kernel-level mutex (sc_mutex): FIFO-fair among kernel processes.
+class KMutex {
+public:
+    explicit KMutex(std::string name = "kmutex")
+        : name_(std::move(name)), released_(name_ + ".released") {}
+
+    void lock() {
+        Process* self = Simulator::current().current_process();
+        while (owner_ != nullptr) Simulator::current().wait(released_);
+        owner_ = self;
+    }
+
+    [[nodiscard]] bool try_lock() {
+        if (owner_ != nullptr) return false;
+        owner_ = Simulator::current().current_process();
+        return true;
+    }
+
+    void unlock() {
+        if (owner_ != Simulator::current().current_process())
+            throw SimulationError("KMutex::unlock by non-owner: " + name_);
+        owner_ = nullptr;
+        released_.notify_delta();
+    }
+
+    [[nodiscard]] bool locked() const noexcept { return owner_ != nullptr; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    Process* owner_ = nullptr;
+    Event released_;
+};
+
+/// Kernel-level counting semaphore (sc_semaphore).
+class KSemaphore {
+public:
+    KSemaphore(std::string name, int initial)
+        : name_(std::move(name)), count_(initial), posted_(name_ + ".posted") {
+        if (initial < 0)
+            throw SimulationError("KSemaphore initial value must be >= 0: " + name_);
+    }
+
+    void wait() {
+        while (count_ == 0) Simulator::current().wait(posted_);
+        --count_;
+    }
+
+    [[nodiscard]] bool trywait() {
+        if (count_ == 0) return false;
+        --count_;
+        return true;
+    }
+
+    void post() {
+        ++count_;
+        posted_.notify_delta();
+    }
+
+    [[nodiscard]] int value() const noexcept { return count_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    int count_;
+    Event posted_;
+};
+
+} // namespace rtsc::kernel

@@ -1,0 +1,21 @@
+#include "kernel/clock.hpp"
+
+namespace rtsc::kernel {
+
+Clock::Clock(std::string name, Time period, Time start_offset)
+    : Module(std::move(name)), period_(period), offset_(start_offset),
+      tick_(this->name() + ".tick") {
+    if (period_.is_zero())
+        throw SimulationError("Clock period must be > 0: " + this->name());
+    spawn_thread("gen", [this] {
+        if (!offset_.is_zero()) kernel::wait(offset_);
+        for (;;) {
+            tick_.notify();
+            ++ticks_;
+            if (max_ticks_ != 0 && ticks_ >= max_ticks_) return;
+            kernel::wait(period_);
+        }
+    });
+}
+
+} // namespace rtsc::kernel

@@ -1,0 +1,37 @@
+#pragma once
+// Periodic clock generator. In the paper's running example (Figure 6) a
+// hardware task named "Clock" periodically notifies the Clk event that wakes
+// Function_1; this module plays that role.
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/time.hpp"
+
+namespace rtsc::kernel {
+
+class Clock final : public Module {
+public:
+    /// Ticks at start_offset, start_offset+period, ... notifying tick_event().
+    Clock(std::string name, Time period, Time start_offset = Time::zero());
+
+    [[nodiscard]] Event& tick_event() noexcept { return tick_; }
+    [[nodiscard]] Time period() const noexcept { return period_; }
+    [[nodiscard]] std::uint64_t tick_count() const noexcept { return ticks_; }
+
+    /// Stop ticking after this many ticks (0 = forever). A free-running clock
+    /// keeps the event queue non-empty, so Simulator::run() would never
+    /// starve; bounded runs should either limit ticks or use run_until().
+    void set_max_ticks(std::uint64_t n) noexcept { max_ticks_ = n; }
+
+private:
+    Time period_;
+    Time offset_;
+    Event tick_;
+    std::uint64_t ticks_ = 0;
+    std::uint64_t max_ticks_ = 0;
+};
+
+} // namespace rtsc::kernel

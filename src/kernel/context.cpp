@@ -1,0 +1,90 @@
+#include "kernel/context.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "kernel/report.hpp"
+
+namespace rtsc::kernel {
+
+namespace {
+thread_local Coroutine* g_current = nullptr;
+
+std::size_t page_size() {
+    static const std::size_t sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return sz;
+}
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) / align * align;
+}
+} // namespace
+
+Coroutine* Coroutine::current() noexcept { return g_current; }
+
+Coroutine::Coroutine(Body body, std::size_t stack_bytes) : body_(std::move(body)) {
+    const std::size_t pg = page_size();
+    const std::size_t usable = round_up(stack_bytes < 4 * pg ? 4 * pg : stack_bytes, pg);
+    map_bytes_ = usable + pg; // one guard page below the stack
+    void* mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    if (mem == MAP_FAILED) throw std::bad_alloc{};
+    stack_base_ = mem;
+    ::mprotect(mem, pg, PROT_NONE);
+
+    ::getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = static_cast<char*>(mem) + pg;
+    ctx_.uc_stack.ss_size = usable;
+    ctx_.uc_link = nullptr; // bodies always return through run_body -> yield
+
+    // makecontext only passes ints; split the object pointer across two.
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Coroutine::trampoline), 2,
+                  static_cast<unsigned>(self >> 32),
+                  static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Coroutine::~Coroutine() {
+    if (stack_base_) ::munmap(stack_base_, map_bytes_);
+}
+
+void Coroutine::trampoline(unsigned hi, unsigned lo) {
+    auto* self = reinterpret_cast<Coroutine*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                              static_cast<std::uintptr_t>(lo));
+    self->run_body();
+}
+
+void Coroutine::run_body() {
+    try {
+        body_();
+    } catch (...) {
+        eptr_ = std::current_exception();
+    }
+    finished_ = true;
+    // Final switch back to the scheduler; this coroutine never runs again.
+    ::swapcontext(&ctx_, &return_ctx_);
+}
+
+void Coroutine::resume() {
+    if (finished_)
+        throw SimulationError("Coroutine::resume() on a finished coroutine");
+    Coroutine* prev = g_current;
+    g_current = this;
+    started_ = true;
+    ::swapcontext(&return_ctx_, &ctx_);
+    g_current = prev;
+    if (eptr_) {
+        auto e = std::exchange(eptr_, nullptr);
+        std::rethrow_exception(e);
+    }
+}
+
+void Coroutine::yield() {
+    ::swapcontext(&ctx_, &return_ctx_);
+}
+
+} // namespace rtsc::kernel

@@ -1,0 +1,65 @@
+#pragma once
+// Stackful cooperative coroutines built on POSIX ucontext.
+//
+// The discrete-event kernel runs every simulation process on its own stack
+// and switches between them cooperatively — exactly one coroutine (or the
+// scheduler) executes at any moment, which is the same execution model as the
+// OSCI SystemC reference simulator. Stacks are mmap-allocated with a guard
+// page below the stack so an overflow faults instead of corrupting a
+// neighbouring coroutine.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <ucontext.h>
+
+namespace rtsc::kernel {
+
+class Coroutine {
+public:
+    using Body = std::function<void()>;
+
+    static constexpr std::size_t default_stack_bytes = 128 * 1024;
+
+    /// The body starts executing on the first resume().
+    explicit Coroutine(Body body, std::size_t stack_bytes = default_stack_bytes);
+
+    Coroutine(const Coroutine&) = delete;
+    Coroutine& operator=(const Coroutine&) = delete;
+
+    /// Destroying a suspended (unfinished) coroutine simply releases its
+    /// stack; the body's local objects are NOT unwound. The kernel only
+    /// destroys coroutines after simulation ends, mirroring SystemC.
+    ~Coroutine();
+
+    /// Switch from the caller into the coroutine. Returns when the coroutine
+    /// yields or finishes. If the body exited with an exception, resume()
+    /// rethrows it in the caller.
+    void resume();
+
+    /// Called from inside the coroutine body: suspend and return control to
+    /// the most recent resume() caller.
+    void yield();
+
+    [[nodiscard]] bool finished() const noexcept { return finished_; }
+    [[nodiscard]] bool started() const noexcept { return started_; }
+
+    /// The coroutine currently executing on this thread, or nullptr when the
+    /// scheduler (plain stack) is running.
+    [[nodiscard]] static Coroutine* current() noexcept;
+
+private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run_body();
+
+    Body body_;
+    void* stack_base_ = nullptr;   // mmap'ed region including guard page
+    std::size_t map_bytes_ = 0;
+    ucontext_t ctx_{};
+    ucontext_t return_ctx_{};
+    bool started_ = false;
+    bool finished_ = false;
+    std::exception_ptr eptr_;
+};
+
+} // namespace rtsc::kernel

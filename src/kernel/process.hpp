@@ -1,0 +1,76 @@
+#pragma once
+// A simulation process: a named coroutine scheduled by the Simulator.
+//
+// Processes correspond to SystemC SC_THREADs. They are created via
+// Simulator::spawn() and run for the first time at simulation start (or, if
+// spawned mid-simulation, in the next evaluation phase). A process suspends
+// itself through the wait() family and terminates by returning from its body.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/context.hpp"
+#include "kernel/event.hpp"
+#include "kernel/time.hpp"
+
+namespace rtsc::kernel {
+
+class Simulator;
+
+class Process {
+public:
+    /// Why the last wait() returned.
+    enum class WakeReason : std::uint8_t { none, event, timeout };
+
+    /// SC_THREAD-like (own stack, suspends via wait) or SC_METHOD-like
+    /// (plain callback re-armed by its sensitivity / next_trigger).
+    enum class Kind : std::uint8_t { thread, method };
+
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+    [[nodiscard]] bool terminated() const noexcept { return terminated_; }
+    /// Notified (delta) when the process body returns; usable for joins.
+    [[nodiscard]] Event& done_event() noexcept { return *done_event_; }
+    /// Number of times the scheduler switched into this process.
+    [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
+    [[nodiscard]] Simulator& simulator() const noexcept { return sim_; }
+
+    /// Opaque back-pointer for higher layers (the RTOS layer stores its Task
+    /// here so communication relations can identify the calling task).
+    void* user_data = nullptr;
+
+private:
+    friend class Simulator;
+
+    Process(Simulator& sim, std::string name, std::function<void()> body,
+            std::size_t stack_bytes);                    // thread
+    Process(Simulator& sim, std::string name, std::function<void()> callback,
+            std::vector<Event*> sensitivity);            // method
+
+    Simulator& sim_;
+    std::string name_;
+    Kind kind_ = Kind::thread;
+    std::unique_ptr<Coroutine> coro_;                    // threads only
+    std::function<void()> method_callback_;              // methods only
+    std::vector<Event*> static_sensitivity_;             // methods only
+    bool next_trigger_armed_ = false;                    // dynamic override
+    std::unique_ptr<Event> done_event_;
+    bool terminated_ = false;
+    bool runnable_ = false;              ///< already queued for execution
+    std::uint64_t activations_ = 0;
+
+    // --- wait bookkeeping (owned by Simulator) ---
+    std::vector<Event*> waiting_on_;     ///< events this process is registered with
+    bool timeout_armed_ = false;
+    std::uint64_t timeout_seq_ = 0;      ///< invalidates stale heap entries
+    WakeReason wake_reason_ = WakeReason::none;
+    Event* waking_event_ = nullptr;
+};
+
+} // namespace rtsc::kernel

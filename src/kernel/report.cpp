@@ -1,0 +1,28 @@
+#include "kernel/report.hpp"
+
+#include <cstdio>
+
+namespace rtsc::kernel {
+
+const char* to_string(Severity s) noexcept {
+    switch (s) {
+        case Severity::debug: return "debug";
+        case Severity::info: return "info";
+        case Severity::warning: return "warning";
+        case Severity::error: return "error";
+    }
+    return "?";
+}
+
+void Reporter::report(Severity s, const std::string& msg) const {
+    ++counts_[static_cast<std::size_t>(s)];
+    if (s >= threshold_) {
+        if (sink_)
+            sink_(s, msg);
+        else
+            std::fprintf(stderr, "[rtsc %s] %s\n", to_string(s), msg.c_str());
+    }
+    if (s == Severity::error) throw SimulationError(msg);
+}
+
+} // namespace rtsc::kernel

@@ -1,0 +1,49 @@
+#pragma once
+// Severity-filtered diagnostics for the simulation kernel and the layers on
+// top of it, in the spirit of SystemC's sc_report. Errors throw; everything
+// else writes to a configurable sink so tests can capture or silence output.
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "kernel/time.hpp"
+
+namespace rtsc::kernel {
+
+enum class Severity { debug, info, warning, error };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// Thrown by report(Severity::error, ...) and by kernel precondition failures.
+class SimulationError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class Reporter {
+public:
+    using Sink = std::function<void(Severity, const std::string&)>;
+
+    /// Messages below this severity are dropped. Default: info.
+    void set_threshold(Severity s) noexcept { threshold_ = s; }
+    [[nodiscard]] Severity threshold() const noexcept { return threshold_; }
+
+    /// Replace the output sink (default writes "severity: message" to stderr).
+    void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+    /// Emit a message. Severity::error additionally throws SimulationError
+    /// after the sink has seen the message.
+    void report(Severity s, const std::string& msg) const;
+
+    [[nodiscard]] std::size_t count(Severity s) const noexcept {
+        return counts_[static_cast<std::size_t>(s)];
+    }
+
+private:
+    Severity threshold_ = Severity::info;
+    Sink sink_;
+    mutable std::size_t counts_[4] = {0, 0, 0, 0};
+};
+
+} // namespace rtsc::kernel

@@ -1,0 +1,389 @@
+#include "kernel/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtsc::kernel {
+
+namespace {
+thread_local Simulator* g_current_sim = nullptr;
+} // namespace
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Simulator& sim, std::string name, std::function<void()> body,
+                 std::size_t stack_bytes)
+    : sim_(sim),
+      name_(std::move(name)),
+      kind_(Kind::thread),
+      coro_(std::make_unique<Coroutine>(std::move(body), stack_bytes)),
+      done_event_(std::make_unique<Event>(name_ + ".done")) {}
+
+Process::Process(Simulator& sim, std::string name,
+                 std::function<void()> callback, std::vector<Event*> sensitivity)
+    : sim_(sim),
+      name_(std::move(name)),
+      kind_(Kind::method),
+      method_callback_(std::move(callback)),
+      static_sensitivity_(std::move(sensitivity)),
+      done_event_(std::make_unique<Event>(name_ + ".done")) {}
+
+// ------------------------------------------------------------------ Event
+
+Event::Event(std::string name) : sim_(Simulator::current()), name_(std::move(name)) {}
+
+Event::~Event() { sim_.purge_event(*this); }
+
+void Event::notify() {
+    ++seq_;               // invalidate any pending timed entry
+    pending_ = Pending::none;
+    sim_.trigger(*this);
+}
+
+void Event::notify_delta() {
+    if (pending_ == Pending::delta) return;
+    ++seq_;               // invalidate any pending timed entry
+    pending_ = Pending::delta;
+    sim_.add_delta_pending(*this);
+}
+
+void Event::notify(Time delay) {
+    if (delay.is_zero()) {
+        notify_delta();
+        return;
+    }
+    if (pending_ == Pending::delta) return; // delta wins over timed
+    const Time at = sim_.now() + delay;
+    if (pending_ == Pending::timed && timed_at_ <= at) return; // earlier pending wins
+    ++seq_;
+    pending_ = Pending::timed;
+    timed_at_ = at;
+    sim_.schedule_timed(*this, at);
+}
+
+void Event::cancel() {
+    ++seq_;
+    pending_ = Pending::none;
+}
+
+// -------------------------------------------------------------- Simulator
+
+Simulator::Simulator() {
+    prev_current_ = g_current_sim;
+    g_current_sim = this;
+}
+
+Simulator::~Simulator() { g_current_sim = prev_current_; }
+
+Simulator& Simulator::current() {
+    if (!g_current_sim) throw SimulationError("no active Simulator on this thread");
+    return *g_current_sim;
+}
+
+Simulator* Simulator::current_or_null() noexcept { return g_current_sim; }
+
+Process& Simulator::spawn(std::string name, std::function<void()> body,
+                          std::size_t stack_bytes) {
+    auto proc = std::unique_ptr<Process>(
+        new Process(*this, std::move(name), std::move(body), stack_bytes));
+    Process& p = *proc;
+    processes_.push_back(std::move(proc));
+    p.runnable_ = true;
+    runnable_.push_back(&p);
+    return p;
+}
+
+Process& Simulator::require_process(const char* what) const {
+    if (!current_process_)
+        throw SimulationError(std::string(what) + " called outside of a process");
+    if (current_process_->kind_ == Process::Kind::method)
+        throw SimulationError(std::string(what) +
+                              " called inside a method process (methods must "
+                              "use next_trigger, not wait)");
+    return *current_process_;
+}
+
+Process& Simulator::spawn_method(std::string name,
+                                 std::function<void()> callback,
+                                 std::vector<Event*> sensitivity) {
+    auto proc = std::unique_ptr<Process>(
+        new Process(*this, std::move(name), std::move(callback),
+                    std::move(sensitivity)));
+    Process& p = *proc;
+    processes_.push_back(std::move(proc));
+    p.runnable_ = true;
+    runnable_.push_back(&p);
+    return p;
+}
+
+void Simulator::next_trigger(Time delay) {
+    if (!current_process_ || current_process_->kind_ != Process::Kind::method)
+        throw SimulationError("next_trigger outside of a method process");
+    Process& p = *current_process_;
+    clear_wait_state(p);
+    arm_timeout(p, delay);
+    p.next_trigger_armed_ = true;
+}
+
+void Simulator::next_trigger(Event& e) {
+    if (!current_process_ || current_process_->kind_ != Process::Kind::method)
+        throw SimulationError("next_trigger outside of a method process");
+    Process& p = *current_process_;
+    clear_wait_state(p);
+    e.waiters_.push_back(&p);
+    p.waiting_on_.push_back(&e);
+    p.next_trigger_armed_ = true;
+}
+
+// ---- event machinery ----
+
+void Simulator::schedule_timed(Event& e, Time at) {
+    timed_.push(TimedEntry{at, order_counter_++, TimedEntry::Kind::event_notify,
+                           &e, nullptr, e.seq_});
+}
+
+void Simulator::add_delta_pending(Event& e) { delta_pending_.push_back(&e); }
+
+void Simulator::trigger(Event& e) {
+    // Waking modifies e.waiters_ via clear_wait_state; iterate over a copy.
+    std::vector<Process*> waiters;
+    waiters.swap(e.waiters_);
+    for (Process* p : waiters) wake(*p, Process::WakeReason::event, &e);
+}
+
+void Simulator::purge_event(Event& e) {
+    // Unregister from any process still waiting on e (they keep waiting on
+    // their other wake sources).
+    for (Process* p : e.waiters_) std::erase(p->waiting_on_, &e);
+    e.waiters_.clear();
+    std::erase(delta_pending_, &e);
+}
+
+void Simulator::wake(Process& p, Process::WakeReason reason, Event* ev) {
+    if (p.runnable_ || p.terminated_) return;
+    clear_wait_state(p);
+    p.wake_reason_ = reason;
+    p.waking_event_ = ev;
+    p.runnable_ = true;
+    runnable_.push_back(&p);
+}
+
+void Simulator::clear_wait_state(Process& p) {
+    for (Event* e : p.waiting_on_) std::erase(e->waiters_, &p);
+    p.waiting_on_.clear();
+    if (p.timeout_armed_) {
+        // Leave the stale heap entry; it is skipped via the seq stamp.
+        ++p.timeout_seq_;
+        p.timeout_armed_ = false;
+    }
+}
+
+void Simulator::arm_timeout(Process& p, Time timeout) {
+    ++p.timeout_seq_;
+    p.timeout_armed_ = true;
+    timed_.push(TimedEntry{now_ + timeout, order_counter_++,
+                           TimedEntry::Kind::process_timeout, nullptr, &p,
+                           p.timeout_seq_});
+}
+
+void Simulator::suspend_current() {
+    Process& p = *current_process_;
+    p.wake_reason_ = Process::WakeReason::none;
+    p.waking_event_ = nullptr;
+    p.coro_->yield();
+}
+
+// ---- wait services ----
+
+void Simulator::wait(Time duration) {
+    Process& p = require_process("wait(Time)");
+    if (duration.is_zero()) {
+        // One delta cycle: a private delta-notified wake through the done
+        // machinery would be heavier; reuse the timeout path at +0 is wrong
+        // (same-instant timeouts fire in a later *timed* batch). Use a
+        // dedicated delta wake instead.
+        ++p.timeout_seq_;
+        p.timeout_armed_ = true;
+        zero_waiters_.push_back({&p, p.timeout_seq_});
+        suspend_current();
+        return;
+    }
+    arm_timeout(p, duration);
+    suspend_current();
+}
+
+void Simulator::wait(Event& e) {
+    Process& p = require_process("wait(Event)");
+    e.waiters_.push_back(&p);
+    p.waiting_on_.push_back(&e);
+    suspend_current();
+}
+
+Process::WakeReason Simulator::wait(Time timeout, Event& e) {
+    Process& p = require_process("wait(Time, Event)");
+    e.waiters_.push_back(&p);
+    p.waiting_on_.push_back(&e);
+    arm_timeout(p, timeout);
+    suspend_current();
+    return p.wake_reason_;
+}
+
+Event& Simulator::wait_any(std::initializer_list<Event*> events) {
+    return wait_any(std::vector<Event*>(events));
+}
+
+Event& Simulator::wait_any(const std::vector<Event*>& events) {
+    Process& p = require_process("wait_any");
+    for (Event* e : events) {
+        e->waiters_.push_back(&p);
+        p.waiting_on_.push_back(e);
+    }
+    suspend_current();
+    return *p.waking_event_;
+}
+
+Event* Simulator::wait_any(Time timeout, const std::vector<Event*>& events) {
+    Process& p = require_process("wait_any");
+    for (Event* e : events) {
+        e->waiters_.push_back(&p);
+        p.waiting_on_.push_back(e);
+    }
+    arm_timeout(p, timeout);
+    suspend_current();
+    return p.wake_reason_ == Process::WakeReason::event ? p.waking_event_ : nullptr;
+}
+
+void Simulator::request_update(UpdateHook& hook) {
+    if (std::find(update_requests_.begin(), update_requests_.end(), &hook) ==
+        update_requests_.end())
+        update_requests_.push_back(&hook);
+}
+
+// ---- the scheduling loop ----
+
+bool Simulator::advance_time(Time limit) {
+    // Discard stale entries.
+    auto valid = [](const TimedEntry& te) {
+        if (te.kind == TimedEntry::Kind::event_notify)
+            return te.ev->pending_ == Event::Pending::timed && te.ev->seq_ == te.seq;
+        return te.proc->timeout_armed_ && te.proc->timeout_seq_ == te.seq;
+    };
+    while (!timed_.empty() && !valid(timed_.top())) timed_.pop();
+    if (timed_.empty() || timed_.top().at > limit) return false;
+
+    const Time t = timed_.top().at;
+    if (t > now_) {
+        now_ = t;
+        deltas_this_instant_ = 0;
+    }
+    while (!timed_.empty() && timed_.top().at == t) {
+        TimedEntry te = timed_.top();
+        timed_.pop();
+        if (!valid(te)) continue;
+        if (te.kind == TimedEntry::Kind::event_notify) {
+            te.ev->pending_ = Event::Pending::none;
+            trigger(*te.ev);
+        } else {
+            te.proc->timeout_armed_ = false;
+            wake(*te.proc, Process::WakeReason::timeout, nullptr);
+        }
+    }
+    return true;
+}
+
+void Simulator::evaluate_phase() {
+    while (!runnable_.empty()) {
+        Process* p = runnable_.front();
+        runnable_.pop_front();
+        p->runnable_ = false;
+        if (p->terminated_) continue;
+        current_process_ = p;
+        ++activations_;
+        ++p->activations_;
+        if (on_process_switch) on_process_switch(*p, true);
+        if (p->kind_ == Process::Kind::method) {
+            p->next_trigger_armed_ = false;
+            try {
+                p->method_callback_();
+            } catch (...) {
+                current_process_ = nullptr;
+                throw;
+            }
+            // Re-arm: dynamic next_trigger wins; otherwise the static
+            // sensitivity; with neither, the method stays dormant.
+            if (!p->next_trigger_armed_) {
+                for (Event* e : p->static_sensitivity_) {
+                    e->waiters_.push_back(p);
+                    p->waiting_on_.push_back(e);
+                }
+            }
+        } else {
+            p->coro_->resume();
+        }
+        if (on_process_switch) on_process_switch(*p, false);
+        current_process_ = nullptr;
+        if (p->kind_ == Process::Kind::thread && p->coro_->finished()) {
+            p->terminated_ = true;
+            clear_wait_state(*p);
+            p->done_event_->notify_delta();
+        }
+    }
+}
+
+void Simulator::update_phase() {
+    std::vector<UpdateHook*> hooks;
+    hooks.swap(update_requests_);
+    for (UpdateHook* h : hooks) h->update();
+}
+
+void Simulator::delta_notify_phase() {
+    std::vector<Event*> pend;
+    pend.swap(delta_pending_);
+    for (Event* e : pend) {
+        if (e->pending_ != Event::Pending::delta) continue; // cancelled/overridden
+        e->pending_ = Event::Pending::none;
+        trigger(*e);
+    }
+    std::vector<ZeroWaiter> zw;
+    zw.swap(zero_waiters_);
+    for (const ZeroWaiter& z : zw) {
+        if (z.proc->timeout_armed_ && z.proc->timeout_seq_ == z.seq) {
+            z.proc->timeout_armed_ = false;
+            wake(*z.proc, Process::WakeReason::timeout, nullptr);
+        }
+    }
+    ++delta_count_;
+    if (++deltas_this_instant_ > max_deltas_per_instant_)
+        reporter_.report(Severity::error,
+                         "delta-cycle limit exceeded at t=" + now_.to_string() +
+                             " (zero-delay activity loop?)");
+}
+
+void Simulator::run_loop(Time limit) {
+    if (running_) throw SimulationError("Simulator::run is not reentrant");
+    running_ = true;
+    stop_requested_ = false;
+    try {
+        while (!stop_requested_) {
+            if (runnable_.empty() && delta_pending_.empty() && zero_waiters_.empty()) {
+                if (!advance_time(limit)) break;
+            }
+            evaluate_phase();
+            update_phase();
+            delta_notify_phase();
+        }
+    } catch (...) {
+        running_ = false;
+        throw;
+    }
+    running_ = false;
+}
+
+void Simulator::run() { run_loop(Time::max()); }
+
+void Simulator::run_until(Time t) {
+    run_loop(t);
+    if (now_ < t && !stop_requested_) now_ = t;
+}
+
+} // namespace rtsc::kernel

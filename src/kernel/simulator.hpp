@@ -1,0 +1,182 @@
+#pragma once
+// The discrete-event simulation kernel.
+//
+// Implements the SystemC 2.0 scheduling algorithm the paper's RTOS model
+// relies on: an evaluate phase running all runnable processes, an update
+// phase committing primitive-channel writes, and a delta-notification phase,
+// with simulated time advancing to the next timed notification when a delta
+// cycle produces no runnable process.
+//
+// One Simulator is active per thread at a time (Simulator::current()); all
+// Events, Processes and channels bind to it on construction, so sequential
+// tests can each build an isolated simulation.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "kernel/event.hpp"
+#include "kernel/process.hpp"
+#include "kernel/report.hpp"
+#include "kernel/time.hpp"
+
+namespace rtsc::kernel {
+
+/// Primitive channels register an UpdateHook to participate in the update
+/// phase (Signal<T> uses this to commit writes between delta cycles).
+class UpdateHook {
+public:
+    virtual ~UpdateHook() = default;
+    virtual void update() = 0;
+};
+
+class Simulator {
+public:
+    Simulator();
+    ~Simulator();
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// The simulator active on this thread. Throws if none exists.
+    [[nodiscard]] static Simulator& current();
+    /// Like current(), but returns nullptr instead of throwing.
+    [[nodiscard]] static Simulator* current_or_null() noexcept;
+
+    /// Create a thread process. It becomes runnable immediately (first
+    /// execution at the next evaluation phase — time 0 if spawned before
+    /// run()).
+    Process& spawn(std::string name, std::function<void()> body,
+                   std::size_t stack_bytes = Coroutine::default_stack_bytes);
+
+    /// Create a method process (SC_METHOD-like): `callback` runs to
+    /// completion on every trigger — once at start, then whenever an event
+    /// in its static sensitivity fires, unless the callback re-armed itself
+    /// with next_trigger(). Methods must not call wait().
+    Process& spawn_method(std::string name, std::function<void()> callback,
+                          std::vector<Event*> sensitivity);
+
+    /// From inside a method callback: override the static sensitivity for
+    /// the next activation only.
+    void next_trigger(Time delay);
+    void next_trigger(Event& e);
+
+    [[nodiscard]] Time now() const noexcept { return now_; }
+
+    /// Run until no timed activity remains (or stop() is called).
+    void run();
+    /// Run all activity up to and including time t; now() == t afterwards.
+    void run_until(Time t);
+    /// Request the run loop to return after the current delta cycle.
+    void stop() noexcept { stop_requested_ = true; }
+
+    // ---- wait services (must be called from within a process) ----
+
+    /// Suspend for a duration. wait(Time::zero()) waits one delta cycle.
+    void wait(Time duration);
+    /// Suspend until the event fires.
+    void wait(Event& e);
+    /// Suspend until the event fires or the timeout elapses, whichever is
+    /// first; returns the wake reason. On an exact tie the event wins.
+    Process::WakeReason wait(Time timeout, Event& e);
+    /// Suspend until any of the events fires; returns the one that did.
+    Event& wait_any(std::initializer_list<Event*> events);
+    Event& wait_any(const std::vector<Event*>& events);
+    /// As wait_any but with a timeout; returns nullptr on timeout.
+    Event* wait_any(Time timeout, const std::vector<Event*>& events);
+
+    /// The process currently executing, or nullptr in scheduler context.
+    [[nodiscard]] Process* current_process() const noexcept { return current_process_; }
+
+    /// Schedule an update-phase callback for the end of this delta cycle.
+    void request_update(UpdateHook& hook);
+
+    // ---- introspection / statistics ----
+    [[nodiscard]] std::uint64_t delta_count() const noexcept { return delta_count_; }
+    /// Total scheduler->process context switches so far. This is the metric
+    /// the paper's §4 uses to compare the two RTOS engine implementations.
+    [[nodiscard]] std::uint64_t process_activations() const noexcept { return activations_; }
+    [[nodiscard]] std::size_t process_count() const noexcept { return processes_.size(); }
+    [[nodiscard]] Reporter& reporter() noexcept { return reporter_; }
+
+    /// Abort with an error after this many delta cycles at one time point
+    /// (guards against zero-delay activity loops in models). Default 1M.
+    void set_max_deltas_per_instant(std::uint64_t n) noexcept { max_deltas_per_instant_ = n; }
+
+    /// Hook invoked on every process state change the kernel can observe;
+    /// the trace layer uses this sparingly. May be empty.
+    std::function<void(Process&, bool started)> on_process_switch;
+
+private:
+    friend class Event;
+
+    struct TimedEntry {
+        Time at;
+        std::uint64_t order; ///< FIFO tie-break for equal times
+        enum class Kind : std::uint8_t { event_notify, process_timeout } kind;
+        Event* ev;
+        Process* proc;
+        std::uint64_t seq; ///< validity stamp (event seq or process timeout seq)
+    };
+    struct TimedEntryLater {
+        bool operator()(const TimedEntry& a, const TimedEntry& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.order > b.order;
+        }
+    };
+
+    // Event internals.
+    void schedule_timed(Event& e, Time at);
+    void add_delta_pending(Event& e);
+    void trigger(Event& e);                 ///< wake all waiters (immediate)
+    void purge_event(Event& e);             ///< event destruction cleanup
+
+    void wake(Process& p, Process::WakeReason reason, Event* ev);
+    void clear_wait_state(Process& p);
+    void arm_timeout(Process& p, Time timeout);
+    void suspend_current();                 ///< yield back to scheduler
+    Process& require_process(const char* what) const;
+
+    bool advance_time(Time limit);          ///< pop next time's entries; false if none <= limit
+    void evaluate_phase();
+    void update_phase();
+    void delta_notify_phase();
+    void run_loop(Time limit);
+
+    Time now_{};
+    std::uint64_t order_counter_ = 0;
+    std::uint64_t delta_count_ = 0;
+    std::uint64_t deltas_this_instant_ = 0;
+    std::uint64_t max_deltas_per_instant_ = 1'000'000;
+    std::uint64_t activations_ = 0;
+    bool stop_requested_ = false;
+    bool running_ = false;
+
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::deque<Process*> runnable_;
+    std::priority_queue<TimedEntry, std::vector<TimedEntry>, TimedEntryLater> timed_;
+    std::vector<Event*> delta_pending_;
+    struct ZeroWaiter {
+        Process* proc;
+        std::uint64_t seq;
+    };
+    std::vector<ZeroWaiter> zero_waiters_; ///< processes in wait(Time::zero())
+    std::vector<UpdateHook*> update_requests_;
+    Process* current_process_ = nullptr;
+    Reporter reporter_;
+    Simulator* prev_current_ = nullptr; ///< restored on destruction
+};
+
+// ---- free-function wait API (SystemC style), acting on Simulator::current() ----
+
+inline void wait(Time d) { Simulator::current().wait(d); }
+inline void wait(Event& e) { Simulator::current().wait(e); }
+inline Process::WakeReason wait(Time timeout, Event& e) { return Simulator::current().wait(timeout, e); }
+inline Event& wait_any(std::initializer_list<Event*> evs) { return Simulator::current().wait_any(evs); }
+
+} // namespace rtsc::kernel

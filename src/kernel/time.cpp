@@ -1,0 +1,37 @@
+#include "kernel/time.hpp"
+
+#include <array>
+#include <cstdio>
+#include <ostream>
+
+namespace rtsc::kernel {
+
+std::string Time::to_string() const {
+    struct Unit { rep scale; const char* suffix; };
+    static constexpr std::array<Unit, 5> units{{
+        {1'000'000'000'000u, "s"},
+        {1'000'000'000u, "ms"},
+        {1'000'000u, "us"},
+        {1'000u, "ns"},
+        {1u, "ps"},
+    }};
+    if (ps_ == 0) return "0 s";
+    for (const auto& u : units) {
+        if (ps_ >= u.scale) {
+            const double v = static_cast<double>(ps_) / static_cast<double>(u.scale);
+            char buf[64];
+            // Print exactly when integral, otherwise with up to 3 decimals.
+            if (ps_ % u.scale == 0)
+                std::snprintf(buf, sizeof buf, "%llu %s",
+                              static_cast<unsigned long long>(ps_ / u.scale), u.suffix);
+            else
+                std::snprintf(buf, sizeof buf, "%.3f %s", v, u.suffix);
+            return buf;
+        }
+    }
+    return "0 s";
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.to_string(); }
+
+} // namespace rtsc::kernel

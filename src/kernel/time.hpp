@@ -1,0 +1,87 @@
+#pragma once
+// Simulated-time representation for the rtsc discrete-event kernel.
+//
+// Mirrors SystemC's sc_time: a 64-bit integral count of a fixed resolution.
+// The resolution is 1 picosecond, which spans ~213 simulated days — far more
+// than any RTOS-level simulation needs — while representing the paper's
+// microsecond-scale RTOS overheads exactly.
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace rtsc::kernel {
+
+/// A point in, or duration of, simulated time. Value-semantic, totally
+/// ordered, and exact: no floating-point rounding is involved in arithmetic.
+class Time {
+public:
+    using rep = std::uint64_t;
+
+    constexpr Time() noexcept = default;
+
+    /// Named constructors; these are the only way to build a non-zero Time.
+    [[nodiscard]] static constexpr Time ps(rep v) noexcept { return Time{v}; }
+    [[nodiscard]] static constexpr Time ns(rep v) noexcept { return Time{v * 1'000u}; }
+    [[nodiscard]] static constexpr Time us(rep v) noexcept { return Time{v * 1'000'000u}; }
+    [[nodiscard]] static constexpr Time ms(rep v) noexcept { return Time{v * 1'000'000'000u}; }
+    [[nodiscard]] static constexpr Time sec(rep v) noexcept { return Time{v * 1'000'000'000'000u}; }
+    [[nodiscard]] static constexpr Time zero() noexcept { return Time{}; }
+    [[nodiscard]] static constexpr Time max() noexcept { return Time{~rep{0}}; }
+
+    /// Fractional factory, e.g. Time::us_f(2.5). Rounds to nearest ps.
+    [[nodiscard]] static Time us_f(double v) noexcept {
+        return Time{static_cast<rep>(v * 1e6 + 0.5)};
+    }
+    [[nodiscard]] static Time ns_f(double v) noexcept {
+        return Time{static_cast<rep>(v * 1e3 + 0.5)};
+    }
+
+    [[nodiscard]] constexpr rep raw_ps() const noexcept { return ps_; }
+    [[nodiscard]] constexpr double to_us() const noexcept { return static_cast<double>(ps_) / 1e6; }
+    [[nodiscard]] constexpr double to_ns() const noexcept { return static_cast<double>(ps_) / 1e3; }
+    [[nodiscard]] constexpr double to_ms() const noexcept { return static_cast<double>(ps_) / 1e9; }
+    [[nodiscard]] constexpr double to_sec() const noexcept { return static_cast<double>(ps_) / 1e12; }
+
+    [[nodiscard]] constexpr bool is_zero() const noexcept { return ps_ == 0; }
+
+    constexpr auto operator<=>(const Time&) const noexcept = default;
+
+    constexpr Time& operator+=(Time rhs) noexcept { ps_ += rhs.ps_; return *this; }
+    constexpr Time& operator-=(Time rhs) noexcept { ps_ -= rhs.ps_; return *this; }
+
+    [[nodiscard]] friend constexpr Time operator+(Time a, Time b) noexcept { return Time{a.ps_ + b.ps_}; }
+    [[nodiscard]] friend constexpr Time operator-(Time a, Time b) noexcept { return Time{a.ps_ - b.ps_}; }
+    [[nodiscard]] friend constexpr Time operator*(Time a, rep k) noexcept { return Time{a.ps_ * k}; }
+    [[nodiscard]] friend constexpr Time operator*(rep k, Time a) noexcept { return Time{a.ps_ * k}; }
+    [[nodiscard]] friend constexpr Time operator/(Time a, rep k) noexcept { return Time{a.ps_ / k}; }
+    /// How many whole `b` fit in `a` (e.g. periods elapsed).
+    [[nodiscard]] friend constexpr rep operator/(Time a, Time b) noexcept { return a.ps_ / b.ps_; }
+    [[nodiscard]] friend constexpr Time operator%(Time a, Time b) noexcept { return Time{a.ps_ % b.ps_}; }
+
+    /// Saturating subtraction: max(a - b, 0). The RTOS layer uses this when
+    /// computing the remaining execution time of a preempted operation.
+    [[nodiscard]] static constexpr Time sat_sub(Time a, Time b) noexcept {
+        return a.ps_ >= b.ps_ ? Time{a.ps_ - b.ps_} : Time{};
+    }
+
+    /// Human-readable rendering with an auto-selected unit ("15 us", "2.5 ms").
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    constexpr explicit Time(rep ps) noexcept : ps_{ps} {}
+    rep ps_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+namespace time_literals {
+constexpr Time operator""_ps(unsigned long long v) { return Time::ps(v); }
+constexpr Time operator""_ns(unsigned long long v) { return Time::ns(v); }
+constexpr Time operator""_us(unsigned long long v) { return Time::us(v); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::ms(v); }
+constexpr Time operator""_sec(unsigned long long v) { return Time::sec(v); }
+} // namespace time_literals
+
+} // namespace rtsc::kernel

@@ -1,0 +1,152 @@
+#pragma once
+// Base machinery for MCSE functional-model communication relations (§2).
+//
+// The MCSE methodology describes a system as functions (tasks) communicating
+// through three kinds of relations: events (synchronization), message queues
+// (producer/consumer) and shared variables (data under mutual exclusion).
+// These relations are RTOS-aware: a *software* task blocking on one enters
+// the RTOS Waiting state and frees its processor; a *hardware* process
+// (plain kernel process) blocks at kernel level. A relation can therefore
+// connect HW and SW sides of a co-simulated model transparently.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "kernel/event.hpp"
+#include "kernel/simulator.hpp"
+#include "kernel/time.hpp"
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::mcse {
+
+class Relation;
+
+/// What a task/process did on a relation; recorded for the TimeLine chart
+/// ("a vertical arrow represents a task accessing a communications link and
+/// the arrow style informs on the kind of access").
+enum class AccessKind : std::uint8_t {
+    signal_op, ///< event signalled
+    await_op,  ///< event awaited
+    write_op,  ///< message/data written
+    read_op,   ///< message/data read
+    lock_op,   ///< mutual-exclusion resource acquired
+    unlock_op, ///< mutual-exclusion resource released
+};
+
+[[nodiscard]] constexpr const char* to_string(AccessKind k) noexcept {
+    switch (k) {
+        case AccessKind::signal_op: return "signal";
+        case AccessKind::await_op: return "await";
+        case AccessKind::write_op: return "write";
+        case AccessKind::read_op: return "read";
+        case AccessKind::lock_op: return "lock";
+        case AccessKind::unlock_op: return "unlock";
+    }
+    return "?";
+}
+
+/// Observer of communication accesses; the trace layer implements this.
+class CommObserver {
+public:
+    virtual ~CommObserver() = default;
+    /// `task` is nullptr for hardware-process accesses. `blocked` tells
+    /// whether the caller had to wait before the access completed.
+    virtual void on_access(const Relation& rel, const rtos::Task* task,
+                           AccessKind kind, bool blocked) = 0;
+};
+
+class Relation {
+public:
+    explicit Relation(std::string name)
+        : sim_(kernel::Simulator::current()),
+          name_(std::move(name)),
+          hw_wake_(name_ + ".hw_wake") {}
+
+    virtual ~Relation() = default;
+    Relation(const Relation&) = delete;
+    Relation& operator=(const Relation&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] virtual const char* type_name() const noexcept = 0;
+
+    void add_observer(CommObserver& obs) { observers_.push_back(&obs); }
+
+    // ---- accumulated statistics (Figure 8 "(4)" channel utilisation) ----
+    struct AccessStats {
+        std::uint64_t accesses = 0;      ///< total operations
+        std::uint64_t blocked_accesses = 0;
+        kernel::Time blocked_time{};     ///< total time callers spent blocked
+    };
+    [[nodiscard]] const AccessStats& access_stats() const noexcept { return stats_; }
+
+    /// Relation-type-specific utilisation in [0,1] over the elapsed time
+    /// (queues: fraction of time non-empty; shared variables: fraction of
+    /// time locked; events: fraction of awaits that had to block).
+    [[nodiscard]] virtual double utilization() const = 0;
+
+protected:
+    /// A registered software-task waiter; lives on the waiting task's stack.
+    struct TaskWaiter {
+        rtos::Task* task;
+        bool delivered = false;
+    };
+
+    [[nodiscard]] kernel::Simulator& sim() const noexcept { return sim_; }
+    [[nodiscard]] kernel::Time now() const noexcept { return sim_.now(); }
+
+    /// Record a completed access. `blocked_for` is how long the caller was
+    /// blocked before the operation could proceed (zero = non-blocking).
+    void record(const rtos::Task* task, AccessKind kind,
+                kernel::Time blocked_for) {
+        ++stats_.accesses;
+        if (!blocked_for.is_zero()) {
+            ++stats_.blocked_accesses;
+            stats_.blocked_time += blocked_for;
+        }
+        for (CommObserver* o : observers_)
+            o->on_access(*this, task, kind, !blocked_for.is_zero());
+    }
+
+    /// Block the calling software task in `state` until a waker delivers
+    /// this waiter (sets delivered + make_ready). Spurious re-dispatches
+    /// (wake-then-steal races) re-block automatically.
+    void block_task(TaskWaiter& w, std::deque<TaskWaiter*>& list,
+                    rtos::TaskState state) {
+        list.push_back(&w);
+        do {
+            w.task->processor().engine().block(*w.task, state);
+        } while (!w.delivered);
+    }
+
+    /// Deliver one waiter (FIFO) if any; returns whether one was woken.
+    static bool wake_one(std::deque<TaskWaiter*>& list) {
+        if (list.empty()) return false;
+        TaskWaiter* w = list.front();
+        list.pop_front();
+        w->delivered = true;
+        w->task->processor().engine().make_ready(*w->task);
+        return true;
+    }
+
+    /// Deliver every registered waiter.
+    static void wake_all(std::deque<TaskWaiter*>& list) {
+        while (wake_one(list)) {
+        }
+    }
+
+    /// Kernel-level wake-up channel for hardware processes blocked on this
+    /// relation; they re-check their predicate after every notification.
+    kernel::Event& hw_wake() noexcept { return hw_wake_; }
+
+private:
+    kernel::Simulator& sim_;
+    std::string name_;
+    kernel::Event hw_wake_;
+    std::vector<CommObserver*> observers_;
+    AccessStats stats_;
+};
+
+} // namespace rtsc::mcse

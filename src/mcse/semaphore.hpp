@@ -1,0 +1,172 @@
+#pragma once
+// MCSE counting-semaphore relation. The paper lists synchronization "based
+// on events or semaphores" among the standard RTOS communication mechanisms
+// (§2); the Event relation covers the signal/await style, this class covers
+// resource-counting synchronization: acquire() blocks while the count is
+// zero, release() increments it and wakes a waiter.
+//
+// Like every relation, it is RTOS-aware (software tasks block in the Waiting
+// state and free their processor) and usable from hardware processes (kernel
+// level blocking), so it can guard resources shared across the HW/SW
+// boundary. Waiters are served in FIFO order by default, or by effective
+// priority (the common RTOS option) when constructed with WakeOrder::priority.
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "mcse/relation.hpp"
+#include "rtos/engine.hpp"
+
+namespace rtsc::mcse {
+
+enum class WakeOrder : std::uint8_t { fifo, priority };
+
+class Semaphore final : public Relation {
+public:
+    Semaphore(std::string name, std::uint64_t initial,
+              WakeOrder order = WakeOrder::fifo)
+        : Relation(std::move(name)),
+          count_(initial),
+          order_(order),
+          was_zero_(initial == 0) {}
+
+    [[nodiscard]] const char* type_name() const noexcept override {
+        return "semaphore";
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept { return count_; }
+    [[nodiscard]] WakeOrder wake_order() const noexcept { return order_; }
+
+    /// Take one unit, blocking while the count is zero.
+    void acquire() {
+        rtos::Task* task = rtos::current_task();
+        const kernel::Time started = now();
+        if (task != nullptr) {
+            while (count_ == 0) {
+                TaskWaiter w{task};
+                block_task(w, waiters_, rtos::TaskState::waiting);
+            }
+        } else {
+            while (count_ == 0) kernel::wait(hw_wake());
+        }
+        --count_;
+        account_zero();
+        record(task, AccessKind::lock_op, now() - started);
+    }
+
+    /// Bounded-wait acquire: gives up after `timeout`; returns whether a
+    /// unit was taken. (Extension: timed acquires are a standard RTOS
+    /// semaphore primitive.)
+    [[nodiscard]] bool acquire_for(kernel::Time timeout) {
+        rtos::Task* task = rtos::current_task();
+        const kernel::Time started = now();
+        const kernel::Time deadline = started + timeout;
+        if (task != nullptr) {
+            while (count_ == 0) {
+                const kernel::Time remaining =
+                    kernel::Time::sat_sub(deadline, now());
+                if (remaining.is_zero()) {
+                    record(task, AccessKind::lock_op, now() - started);
+                    return false;
+                }
+                TaskWaiter w{task};
+                waiters_.push_back(&w);
+                (void)task->processor().engine().block_timed(
+                    *task, rtos::TaskState::waiting, remaining);
+                if (!w.delivered) std::erase(waiters_, &w);
+            }
+        } else {
+            while (count_ == 0) {
+                const kernel::Time remaining =
+                    kernel::Time::sat_sub(deadline, now());
+                if (remaining.is_zero()) {
+                    record(nullptr, AccessKind::lock_op, now() - started);
+                    return false;
+                }
+                (void)kernel::Simulator::current().wait(remaining, hw_wake());
+            }
+        }
+        --count_;
+        account_zero();
+        record(task, AccessKind::lock_op,
+               now() == started ? kernel::Time::zero() : now() - started);
+        return true;
+    }
+
+    /// Take one unit if available; never blocks.
+    [[nodiscard]] bool try_acquire() {
+        if (count_ == 0) return false;
+        --count_;
+        account_zero();
+        record(rtos::current_task(), AccessKind::lock_op, kernel::Time::zero());
+        return true;
+    }
+
+    /// Give one unit back (or produce one), waking a waiter if any.
+    void release() {
+        ++count_;
+        account_zero();
+        if (!waiters_.empty()) {
+            if (order_ == WakeOrder::priority)
+                wake_best();
+            else
+                wake_one(waiters_);
+        }
+        hw_wake().notify();
+        record(rtos::current_task(), AccessKind::unlock_op, kernel::Time::zero());
+    }
+
+    /// RAII guard: acquire on construction, release on destruction.
+    class Guard {
+    public:
+        explicit Guard(Semaphore& s) : s_(s) { s_.acquire(); }
+        ~Guard() { s_.release(); }
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+    private:
+        Semaphore& s_;
+    };
+
+    /// Fraction of elapsed time the semaphore was exhausted (count == 0) —
+    /// the natural contention measure for Figure-8-style reports.
+    [[nodiscard]] double utilization() const override {
+        auto exhausted = exhausted_time_;
+        if (count_ == 0) exhausted += now() - last_zero_edge_;
+        const double total = now().to_sec();
+        return total <= 0.0 ? 0.0 : exhausted.to_sec() / total;
+    }
+
+private:
+    void wake_best() {
+        auto best = std::max_element(
+            waiters_.begin(), waiters_.end(), [](TaskWaiter* a, TaskWaiter* b) {
+                return a->task->effective_priority() < b->task->effective_priority();
+            });
+        TaskWaiter* w = *best;
+        waiters_.erase(best);
+        w->delivered = true;
+        w->task->processor().engine().make_ready(*w->task);
+    }
+
+    /// Track time spent at count == 0.
+    void account_zero() {
+        const bool zero_now = count_ == 0;
+        if (zero_now && !was_zero_) {
+            last_zero_edge_ = now();
+        } else if (!zero_now && was_zero_) {
+            exhausted_time_ += now() - last_zero_edge_;
+        }
+        was_zero_ = zero_now;
+    }
+
+    std::uint64_t count_;
+    WakeOrder order_;
+    std::deque<TaskWaiter*> waiters_;
+    bool was_zero_ = false;
+    kernel::Time last_zero_edge_{};
+    kernel::Time exhausted_time_{};
+};
+
+} // namespace rtsc::mcse

@@ -1,0 +1,382 @@
+#include "rtos/engine.hpp"
+
+#include <algorithm>
+
+#include "kernel/simulator.hpp"
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::rtos {
+
+namespace k = rtsc::kernel;
+
+namespace {
+[[noreturn]] void engine_error(const std::string& msg) {
+    throw k::SimulationError("rtos engine: " + msg);
+}
+} // namespace
+
+SchedulerEngine::SchedulerEngine(Processor& processor) : processor_(processor) {}
+
+void SchedulerEngine::set_kicked(Task& t) noexcept { t.kicked_ = true; }
+kernel::Event& SchedulerEngine::run_event(Task& t) noexcept { return t.ev_run_; }
+kernel::Event& SchedulerEngine::ack_event(Task& t) noexcept { return t.ev_ack_; }
+
+// --------------------------------------------------------- phase accounting
+
+void SchedulerEngine::set_phase(Phase p) {
+    const k::Time now = processor_.simulator().now();
+    const k::Time d = now - phase_since_;
+    switch (phase_) {
+        case Phase::idle: stats_.idle_time += d; break;
+        case Phase::overhead: stats_.overhead_time += d; break;
+        case Phase::running: stats_.busy_time += d; break;
+    }
+    phase_ = p;
+    phase_since_ = now;
+}
+
+SchedulerEngine::PhaseStats SchedulerEngine::phase_stats() const {
+    PhaseStats s = stats_;
+    const k::Time d = processor_.simulator().now() - phase_since_;
+    switch (phase_) {
+        case Phase::idle: s.idle_time += d; break;
+        case Phase::overhead: s.overhead_time += d; break;
+        case Phase::running: s.busy_time += d; break;
+    }
+    return s;
+}
+
+// ------------------------------------------------------------ small helpers
+
+void SchedulerEngine::push_ready(Task& t, bool front) {
+    if (front)
+        ready_.insert(ready_.begin(), &t);
+    else
+        ready_.push_back(&t);
+}
+
+bool SchedulerEngine::preempts(const Task& candidate) const {
+    return processor_.preemption_allowed() && running_ != nullptr &&
+           processor_.should_preempt(candidate, *running_);
+}
+
+void SchedulerEngine::post_preempt(PreemptReason reason) {
+    Task& r = *running_;
+    if (!r.preempt_pending_) {
+        r.preempt_pending_ = true;
+        r.preempt_reason_ = reason;
+    }
+    // Immediate notification: interrupts a compute() at the exact current
+    // instant; also cancels a pending slice timer on the same event.
+    r.ev_preempt_.notify();
+}
+
+void SchedulerEngine::arm_slice(Task& t) {
+    const k::Time q = processor_.policy().time_slice();
+    if (!q.is_zero()) t.ev_preempt_.notify(q);
+}
+
+void SchedulerEngine::cancel_slice(Task& t) { t.ev_preempt_.cancel(); }
+
+void SchedulerEngine::charge(OverheadKind kind, const Task* about) {
+    const k::Time start = processor_.simulator().now();
+    const k::Time d = processor_.overhead_duration(kind);
+    processor_.notify_overhead(kind, start, d, about);
+    if (d.is_zero()) return;
+    set_phase(Phase::overhead);
+    k::wait(d);
+}
+
+// --------------------------------------------------------------- scheduling
+
+Task* SchedulerEngine::select_and_grant() {
+    Task* next = processor_.scheduling_policy(ready_);
+    if (next == nullptr) {
+        set_phase(Phase::idle);
+        return nullptr;
+    }
+    const auto it = std::find(ready_.begin(), ready_.end(), next);
+    if (it == ready_.end())
+        engine_error("scheduling policy selected a task that is not ready: " +
+                     next->name());
+    ready_.erase(it);
+    // Keep the overhead phase alive until the winner finishes its context
+    // load; arrivals in between only join the queue.
+    set_phase(Phase::overhead);
+    next->granted_ = true;
+    next->ev_run_.notify();
+    return next;
+}
+
+void SchedulerEngine::schedule_pass(const Task* about) {
+    ++stats_.scheduler_runs;
+    charge(OverheadKind::scheduling, about);
+    select_and_grant();
+}
+
+void SchedulerEngine::leave_running(Task& t, TaskState to, PreemptReason reason) {
+    if (running_ != &t)
+        engine_error("leave_running for a task that is not running: " + t.name());
+    cancel_slice(t);
+    running_ = nullptr;
+    set_phase(Phase::overhead);
+    if (to == TaskState::ready) {
+        t.entered_ready_preempted_ = (reason == PreemptReason::higher_priority ||
+                                      reason == PreemptReason::slice_expired);
+        if (t.entered_ready_preempted_) ++t.stats_.preemptions;
+        // A preempted task resumes before equal-rank later arrivals; slice
+        // rotation and yield go to the back of the queue.
+        push_ready(t, /*front=*/reason == PreemptReason::higher_priority);
+    }
+    t.set_state(to);
+}
+
+void SchedulerEngine::enter_running(Task& t) {
+    running_ = &t;
+    ++stats_.dispatches;
+    set_phase(Phase::running);
+    t.set_state(TaskState::running);
+    arm_slice(t);
+    // Post-load preemption check: somebody may have become ready while this
+    // task was being dispatched.
+    if (processor_.preemption_allowed()) {
+        for (Task* r : ready_) {
+            if (processor_.should_preempt(*r, t)) {
+                post_preempt(PreemptReason::higher_priority);
+                break;
+            }
+        }
+    }
+}
+
+void SchedulerEngine::await_dispatch(Task& t) {
+    for (;;) {
+        if (t.granted_) {
+            t.granted_ = false;
+            break;
+        }
+        if (t.kicked_) {
+            // Procedural engine: the awakened task's own thread executes the
+            // scheduling pass (§4.2: "the RTOS algorithm is executed by the
+            // thread of the task which was awaked"). Defer one delta cycle so
+            // that other same-instant arrivals are already in the ready queue
+            // when the scheduling duration is evaluated — the dedicated RTOS
+            // thread of the §4.1 engine naturally runs after them, and the
+            // two engines must behave identically.
+            t.kicked_ = false;
+            k::wait(k::Time::zero());
+            schedule_pass(&t);
+            dispatch_in_progress_ = false;
+            continue;
+        }
+        k::wait(t.ev_run_);
+    }
+    charge(OverheadKind::context_load, &t);
+    enter_running(t);
+}
+
+// ------------------------------------------------------ task-thread services
+
+void SchedulerEngine::start_task(Task& t) {
+    if (!t.config_.start_time.is_zero()) k::wait(t.config_.start_time);
+    make_ready(t);
+    await_dispatch(t);
+}
+
+void SchedulerEngine::consume(Task& t, k::Time d) {
+    if (current_task() != &t)
+        engine_error("compute() must be called from the task's own thread: " +
+                     t.name());
+    k::Time remaining = d;
+    for (;;) {
+        if (t.preempt_pending_) {
+            handle_preempt(t);
+            continue;
+        }
+        if (remaining.is_zero()) break;
+        if (t.state() != TaskState::running)
+            engine_error("compute() while not running: " + t.name());
+        const k::Time start = processor_.simulator().now();
+        const auto reason = k::Simulator::current().wait(remaining, t.ev_preempt_);
+        if (reason == k::Process::WakeReason::timeout) {
+            remaining = k::Time::zero();
+            continue; // one more turn to honour a preemption at this instant
+        }
+        //
+
+        // TaskPreempt fired: either a real preemption (flag already set) or
+        // the round-robin slice timer (timed notification, no flag).
+        remaining = k::Time::sat_sub(
+            remaining, processor_.simulator().now() - start);
+        if (!t.preempt_pending_) {
+            if (processor_.policy().time_slice().is_zero()) continue; // stray
+            t.preempt_pending_ = true;
+            t.preempt_reason_ = PreemptReason::slice_expired;
+        }
+    }
+}
+
+bool SchedulerEngine::preempt_prologue(Task& t) {
+    t.preempt_pending_ = false;
+    const PreemptReason reason = t.preempt_reason_;
+    t.preempt_reason_ = PreemptReason::none;
+    if (ready_.empty()) {
+        // Nothing to switch to (e.g. slice expired but the task is alone).
+        if (reason == PreemptReason::slice_expired) arm_slice(t);
+        return false;
+    }
+    t.preempt_reason_ = reason;
+    return true;
+}
+
+void SchedulerEngine::handle_preempt(Task& t) {
+    if (!preempt_prologue(t)) return;
+    const PreemptReason reason = t.preempt_reason_;
+    t.preempt_reason_ = PreemptReason::none;
+    leave_running(t, TaskState::ready, reason);
+    reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/false);
+    await_dispatch(t);
+}
+
+void SchedulerEngine::inline_preempt(Task& caller) {
+    // The caller is suspended inside the RTOS primitive that readied a
+    // higher-priority task.
+    leave_running(caller, TaskState::ready, PreemptReason::higher_priority);
+    reschedule_after_leave(caller, /*charge_save=*/true, /*sync=*/false);
+    await_dispatch(caller);
+}
+
+void SchedulerEngine::block(Task& t, TaskState kind) {
+    if (current_task() != &t)
+        engine_error("block must be called from the task's own thread: " + t.name());
+    leave_running(t, kind, PreemptReason::none);
+    reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/false);
+    await_dispatch(t);
+}
+
+bool SchedulerEngine::block_timed(Task& t, TaskState kind, k::Time timeout) {
+    if (current_task() != &t)
+        engine_error("block_timed must be called from the task's own thread: " +
+                     t.name());
+    const k::Time deadline = processor_.simulator().now() + timeout;
+    leave_running(t, kind, PreemptReason::none);
+    // sync for the same reason as sleep_for: the timeout wake must not enter
+    // the ready queue before the scheduling pass caused by this very block.
+    reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/true);
+
+    bool timed_out = false;
+    for (;;) {
+        if (t.granted_) {
+            t.granted_ = false;
+            break;
+        }
+        if (t.kicked_) {
+            t.kicked_ = false;
+            k::wait(k::Time::zero());
+            schedule_pass(&t);
+            dispatch_in_progress_ = false;
+            continue;
+        }
+        if (t.state() != kind) {
+            // Someone already delivered (made us ready): just await the grant.
+            k::wait(t.ev_run_);
+            continue;
+        }
+        const k::Time remaining =
+            k::Time::sat_sub(deadline, processor_.simulator().now());
+        if (remaining.is_zero()) {
+            timed_out = true;
+            make_ready(t); // self wake-up, normal dispatch rules apply
+            continue;
+        }
+        (void)k::Simulator::current().wait(remaining, t.ev_run_);
+    }
+    charge(OverheadKind::context_load, &t);
+    enter_running(t);
+    return !timed_out;
+}
+
+void SchedulerEngine::sleep_for(Task& t, k::Time d) {
+    const k::Time wake_at = processor_.simulator().now() + d;
+    leave_running(t, TaskState::waiting, PreemptReason::none);
+    // sync: the wake timer must not let this task re-enter the ready queue
+    // before the scheduling pass triggered by its own blocking completed
+    // (keeps both engines time-identical).
+    reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/true);
+    const k::Time remain = k::Time::sat_sub(wake_at, processor_.simulator().now());
+    if (!remain.is_zero()) k::wait(remain);
+    make_ready(t);
+    await_dispatch(t);
+}
+
+void SchedulerEngine::finish_task(Task& t) {
+    leave_running(t, TaskState::terminated, PreemptReason::none);
+    reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/false);
+}
+
+void SchedulerEngine::yield_cpu(Task& t) {
+    if (current_task() != &t)
+        engine_error("yield_cpu must be called from the task's own thread: " +
+                     t.name());
+    if (ready_.empty()) return;
+    leave_running(t, TaskState::ready, PreemptReason::yielded);
+    reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/false);
+    await_dispatch(t);
+}
+
+// --------------------------------------------------------- any-context entry
+
+void SchedulerEngine::make_ready(Task& t) {
+    switch (t.state()) {
+        case TaskState::ready:
+        case TaskState::running:
+            return; // already scheduled (spurious wake)
+        case TaskState::terminated:
+            engine_error("make_ready on terminated task: " + t.name());
+        case TaskState::created:
+        case TaskState::waiting:
+        case TaskState::waiting_resource:
+            break;
+    }
+    t.entered_ready_preempted_ = false;
+    ++t.stats_.activations;
+    push_ready(t, /*front=*/false);
+    t.set_state(TaskState::ready);
+
+    Task* caller = current_task();
+    const bool rtos_call_from_running =
+        caller != nullptr && &caller->processor() == &processor_ &&
+        caller == running_;
+    if (rtos_call_from_running) {
+        if (preempts(t))
+            inline_preempt(*caller);
+        else
+            inline_ready_charge(*caller);
+        return;
+    }
+    // Interrupt-style arrival: hardware process, another processor's task,
+    // a timer wake (possibly the task's own thread) or scheduler context.
+    if (phase_ == Phase::running) {
+        if (preempts(t)) post_preempt(PreemptReason::higher_priority);
+    } else if (phase_ == Phase::idle && !dispatch_in_progress_) {
+        dispatch_in_progress_ = true;
+        kick_idle_dispatch(t);
+    }
+    // overhead phase: the in-flight scheduling pass (or the post-load check)
+    // will consider the new arrival.
+}
+
+void SchedulerEngine::recheck_preemption() {
+    if (phase_ != Phase::running || running_ == nullptr ||
+        !processor_.preemption_allowed())
+        return;
+    for (Task* r : ready_) {
+        if (processor_.should_preempt(*r, *running_)) {
+            post_preempt(PreemptReason::higher_priority);
+            return;
+        }
+    }
+}
+
+} // namespace rtsc::rtos

@@ -1,0 +1,170 @@
+#pragma once
+// SchedulerEngine: the RTOS mechanics shared by the paper's two
+// implementation techniques (§4.1 dedicated RTOS thread, §4.2 procedure
+// calls). Both engines implement identical *simulated-time* behaviour — the
+// charging rules below — and differ only in which simulation thread executes
+// the RTOS algorithm, which is what makes the procedure-call variant faster
+// to simulate (fewer kernel context switches).
+//
+// Charging rules (all durations from the Processor's RtosOverheads):
+//   running task blocks/ends     : save + sched, then the winner pays load
+//   preemption                   : save + sched, then the winner pays load
+//   idle CPU, task becomes ready : sched, then the winner pays load (no save)
+//   running task readies another
+//     - no preemption            : sched charged to the caller  (Fig. 6 "(c)")
+//     - preemption               : save + sched + load           (Fig. 6 "(b)")
+// With the paper's 5 us / 5 us / 5 us parameters this reproduces the 15 us
+// end-of-task / preemption gaps and the 5 us no-preempt overhead annotated in
+// Figure 6.
+//
+// The scheduling *decision* is taken at the END of the scheduling-duration
+// charge, so tasks becoming ready while the RTOS is scheduling are considered
+// by that very pass — and a task that becomes ready while another is being
+// context-loaded preempts it immediately after the load completes.
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/event.hpp"
+#include "kernel/time.hpp"
+#include "rtos/fwd.hpp"
+#include "rtos/policy.hpp"
+
+namespace rtsc::rtos {
+
+class SchedulerEngine {
+public:
+    /// What the processor is doing right now.
+    enum class Phase : std::uint8_t { idle, overhead, running };
+
+    explicit SchedulerEngine(Processor& processor);
+    virtual ~SchedulerEngine() = default;
+
+    SchedulerEngine(const SchedulerEngine&) = delete;
+    SchedulerEngine& operator=(const SchedulerEngine&) = delete;
+
+    [[nodiscard]] virtual const char* kind_name() const noexcept = 0;
+
+    // ---- entry points called from the task's own thread ----
+    void start_task(Task& t);                ///< created -> ready -> ... -> running
+    void consume(Task& t, kernel::Time d);   ///< compute(): preemptible CPU use
+    void block(Task& t, TaskState kind);     ///< running -> waiting; returns when running again
+    /// Like block(), but gives up after `timeout`. Returns true when the
+    /// task was made ready by someone else (delivery), false when the
+    /// timeout expired first (the task re-dispatches itself either way and
+    /// this returns only once it is Running again).
+    bool block_timed(Task& t, TaskState kind, kernel::Time timeout);
+    void sleep_for(Task& t, kernel::Time d); ///< timed block
+    void finish_task(Task& t);               ///< running -> terminated (+dispatch next)
+    void yield_cpu(Task& t);
+
+    // ---- entry points callable from any simulation context ----
+    /// The task stops waiting (synchronization arrived / interrupt): move it
+    /// to the ReadyTaskQueue and apply the preemption rules. This is the
+    /// paper's TaskIsReady() primitive.
+    void make_ready(Task& t);
+    /// Re-evaluate preemption after the preemption mode was re-enabled or a
+    /// priority changed.
+    void recheck_preemption();
+
+    // ---- introspection ----
+    [[nodiscard]] Task* running() const noexcept { return running_; }
+    [[nodiscard]] const ReadyQueue& ready_queue() const noexcept { return ready_; }
+    [[nodiscard]] Phase phase() const noexcept { return phase_; }
+
+    struct PhaseStats {
+        kernel::Time idle_time{};
+        kernel::Time overhead_time{};
+        kernel::Time busy_time{};
+        std::uint64_t dispatches = 0;     ///< Ready -> Running transitions
+        std::uint64_t scheduler_runs = 0; ///< scheduling passes executed
+    };
+    /// Accumulators are folded up to the current instant on read.
+    [[nodiscard]] PhaseStats phase_stats() const;
+
+protected:
+    // -- locus hooks: where the RTOS algorithm executes differs per engine --
+
+    /// Run the "save (optional) + sched + select + grant" sequence for a task
+    /// that just left the Running state (block / finish / preempt / yield).
+    /// Procedural engine: executed synchronously in the calling thread.
+    /// Threaded engine: delegated to the RTOS thread; when `sync` the call
+    /// returns only once the RTOS thread completed the pass.
+    virtual void reschedule_after_leave(Task& leaver, bool charge_save, bool sync) = 0;
+
+    /// An idle processor has a new ready task: arrange for a scheduling pass
+    /// (sched charge + select + grant). dispatch_in_progress_ is already set
+    /// and must be cleared by the pass.
+    virtual void kick_idle_dispatch(Task& target) = 0;
+
+    /// A running task readied another without preemption: charge the
+    /// scheduling duration to the caller — Fig. 6 case (c) — and re-check
+    /// preemption (a higher-priority task may have arrived meanwhile).
+    virtual void inline_ready_charge(Task& caller) = 0;
+
+    // -- shared logic (identical simulated-time behaviour in both engines) --
+
+    /// TaskIsPreempted() (§4.2): called in the preempted task's thread from
+    /// consume(); suspends until re-dispatched.
+    void handle_preempt(Task& self);
+    /// Clears the pending flag; returns false when nothing needs to happen
+    /// (slice expired with an empty ready queue -> just re-arm).
+    bool preempt_prologue(Task& self);
+    /// A running task readied a higher-priority one: it is preempted inside
+    /// the RTOS primitive itself.
+    void inline_preempt(Task& caller);
+
+    /// Charge one overhead component as simulated time in the *current*
+    /// thread; the processor is in the overhead phase for the duration.
+    void charge(OverheadKind kind, const Task* about);
+
+    /// Run the scheduling policy, remove the winner from the ready queue and
+    /// grant it the CPU (sets granted_ + notifies TaskRun). Returns the
+    /// winner; nullptr leaves the CPU idle.
+    Task* select_and_grant();
+
+    /// charge(sched) + select_and_grant(). One scheduling pass.
+    void schedule_pass(const Task* about);
+
+    /// Move the running task out of the Running state. `to` is ready
+    /// (preemption/yield), waiting, waiting_resource or terminated.
+    void leave_running(Task& t, TaskState to, PreemptReason reason);
+
+    /// The granted task starts running (called after the load charge).
+    void enter_running(Task& t);
+
+    /// Wait until granted — executing scheduling passes when kicked
+    /// (procedural engine only) — then charge load and enter Running.
+    void await_dispatch(Task& t);
+
+    void push_ready(Task& t, bool front);
+    void set_phase(Phase p);
+
+    /// Should candidate preempt the running task under current settings?
+    [[nodiscard]] bool preempts(const Task& candidate) const;
+
+    /// Flag + TaskPreempt notification towards the running task; it reacts
+    /// inside consume() at the exact current instant.
+    void post_preempt(PreemptReason reason);
+
+    /// (Re)arm / cancel the round-robin slice timer on a task.
+    void arm_slice(Task& t);
+    void cancel_slice(Task& t);
+
+    void bump_scheduler_runs() noexcept { ++stats_.scheduler_runs; }
+
+    // Task-handshake accessors for derived engines (base-class friendship).
+    static void set_kicked(Task& t) noexcept;
+    static kernel::Event& run_event(Task& t) noexcept;
+    static kernel::Event& ack_event(Task& t) noexcept;
+
+    Processor& processor_;
+    ReadyQueue ready_;
+    Task* running_ = nullptr;
+    Phase phase_ = Phase::idle;
+    kernel::Time phase_since_{};
+    bool dispatch_in_progress_ = false; ///< an idle-kick scheduling pass is pending
+    PhaseStats stats_;
+};
+
+} // namespace rtsc::rtos

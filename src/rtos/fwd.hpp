@@ -1,0 +1,58 @@
+#pragma once
+// Shared vocabulary of the RTOS model layer.
+
+#include <cstdint>
+
+namespace rtsc::rtos {
+
+class Task;
+class Processor;
+class SchedulerEngine;
+class SchedulingPolicy;
+
+/// Task states from the paper's §4 (Buttazzo [10]): Waiting / Ready /
+/// Running, extended with the TimeLine-chart states of §5 (Creation,
+/// Waiting-for-resource, Destruction).
+enum class TaskState : std::uint8_t {
+    created,          ///< exists, not yet released
+    ready,            ///< waiting for the processor (in the ReadyTaskQueue)
+    running,          ///< executing on the processor
+    waiting,          ///< waiting for a synchronization (event/queue/sleep)
+    waiting_resource, ///< waiting for a mutual-exclusion resource
+    terminated,       ///< body returned
+};
+
+[[nodiscard]] constexpr const char* to_string(TaskState s) noexcept {
+    switch (s) {
+        case TaskState::created: return "created";
+        case TaskState::ready: return "ready";
+        case TaskState::running: return "running";
+        case TaskState::waiting: return "waiting";
+        case TaskState::waiting_resource: return "waiting_resource";
+        case TaskState::terminated: return "terminated";
+    }
+    return "?";
+}
+
+/// Why a running task lost the processor; used by the engines and recorded
+/// for the preempted-ratio statistic of Figure 8.
+enum class PreemptReason : std::uint8_t {
+    none,
+    higher_priority, ///< the scheduling policy preferred a newly ready task
+    slice_expired,   ///< round-robin / time-sharing quantum elapsed
+    yielded,         ///< the task invoked yield_cpu()
+};
+
+/// The three RTOS overhead components of §3.2.
+enum class OverheadKind : std::uint8_t { scheduling, context_load, context_save };
+
+[[nodiscard]] constexpr const char* to_string(OverheadKind k) noexcept {
+    switch (k) {
+        case OverheadKind::scheduling: return "scheduling";
+        case OverheadKind::context_load: return "context_load";
+        case OverheadKind::context_save: return "context_save";
+    }
+    return "?";
+}
+
+} // namespace rtsc::rtos

@@ -1,0 +1,72 @@
+#pragma once
+// RTOS overhead models (paper §3.2).
+//
+// Each of the three overhead components — scheduling duration, context-load
+// duration, context-save duration — "can be fixed or defined by a user
+// formula computed during the simulation according to the current state of
+// the simulated system (number of ready tasks for example)".
+
+#include <functional>
+#include <utility>
+
+#include "kernel/time.hpp"
+#include "rtos/fwd.hpp"
+
+namespace rtsc::rtos {
+
+/// Snapshot of the live system state handed to overhead formulas.
+struct SystemState {
+    kernel::Time now;            ///< current simulated time
+    std::size_t ready_tasks;     ///< tasks in the ReadyTaskQueue right now
+    std::size_t total_tasks;     ///< tasks managed by the processor
+    const Processor* processor;  ///< the processor charging the overhead
+    OverheadKind kind;           ///< which component is being evaluated
+};
+
+/// Either a fixed duration or a formula of the system state.
+class OverheadModel {
+public:
+    using Formula = std::function<kernel::Time(const SystemState&)>;
+
+    /// Zero-cost overhead (the default: overhead "may be neglected").
+    OverheadModel() = default;
+
+    /// Fixed duration.
+    /*implicit*/ OverheadModel(kernel::Time fixed) : fixed_(fixed) {}
+
+    /// User formula, e.g. scheduling time linear in the ready-task count:
+    ///   OverheadModel::formula([](const SystemState& s)
+    ///       { return Time::us(1) + Time::ns(200) * s.ready_tasks; });
+    [[nodiscard]] static OverheadModel formula(Formula f) {
+        OverheadModel m;
+        m.formula_ = std::move(f);
+        return m;
+    }
+
+    [[nodiscard]] kernel::Time evaluate(const SystemState& s) const {
+        return formula_ ? formula_(s) : fixed_;
+    }
+
+    [[nodiscard]] bool is_formula() const noexcept { return static_cast<bool>(formula_); }
+    [[nodiscard]] kernel::Time fixed_value() const noexcept { return fixed_; }
+
+private:
+    kernel::Time fixed_{};
+    Formula formula_;
+};
+
+/// The full overhead parameterisation of a Processor.
+struct RtosOverheads {
+    OverheadModel scheduling;
+    OverheadModel context_load;
+    OverheadModel context_save;
+
+    /// Convenience: all three components fixed to the same value, as in the
+    /// paper's running example (5 us each).
+    [[nodiscard]] static RtosOverheads uniform(kernel::Time t) {
+        return RtosOverheads{t, t, t};
+    }
+    [[nodiscard]] static RtosOverheads none() { return RtosOverheads{}; }
+};
+
+} // namespace rtsc::rtos

@@ -1,0 +1,71 @@
+#include "rtos/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rtos/task.hpp"
+
+namespace rtsc::rtos {
+
+Task* PriorityPreemptivePolicy::select(const ReadyQueue& ready) const {
+    Task* best = nullptr;
+    for (Task* t : ready) {
+        // Strict > keeps FIFO order within one priority level.
+        if (best == nullptr || t->effective_priority() > best->effective_priority())
+            best = t;
+    }
+    return best;
+}
+
+bool PriorityPreemptivePolicy::should_preempt(const Task& candidate,
+                                              const Task& running) const {
+    return candidate.effective_priority() > running.effective_priority();
+}
+
+Task* FifoPolicy::select(const ReadyQueue& ready) const {
+    return ready.empty() ? nullptr : ready.front();
+}
+
+Task* RoundRobinPolicy::select(const ReadyQueue& ready) const {
+    return ready.empty() ? nullptr : ready.front();
+}
+
+Task* EdfPolicy::select(const ReadyQueue& ready) const {
+    Task* best = nullptr;
+    for (Task* t : ready) {
+        if (best == nullptr) {
+            best = t;
+            continue;
+        }
+        if (!t->has_deadline()) continue;       // deadline-less tasks rank last
+        if (!best->has_deadline() ||
+            t->absolute_deadline() < best->absolute_deadline())
+            best = t;
+    }
+    return best;
+}
+
+bool EdfPolicy::should_preempt(const Task& candidate, const Task& running) const {
+    if (!candidate.has_deadline()) return false;
+    if (!running.has_deadline()) return true;
+    return candidate.absolute_deadline() < running.absolute_deadline();
+}
+
+std::vector<int> rate_monotonic_priorities(const std::vector<kernel::Time>& periods) {
+    // Rank periods descending: the shortest period gets the highest priority
+    // number (n), the longest gets 1. Equal periods share a rank.
+    std::vector<std::size_t> idx(periods.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return periods[a] > periods[b];
+    });
+    std::vector<int> prio(periods.size(), 0);
+    int rank = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        if (i == 0 || periods[idx[i]] != periods[idx[i - 1]]) rank = static_cast<int>(i) + 1;
+        prio[idx[i]] = rank;
+    }
+    return prio;
+}
+
+} // namespace rtsc::rtos

@@ -1,0 +1,135 @@
+#pragma once
+// Scheduling policies (paper §3.1).
+//
+// "The scheduling policy defines the RTOS algorithm used to select the
+// running task among the ready tasks. It can be based on task priorities or
+// deadlines for example. [...] Several scheduling policies are implemented
+// but since we cannot implement all specific ones, designers can also define
+// their own policies by overloading the SchedulingPolicy method of our
+// Processor class."
+//
+// Policies are strategy objects. A policy answers three questions:
+//   select()         which ready task gets the CPU next
+//   should_preempt() does a newly ready task displace the running one
+//   time_slice()     a non-zero value enables round-robin quantum rotation
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "rtos/fwd.hpp"
+
+namespace rtsc::rtos {
+
+/// The ReadyTaskQueue: ready tasks in arrival order. Preempted tasks are
+/// re-inserted at the front so that, within one priority level, a preempted
+/// task resumes before later arrivals of the same priority.
+using ReadyQueue = std::vector<Task*>;
+
+class SchedulingPolicy {
+public:
+    virtual ~SchedulingPolicy() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Pick the next task to run among the ready tasks (nullptr if the queue
+    /// is empty). Must NOT modify the queue; the engine removes the winner.
+    [[nodiscard]] virtual Task* select(const ReadyQueue& ready) const = 0;
+
+    /// Should `candidate` (just became ready) preempt `running`? Only
+    /// consulted when the processor is in preemptive mode.
+    [[nodiscard]] virtual bool should_preempt(const Task& candidate,
+                                              const Task& running) const = 0;
+
+    /// Round-robin quantum; Time::zero() disables slicing (the default).
+    [[nodiscard]] virtual kernel::Time time_slice() const { return kernel::Time::zero(); }
+};
+
+/// Fixed-priority preemptive scheduling — "the most widely used" (§3.1) and
+/// the policy of the paper's running example. Bigger number = more urgent
+/// (Function_1 with priority 5 preempts Function_3 with priority 2).
+/// Ties resolve in queue order (FIFO within a priority level).
+class PriorityPreemptivePolicy final : public SchedulingPolicy {
+public:
+    [[nodiscard]] std::string name() const override { return "priority_preemptive"; }
+    [[nodiscard]] Task* select(const ReadyQueue& ready) const override;
+    [[nodiscard]] bool should_preempt(const Task& candidate,
+                                      const Task& running) const override;
+};
+
+/// First-come first-served: run in ready order, never preempt.
+class FifoPolicy final : public SchedulingPolicy {
+public:
+    [[nodiscard]] std::string name() const override { return "fifo"; }
+    [[nodiscard]] Task* select(const ReadyQueue& ready) const override;
+    [[nodiscard]] bool should_preempt(const Task&, const Task&) const override {
+        return false;
+    }
+};
+
+/// Round-robin / Time-Sharing: FIFO order plus quantum rotation. The paper's
+/// §4 notes Time Sharing is the policy that motivated the dedicated RTOS
+/// thread variant; both of our engines support it.
+class RoundRobinPolicy final : public SchedulingPolicy {
+public:
+    explicit RoundRobinPolicy(kernel::Time quantum) : quantum_(quantum) {}
+    [[nodiscard]] std::string name() const override { return "round_robin"; }
+    [[nodiscard]] Task* select(const ReadyQueue& ready) const override;
+    [[nodiscard]] bool should_preempt(const Task&, const Task&) const override {
+        return false;
+    }
+    [[nodiscard]] kernel::Time time_slice() const override { return quantum_; }
+
+private:
+    kernel::Time quantum_;
+};
+
+/// Earliest-Deadline-First: dynamic priorities from absolute deadlines
+/// (Task::set_absolute_deadline). Tasks without a deadline rank last.
+class EdfPolicy final : public SchedulingPolicy {
+public:
+    [[nodiscard]] std::string name() const override { return "edf"; }
+    [[nodiscard]] Task* select(const ReadyQueue& ready) const override;
+    [[nodiscard]] bool should_preempt(const Task& candidate,
+                                      const Task& running) const override;
+};
+
+/// User-defined policy from lambdas — the library-level counterpart of
+/// "overloading the SchedulingPolicy method" (which Processor also supports
+/// directly by overriding Processor::scheduling_policy).
+class LambdaPolicy final : public SchedulingPolicy {
+public:
+    using Select = std::function<Task*(const ReadyQueue&)>;
+    using Preempt = std::function<bool(const Task&, const Task&)>;
+
+    LambdaPolicy(std::string name, Select select, Preempt preempt,
+                 kernel::Time slice = kernel::Time::zero())
+        : name_(std::move(name)),
+          select_(std::move(select)),
+          preempt_(std::move(preempt)),
+          slice_(slice) {}
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] Task* select(const ReadyQueue& ready) const override {
+        return select_(ready);
+    }
+    [[nodiscard]] bool should_preempt(const Task& c, const Task& r) const override {
+        return preempt_(c, r);
+    }
+    [[nodiscard]] kernel::Time time_slice() const override { return slice_; }
+
+private:
+    std::string name_;
+    Select select_;
+    Preempt preempt_;
+    kernel::Time slice_;
+};
+
+/// Rate-monotonic priority assignment helper: maps shorter periods to higher
+/// priorities (1..n). Returns priorities in the order of the given periods.
+[[nodiscard]] std::vector<int> rate_monotonic_priorities(
+    const std::vector<kernel::Time>& periods);
+
+} // namespace rtsc::rtos

@@ -1,0 +1,35 @@
+#include "rtos/procedural_engine.hpp"
+
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::rtos {
+
+void ProceduralEngine::reschedule_after_leave(Task& leaver, bool charge_save,
+                                              bool /*sync*/) {
+    // Everything happens synchronously in the leaving task's thread
+    // (Figure 5: the blocked/preempted task's thread executes TaskContextSave
+    // and the Scheduling portion of the RTOS overhead).
+    if (charge_save) charge(OverheadKind::context_save, &leaver);
+    schedule_pass(&leaver);
+}
+
+void ProceduralEngine::kick_idle_dispatch(Task& target) {
+    // The awakened task's own thread will execute the scheduling pass when it
+    // reaches await_dispatch (the kicked_ branch). If the wake came from its
+    // own thread (timer expiry), no notification is even needed; otherwise
+    // TaskRun wakes it.
+    set_kicked(target);
+    run_event(target).notify();
+}
+
+void ProceduralEngine::inline_ready_charge(Task& caller) {
+    // Fig. 6 case (c): the running task pays the scheduling duration of the
+    // primitive that readied a lower-priority task, then keeps running.
+    bump_scheduler_runs();
+    charge(OverheadKind::scheduling, &caller);
+    set_phase(Phase::running);
+    recheck_preemption();
+}
+
+} // namespace rtsc::rtos

@@ -1,0 +1,26 @@
+#pragma once
+// §4.2 "Task scheduling using procedure calls" — the optimized RTOS model
+// implementation. There is no RTOS thread: the RTOS primitives
+// (TaskIsReady / TaskIsBlocked / TaskIsPreempted) execute in the threads of
+// the tasks themselves, so "the only thread switches are those of the tasks
+// of the system we're designing".
+
+#include "rtos/engine.hpp"
+
+namespace rtsc::rtos {
+
+class ProceduralEngine final : public SchedulerEngine {
+public:
+    explicit ProceduralEngine(Processor& processor) : SchedulerEngine(processor) {}
+
+    [[nodiscard]] const char* kind_name() const noexcept override {
+        return "procedure_calls";
+    }
+
+protected:
+    void reschedule_after_leave(Task& leaver, bool charge_save, bool sync) override;
+    void kick_idle_dispatch(Task& target) override;
+    void inline_ready_charge(Task& caller) override;
+};
+
+} // namespace rtsc::rtos

@@ -1,0 +1,77 @@
+#include "rtos/processor.hpp"
+
+#include "kernel/simulator.hpp"
+#include "rtos/procedural_engine.hpp"
+#include "rtos/threaded_engine.hpp"
+
+namespace rtsc::rtos {
+
+namespace k = rtsc::kernel;
+
+namespace {
+std::unique_ptr<SchedulerEngine> make_engine(Processor& p, EngineKind kind) {
+    switch (kind) {
+        case EngineKind::procedure_calls: return std::make_unique<ProceduralEngine>(p);
+        case EngineKind::rtos_thread: return std::make_unique<ThreadedEngine>(p);
+    }
+    throw k::SimulationError("unknown EngineKind");
+}
+} // namespace
+
+Processor::Processor(std::string name, std::unique_ptr<SchedulingPolicy> policy,
+                     EngineKind engine)
+    : Module(std::move(name)), policy_(std::move(policy)), engine_kind_(engine) {
+    if (!policy_)
+        throw k::SimulationError("Processor requires a scheduling policy: " +
+                                 this->name());
+    engine_ = make_engine(*this, engine);
+}
+
+Processor::~Processor() = default;
+
+Task& Processor::create_task(TaskConfig config, Task::Body body) {
+    if (config.name.empty())
+        config.name = name() + ".task" + std::to_string(tasks_.size());
+    auto task = std::unique_ptr<Task>(new Task(*this, std::move(config), std::move(body)));
+    Task& t = *task;
+    tasks_.push_back(std::move(task));
+    // Announce creation so timeline recorders can open a row for the task.
+    notify_state(t, TaskState::created, TaskState::created);
+    return t;
+}
+
+void Processor::set_preemptive(bool on) {
+    const bool was_allowed = preemption_allowed();
+    preemptive_ = on;
+    if (!was_allowed && preemption_allowed()) engine_->recheck_preemption();
+}
+
+void Processor::unlock_preemption() {
+    if (preemption_lock_depth_ == 0)
+        throw k::SimulationError("unlock_preemption without a matching lock: " +
+                                 name());
+    if (--preemption_lock_depth_ == 0 && preemptive_)
+        engine_->recheck_preemption();
+}
+
+kernel::Time Processor::overhead_duration(OverheadKind kind) const {
+    const SystemState state{simulator().now(), engine_->ready_queue().size(),
+                            tasks_.size(), this, kind};
+    switch (kind) {
+        case OverheadKind::scheduling: return overheads_.scheduling.evaluate(state);
+        case OverheadKind::context_load: return overheads_.context_load.evaluate(state);
+        case OverheadKind::context_save: return overheads_.context_save.evaluate(state);
+    }
+    return kernel::Time::zero();
+}
+
+void Processor::notify_state(const Task& t, TaskState from, TaskState to) const {
+    for (TaskObserver* obs : observers_) obs->on_task_state(t, from, to);
+}
+
+void Processor::notify_overhead(OverheadKind kind, kernel::Time start,
+                                kernel::Time dur, const Task* about) const {
+    for (TaskObserver* obs : observers_) obs->on_overhead(*this, kind, start, dur, about);
+}
+
+} // namespace rtsc::rtos

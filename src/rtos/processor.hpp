@@ -1,0 +1,112 @@
+#pragma once
+// Processor: a software execution resource running a set of Tasks under an
+// RTOS — the central class of the paper's model (Figure 1). It aggregates
+//   - the scheduling policy (pluggable strategy, or override the virtual
+//     scheduling_policy() method as the paper suggests),
+//   - the preemptive / non-preemptive mode, changeable during simulation to
+//     model critical regions (§3.1),
+//   - the three overhead parameters of §3.2,
+//   - the scheduler engine: procedure-call based (§4.2, default) or with a
+//     dedicated RTOS thread (§4.1).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/module.hpp"
+#include "rtos/engine.hpp"
+#include "rtos/overhead.hpp"
+#include "rtos/policy.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::rtos {
+
+/// Which of the paper's two RTOS model implementations to use.
+enum class EngineKind {
+    procedure_calls, ///< §4.2: RTOS primitives run in the tasks' threads (fast)
+    rtos_thread,     ///< §4.1: a dedicated scheduler thread (more switches)
+};
+
+class Processor : public kernel::Module {
+public:
+    explicit Processor(std::string name,
+                       std::unique_ptr<SchedulingPolicy> policy =
+                           std::make_unique<PriorityPreemptivePolicy>(),
+                       EngineKind engine = EngineKind::procedure_calls);
+    ~Processor() override;
+
+    // ---- task management ----
+    Task& create_task(TaskConfig config, Task::Body body);
+    [[nodiscard]] const std::vector<std::unique_ptr<Task>>& tasks() const noexcept {
+        return tasks_;
+    }
+
+    // ---- scheduling policy ----
+    [[nodiscard]] SchedulingPolicy& policy() const noexcept { return *policy_; }
+    /// The paper's extension point: "designers can define their own policies
+    /// by overloading the SchedulingPolicy method of our Processor class".
+    /// Defaults to delegating to the policy strategy object.
+    [[nodiscard]] virtual Task* scheduling_policy(const ReadyQueue& ready) const {
+        return policy_->select(ready);
+    }
+    [[nodiscard]] virtual bool should_preempt(const Task& candidate,
+                                              const Task& running) const {
+        return policy_->should_preempt(candidate, running);
+    }
+
+    // ---- preemptive mode (runtime-switchable, §3.1) ----
+    /// Preemption happens only when the mode is preemptive AND no preemption
+    /// lock is held.
+    [[nodiscard]] bool preemption_allowed() const noexcept {
+        return preemptive_ && preemption_lock_depth_ == 0;
+    }
+    [[nodiscard]] bool preemptive_mode() const noexcept { return preemptive_; }
+    void set_preemptive(bool on);
+    /// Critical-region support: nestable preemption lock.
+    void lock_preemption() noexcept { ++preemption_lock_depth_; }
+    void unlock_preemption();
+
+    /// RAII critical region: disables preemption for the guard's lifetime.
+    class PreemptionGuard {
+    public:
+        explicit PreemptionGuard(Processor& p) : p_(p) { p_.lock_preemption(); }
+        ~PreemptionGuard() { p_.unlock_preemption(); }
+        PreemptionGuard(const PreemptionGuard&) = delete;
+        PreemptionGuard& operator=(const PreemptionGuard&) = delete;
+
+    private:
+        Processor& p_;
+    };
+
+    // ---- RTOS overheads (§3.2) ----
+    void set_overheads(RtosOverheads ov) noexcept { overheads_ = std::move(ov); }
+    [[nodiscard]] const RtosOverheads& overheads() const noexcept { return overheads_; }
+    [[nodiscard]] kernel::Time overhead_duration(OverheadKind kind) const;
+
+    // ---- engine / runtime state ----
+    [[nodiscard]] SchedulerEngine& engine() noexcept { return *engine_; }
+    [[nodiscard]] const SchedulerEngine& engine() const noexcept { return *engine_; }
+    [[nodiscard]] EngineKind engine_kind() const noexcept { return engine_kind_; }
+    [[nodiscard]] Task* running_task() const noexcept { return engine_->running(); }
+    [[nodiscard]] const ReadyQueue& ready_queue() const noexcept {
+        return engine_->ready_queue();
+    }
+
+    // ---- observers ----
+    void add_observer(TaskObserver& obs) { observers_.push_back(&obs); }
+    void notify_state(const Task& t, TaskState from, TaskState to) const;
+    void notify_overhead(OverheadKind kind, kernel::Time start, kernel::Time dur,
+                         const Task* about) const;
+
+private:
+    std::unique_ptr<SchedulingPolicy> policy_;
+    EngineKind engine_kind_;
+    std::unique_ptr<SchedulerEngine> engine_;
+    std::vector<std::unique_ptr<Task>> tasks_;
+    std::vector<TaskObserver*> observers_;
+    RtosOverheads overheads_;
+    bool preemptive_ = true;
+    int preemption_lock_depth_ = 0;
+};
+
+} // namespace rtsc::rtos

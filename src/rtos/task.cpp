@@ -1,0 +1,78 @@
+#include "rtos/task.hpp"
+
+#include "kernel/simulator.hpp"
+#include "rtos/engine.hpp"
+#include "rtos/processor.hpp"
+
+namespace rtsc::rtos {
+
+namespace k = rtsc::kernel;
+
+Task* current_task() noexcept {
+    k::Simulator* sim = k::Simulator::current_or_null();
+    if (sim == nullptr) return nullptr;
+    k::Process* p = sim->current_process();
+    return p != nullptr ? static_cast<Task*>(p->user_data) : nullptr;
+}
+
+Task::Task(Processor& processor, TaskConfig config, Body body)
+    : processor_(processor),
+      config_(std::move(config)),
+      body_(std::move(body)),
+      ev_run_(config_.name + ".TaskRun"),
+      ev_preempt_(config_.name + ".TaskPreempt"),
+      ev_ack_(config_.name + ".TaskAck") {
+    state_since_ = processor_.simulator().now();
+    proc_ = &processor_.simulator().spawn(
+        config_.name,
+        [this] {
+            processor_.engine().start_task(*this);
+            body_(*this);
+            processor_.engine().finish_task(*this);
+        },
+        config_.stack_bytes);
+    proc_->user_data = this;
+}
+
+Task::~Task() = default;
+
+void Task::set_state(TaskState s) {
+    const k::Time now = processor_.simulator().now();
+    const k::Time d = now - state_since_;
+    switch (state_) {
+        case TaskState::running: stats_.running_time += d; break;
+        case TaskState::ready:
+            if (entered_ready_preempted_)
+                stats_.preempted_time += d;
+            else
+                stats_.ready_time += d;
+            break;
+        case TaskState::waiting: stats_.waiting_time += d; break;
+        case TaskState::waiting_resource: stats_.waiting_resource_time += d; break;
+        case TaskState::created:
+        case TaskState::terminated: break;
+    }
+    const TaskState old = state_;
+    state_ = s;
+    state_since_ = now;
+    if (s == TaskState::running) ++stats_.dispatches;
+    processor_.notify_state(*this, old, s);
+}
+
+void Task::set_base_priority(int p) {
+    config_.priority = p;
+    processor_.engine().recheck_preemption();
+}
+
+void Task::compute(k::Time duration) { processor_.engine().consume(*this, duration); }
+
+void Task::sleep_for(k::Time duration) { processor_.engine().sleep_for(*this, duration); }
+
+void Task::sleep_until(k::Time wake_at) {
+    const k::Time now = processor_.simulator().now();
+    sleep_for(k::Time::sat_sub(wake_at, now));
+}
+
+void Task::yield_cpu() { processor_.engine().yield_cpu(*this); }
+
+} // namespace rtsc::rtos

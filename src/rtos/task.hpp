@@ -1,0 +1,187 @@
+#pragma once
+// Task: the software function executing on a Processor under RTOS control
+// (the paper's "Function" class, renamed to avoid clashing with std::function).
+//
+// A Task's behaviour is a C++ callable running on its own simulation thread.
+// Inside the body, the task consumes CPU time with compute(Time) — the
+// "delay procedure" of §4.1, preemptible at exact event times — blocks on
+// MCSE communication relations (rtsc::mcse), sleeps, or yields. The RTOS
+// engines move it between the Waiting / Ready / Running states of §4.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "kernel/event.hpp"
+#include "kernel/time.hpp"
+#include "rtos/fwd.hpp"
+
+namespace rtsc::kernel {
+class Process;
+}
+
+namespace rtsc::rtos {
+
+/// Static configuration of a task.
+struct TaskConfig {
+    std::string name;
+    int priority = 0;                         ///< bigger = more urgent
+    kernel::Time start_time{};                ///< release of the first activation
+    std::size_t stack_bytes = 128 * 1024;
+};
+
+/// Observer of task state transitions and RTOS overhead charges; the trace
+/// layer implements this to build TimeLine charts and statistics.
+class TaskObserver {
+public:
+    virtual ~TaskObserver() = default;
+    virtual void on_task_state(const Task& task, TaskState from, TaskState to) = 0;
+    virtual void on_overhead(const Processor& cpu, OverheadKind kind,
+                             kernel::Time start, kernel::Time duration,
+                             const Task* about) {
+        (void)cpu; (void)kind; (void)start; (void)duration; (void)about;
+    }
+};
+
+class Task {
+public:
+    using Body = std::function<void(Task&)>;
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+    ~Task();
+
+    // ---- identity & configuration ----
+    [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+    [[nodiscard]] Processor& processor() const noexcept { return processor_; }
+    [[nodiscard]] int base_priority() const noexcept { return config_.priority; }
+    /// Priority used by the scheduler: the base priority unless boosted by
+    /// priority inheritance (see mcse::SharedVariable).
+    [[nodiscard]] int effective_priority() const noexcept {
+        return boosted_ ? boost_priority_ : config_.priority;
+    }
+    /// Change the base priority at run time. Immediately re-evaluates
+    /// preemption on the task's processor: raising a ready task's priority
+    /// above the running task's preempts it at the current instant.
+    void set_base_priority(int p);
+
+    /// Priority-inheritance support (used by mcse::SharedVariable): raise the
+    /// effective priority without touching the base priority.
+    void inherit_priority(int p) noexcept {
+        boosted_ = true;
+        boost_priority_ = p;
+    }
+    /// Drop an inherited priority back to the base priority.
+    void restore_base_priority() noexcept { boosted_ = false; }
+
+    // ---- EDF support ----
+    [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
+    [[nodiscard]] kernel::Time absolute_deadline() const noexcept { return deadline_; }
+    void set_absolute_deadline(kernel::Time t) noexcept {
+        deadline_ = t;
+        has_deadline_ = true;
+    }
+    void clear_deadline() noexcept { has_deadline_ = false; }
+
+    // ---- state ----
+    [[nodiscard]] TaskState state() const noexcept { return state_; }
+    [[nodiscard]] bool terminated() const noexcept { return state_ == TaskState::terminated; }
+
+    // ---- services callable from within the task body ----
+
+    /// Consume `duration` of CPU time. Preemptible: a higher-priority task
+    /// becoming ready suspends this operation at the exact event time and the
+    /// remaining duration is consumed once the task is re-dispatched (§4.2
+    /// TaskIsPreempted "computes the remaining time for completing the
+    /// current operation").
+    void compute(kernel::Time duration);
+    /// Paper-style alias for compute().
+    void delay(kernel::Time duration) { compute(duration); }
+
+    /// Block (Waiting state) for a duration / until an absolute time. The
+    /// wake timer starts when the task stops running, not when the RTOS
+    /// finishes charging the context-switch overhead.
+    void sleep_for(kernel::Time duration);
+    void sleep_until(kernel::Time wake_at);
+
+    /// Voluntarily release the CPU to the next ready task (no-op when no
+    /// other task is ready).
+    void yield_cpu();
+
+    // ---- statistics (raw accumulators; trace::Statistics derives ratios) ----
+    struct Stats {
+        kernel::Time running_time{};          ///< time in Running
+        kernel::Time ready_time{};            ///< time in Ready, first wait for CPU
+        kernel::Time preempted_time{};        ///< time in Ready after preemption
+        kernel::Time waiting_time{};          ///< time in Waiting (synchronization)
+        kernel::Time waiting_resource_time{}; ///< time blocked on mutual exclusion
+        std::uint64_t dispatches = 0;         ///< Ready -> Running transitions
+        std::uint64_t preemptions = 0;        ///< involuntary Running -> Ready
+        std::uint64_t activations = 0;        ///< Waiting/Created -> Ready
+    };
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+    /// stats() with the in-progress state episode folded in up to `now`
+    /// (use while the simulation is still running or a task never ended).
+    [[nodiscard]] Stats stats_at(kernel::Time now) const noexcept {
+        Stats s = stats_;
+        const kernel::Time d = kernel::Time::sat_sub(now, state_since_);
+        switch (state_) {
+            case TaskState::running: s.running_time += d; break;
+            case TaskState::ready:
+                if (entered_ready_preempted_)
+                    s.preempted_time += d;
+                else
+                    s.ready_time += d;
+                break;
+            case TaskState::waiting: s.waiting_time += d; break;
+            case TaskState::waiting_resource: s.waiting_resource_time += d; break;
+            case TaskState::created:
+            case TaskState::terminated: break;
+        }
+        return s;
+    }
+
+private:
+    friend class Processor;
+    friend class SchedulerEngine;
+
+    Task(Processor& processor, TaskConfig config, Body body);
+
+    void set_state(TaskState s);
+
+    Processor& processor_;
+    TaskConfig config_;
+    Body body_;
+    kernel::Process* proc_ = nullptr;
+
+    TaskState state_ = TaskState::created;
+    kernel::Time state_since_{};
+
+    // EDF
+    bool has_deadline_ = false;
+    kernel::Time deadline_{};
+
+    // priority inheritance
+    bool boosted_ = false;
+    int boost_priority_ = 0;
+
+    // engine handshake flags (see SchedulerEngine)
+    kernel::Event ev_run_;        ///< TaskRun: dispatch grant / scheduler kick
+    kernel::Event ev_preempt_;    ///< TaskPreempt: preemption + slice timer
+    kernel::Event ev_ack_;        ///< threaded engine: synchronous-call ack
+    bool granted_ = false;        ///< selected by the scheduler, may load+run
+    bool kicked_ = false;         ///< must execute a scheduling pass (procedural)
+    bool preempt_pending_ = false;
+    PreemptReason preempt_reason_ = PreemptReason::none;
+    bool entered_ready_preempted_ = false; ///< current Ready episode follows a preemption
+
+    Stats stats_;
+};
+
+/// The Task whose simulation thread is currently executing, or nullptr when
+/// running in a hardware process / scheduler context. Communication relations
+/// use this to decide between RTOS-level and kernel-level blocking.
+[[nodiscard]] Task* current_task() noexcept;
+
+} // namespace rtsc::rtos

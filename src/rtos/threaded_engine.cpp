@@ -1,0 +1,67 @@
+#include "rtos/threaded_engine.hpp"
+
+#include "kernel/simulator.hpp"
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::rtos {
+
+namespace k = rtsc::kernel;
+
+ThreadedEngine::ThreadedEngine(Processor& processor)
+    : SchedulerEngine(processor), rtk_run_(processor.name() + ".RTKRun") {
+    rtk_proc_ = &processor.simulator().spawn(processor.name() + ".rtos",
+                                             [this] { rtos_thread_body(); });
+}
+
+void ThreadedEngine::rtos_thread_body() {
+    for (;;) {
+        while (queue_.empty()) k::wait(rtk_run_);
+        const Request r = queue_.front();
+        queue_.pop_front();
+        process(r);
+    }
+}
+
+void ThreadedEngine::process(const Request& r) {
+    switch (r.kind) {
+        case Request::Kind::reschedule:
+            if (r.charge_save) charge(OverheadKind::context_save, r.task);
+            schedule_pass(r.task);
+            if (r.ack) ack_event(*r.task).notify();
+            break;
+        case Request::Kind::idle_dispatch:
+            schedule_pass(r.task);
+            dispatch_in_progress_ = false;
+            break;
+        case Request::Kind::inline_sched:
+            bump_scheduler_runs();
+            charge(OverheadKind::scheduling, r.task);
+            set_phase(Phase::running);
+            recheck_preemption();
+            ack_event(*r.task).notify();
+            break;
+    }
+}
+
+void ThreadedEngine::reschedule_after_leave(Task& leaver, bool charge_save,
+                                            bool sync) {
+    queue_.push_back({Request::Kind::reschedule, &leaver, charge_save, sync});
+    rtk_run_.notify();
+    if (sync) k::wait(ack_event(leaver));
+}
+
+void ThreadedEngine::kick_idle_dispatch(Task& target) {
+    queue_.push_back({Request::Kind::idle_dispatch, &target, false, false});
+    rtk_run_.notify();
+}
+
+void ThreadedEngine::inline_ready_charge(Task& caller) {
+    // The caller stays blocked for the duration of the RTOS call, exactly as
+    // with a real synchronous primitive.
+    queue_.push_back({Request::Kind::inline_sched, &caller, false, false});
+    rtk_run_.notify();
+    k::wait(ack_event(caller));
+}
+
+} // namespace rtsc::rtos

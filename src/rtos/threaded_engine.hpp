@@ -1,0 +1,58 @@
+#pragma once
+// §4.1 "Task scheduling using a dedicated thread" — the first RTOS model
+// implementation. The RTOS behaviour runs in its own simulation thread which
+// waits on the RTKRun event; tasks notify it when they enter or leave the
+// Waiting state and it performs the overhead charges, the scheduling
+// algorithm and the TaskRun grants.
+//
+// The simulated-time behaviour is identical to the procedural engine; the
+// extra kernel context switches (one into the RTOS thread and one back per
+// scheduling action) are exactly the simulation cost the paper's §4.2
+// optimization removes. bench_engine_compare measures the difference.
+
+#include <deque>
+
+#include "kernel/event.hpp"
+#include "rtos/engine.hpp"
+
+namespace rtsc::kernel {
+class Process;
+}
+
+namespace rtsc::rtos {
+
+class ThreadedEngine final : public SchedulerEngine {
+public:
+    explicit ThreadedEngine(Processor& processor);
+
+    [[nodiscard]] const char* kind_name() const noexcept override {
+        return "rtos_thread";
+    }
+
+protected:
+    void reschedule_after_leave(Task& leaver, bool charge_save, bool sync) override;
+    void kick_idle_dispatch(Task& target) override;
+    void inline_ready_charge(Task& caller) override;
+
+private:
+    struct Request {
+        enum class Kind : std::uint8_t {
+            reschedule,   ///< save? + sched + select + grant (+ ack)
+            idle_dispatch,///< sched + select + grant; clears dispatch_in_progress_
+            inline_sched, ///< Fig. 6 (c): sched charge on behalf of the caller
+        };
+        Kind kind;
+        Task* task; ///< leaver / kick target / caller
+        bool charge_save;
+        bool ack;
+    };
+
+    void rtos_thread_body();
+    void process(const Request& r);
+
+    std::deque<Request> queue_;
+    kernel::Event rtk_run_;
+    kernel::Process* rtk_proc_ = nullptr;
+};
+
+} // namespace rtsc::rtos

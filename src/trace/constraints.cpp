@@ -1,0 +1,99 @@
+#include "trace/constraints.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rtsc::trace {
+
+namespace k = rtsc::kernel;
+
+void ConstraintMonitor::attach_processor(rtos::Processor& cpu) {
+    if (std::find(attached_cpus_.begin(), attached_cpus_.end(), &cpu) !=
+        attached_cpus_.end())
+        return;
+    cpu.add_observer(*this);
+    attached_cpus_.push_back(&cpu);
+}
+
+void ConstraintMonitor::attach_relation(mcse::Relation& rel) {
+    if (std::find(attached_relations_.begin(), attached_relations_.end(),
+                  &rel) != attached_relations_.end())
+        return;
+    rel.add_observer(*this);
+    attached_relations_.push_back(&rel);
+}
+
+void ConstraintMonitor::require_response(rtos::Task& task, k::Time bound,
+                                         std::string name) {
+    if (name.empty()) name = "response(" + task.name() + ")";
+    attach_processor(task.processor());
+    response_rules_.push_back({&task, bound, std::move(name), false, {}});
+}
+
+void ConstraintMonitor::require_latency(std::string name, mcse::Relation& from,
+                                        mcse::AccessKind from_kind,
+                                        mcse::Relation& to,
+                                        mcse::AccessKind to_kind,
+                                        k::Time bound) {
+    attach_relation(from);
+    attach_relation(to);
+    latency_rules_.push_back(
+        {std::move(name), &from, from_kind, &to, to_kind, bound, {}});
+}
+
+void ConstraintMonitor::on_task_state(const rtos::Task& task,
+                                      rtos::TaskState from,
+                                      rtos::TaskState to) {
+    for (ResponseRule& rule : response_rules_) {
+        if (rule.task != &task) continue;
+        const k::Time now = task.processor().simulator().now();
+        // Release: leaving a synchronization wait (or creation) for ready.
+        if (to == rtos::TaskState::ready &&
+            (from == rtos::TaskState::waiting ||
+             from == rtos::TaskState::created)) {
+            rule.active = true;
+            rule.released = now;
+            continue;
+        }
+        // Completion: the running task blocks again or terminates.
+        if (rule.active && from == rtos::TaskState::running &&
+            (to == rtos::TaskState::waiting ||
+             to == rtos::TaskState::terminated)) {
+            rule.active = false;
+            ++checks_;
+            const k::Time response = now - rule.released;
+            if (response > rule.bound)
+                violations_.push_back({rule.name, now, response, rule.bound});
+        }
+    }
+}
+
+void ConstraintMonitor::on_access(const mcse::Relation& rel,
+                                  const rtos::Task* /*task*/,
+                                  mcse::AccessKind kind, bool /*blocked*/) {
+    const k::Time now = kernel::Simulator::current().now();
+    for (LatencyRule& rule : latency_rules_) {
+        if (rule.from == &rel && rule.from_kind == kind)
+            rule.pending.push_back(now);
+        if (rule.to == &rel && rule.to_kind == kind && !rule.pending.empty()) {
+            const k::Time started = rule.pending.front();
+            rule.pending.erase(rule.pending.begin());
+            ++checks_;
+            const k::Time latency = now - started;
+            if (latency > rule.bound)
+                violations_.push_back({rule.name, now, latency, rule.bound});
+        }
+    }
+}
+
+void ConstraintMonitor::print(std::ostream& os) const {
+    os << "timing constraints: " << checks_ << " checks, "
+       << violations_.size() << " violation(s)\n";
+    for (const auto& v : violations_) {
+        os << "  VIOLATION " << v.constraint << " at " << v.at.to_string()
+           << ": measured " << v.measured.to_string() << " > bound "
+           << v.bound.to_string() << "\n";
+    }
+}
+
+} // namespace rtsc::trace

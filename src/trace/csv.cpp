@@ -1,0 +1,36 @@
+#include "trace/csv.hpp"
+
+#include <ostream>
+
+namespace rtsc::trace {
+
+void write_states_csv(std::ostream& os, const Recorder& rec) {
+    os << "time_us,task,processor,from,to\n";
+    for (const auto& s : rec.states()) {
+        if (s.from == s.to) continue;
+        os << s.at.to_us() << ',' << s.task->name() << ','
+           << s.task->processor().name() << ',' << rtos::to_string(s.from) << ','
+           << rtos::to_string(s.to) << '\n';
+    }
+}
+
+void write_comms_csv(std::ostream& os, const Recorder& rec) {
+    os << "time_us,relation,type,task,kind,blocked\n";
+    for (const auto& c : rec.comms()) {
+        os << c.at.to_us() << ',' << c.relation->name() << ','
+           << c.relation->type_name() << ','
+           << (c.task != nullptr ? c.task->name() : "<hw>") << ','
+           << mcse::to_string(c.kind) << ',' << (c.blocked ? 1 : 0) << '\n';
+    }
+}
+
+void write_overheads_csv(std::ostream& os, const Recorder& rec) {
+    os << "time_us,duration_us,processor,kind,about_task\n";
+    for (const auto& o : rec.overheads()) {
+        os << o.at.to_us() << ',' << o.duration.to_us() << ',' << o.cpu->name()
+           << ',' << rtos::to_string(o.kind) << ','
+           << (o.about != nullptr ? o.about->name() : "") << '\n';
+    }
+}
+
+} // namespace rtsc::trace

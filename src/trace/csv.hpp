@@ -1,0 +1,22 @@
+#pragma once
+// CSV export of trace records for external plotting tools.
+
+#include <iosfwd>
+
+#include "trace/recorder.hpp"
+
+namespace rtsc::trace {
+
+/// One row per task state transition:
+///   time_us,task,processor,from,to
+void write_states_csv(std::ostream& os, const Recorder& rec);
+
+/// One row per communication access:
+///   time_us,relation,type,task,kind,blocked
+void write_comms_csv(std::ostream& os, const Recorder& rec);
+
+/// One row per RTOS overhead charge:
+///   time_us,duration_us,processor,kind,about_task
+void write_overheads_csv(std::ostream& os, const Recorder& rec);
+
+} // namespace rtsc::trace

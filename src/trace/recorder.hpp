@@ -1,0 +1,116 @@
+#pragma once
+// Trace recorder: collects every task state transition, RTOS overhead charge
+// and communication access of a simulation. The TimeLine renderer, the
+// statistics report and the CSV/VCD exporters all consume its record lists.
+//
+// Usage:
+//   trace::Recorder rec;
+//   rec.attach(cpu);        // observe a Processor's tasks & overheads
+//   rec.attach(queue);      // observe a communication relation
+//   ... run ...
+//   trace::Timeline(rec).render(std::cout);
+
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "mcse/relation.hpp"
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::trace {
+
+class Recorder final : public rtos::TaskObserver, public mcse::CommObserver {
+public:
+    struct StateRecord {
+        kernel::Time at;
+        const rtos::Task* task;
+        rtos::TaskState from;
+        rtos::TaskState to;
+    };
+    struct OverheadRecord {
+        kernel::Time at;
+        kernel::Time duration;
+        rtos::OverheadKind kind;
+        const rtos::Processor* cpu;
+        const rtos::Task* about; ///< may be nullptr
+    };
+    struct CommRecord {
+        kernel::Time at;
+        const mcse::Relation* relation;
+        const rtos::Task* task; ///< nullptr for hardware accesses
+        mcse::AccessKind kind;
+        bool blocked;
+    };
+
+    /// Observe a processor (all of its tasks, present and future).
+    void attach(rtos::Processor& cpu) {
+        cpu.add_observer(*this);
+        processors_.push_back(&cpu);
+    }
+    /// Observe a communication relation.
+    void attach(mcse::Relation& rel) {
+        rel.add_observer(*this);
+        relations_.push_back(&rel);
+    }
+
+    // TaskObserver
+    void on_task_state(const rtos::Task& task, rtos::TaskState from,
+                       rtos::TaskState to) override {
+        states_.push_back(
+            {task.processor().simulator().now(), &task, from, to});
+    }
+    void on_overhead(const rtos::Processor& cpu, rtos::OverheadKind kind,
+                     kernel::Time start, kernel::Time duration,
+                     const rtos::Task* about) override {
+        overheads_.push_back({start, duration, kind, &cpu, about});
+    }
+
+    // CommObserver
+    void on_access(const mcse::Relation& rel, const rtos::Task* task,
+                   mcse::AccessKind kind, bool blocked) override {
+        const kernel::Time at = task != nullptr
+                                    ? task->processor().simulator().now()
+                                    : kernel::Simulator::current().now();
+        comms_.push_back({at, &rel, task, kind, blocked});
+    }
+
+    [[nodiscard]] const std::vector<StateRecord>& states() const noexcept {
+        return states_;
+    }
+    [[nodiscard]] const std::vector<OverheadRecord>& overheads() const noexcept {
+        return overheads_;
+    }
+    [[nodiscard]] const std::vector<CommRecord>& comms() const noexcept {
+        return comms_;
+    }
+    [[nodiscard]] const std::vector<rtos::Processor*>& processors() const noexcept {
+        return processors_;
+    }
+    [[nodiscard]] const std::vector<mcse::Relation*>& relations() const noexcept {
+        return relations_;
+    }
+
+    /// All tasks of all attached processors, in creation order.
+    [[nodiscard]] std::vector<const rtos::Task*> all_tasks() const {
+        std::vector<const rtos::Task*> out;
+        for (const rtos::Processor* cpu : processors_)
+            for (const auto& t : cpu->tasks()) out.push_back(t.get());
+        return out;
+    }
+
+    void clear() {
+        states_.clear();
+        overheads_.clear();
+        comms_.clear();
+    }
+
+private:
+    std::vector<StateRecord> states_;
+    std::vector<OverheadRecord> overheads_;
+    std::vector<CommRecord> comms_;
+    std::vector<rtos::Processor*> processors_;
+    std::vector<mcse::Relation*> relations_;
+};
+
+} // namespace rtsc::trace

@@ -1,0 +1,101 @@
+#include "trace/statistics.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace rtsc::trace {
+
+namespace k = rtsc::kernel;
+
+StatisticsReport StatisticsReport::collect(const Recorder& rec, k::Time elapsed) {
+    StatisticsReport rep;
+    rep.elapsed = elapsed;
+    const double total = elapsed.to_sec();
+    auto ratio = [total](k::Time t) {
+        return total <= 0.0 ? 0.0 : t.to_sec() / total;
+    };
+
+    for (const rtos::Processor* cpu : rec.processors()) {
+        for (const auto& tp : cpu->tasks()) {
+            const rtos::Task& t = *tp;
+            const auto s = t.stats_at(elapsed);
+            rep.tasks.push_back({t.name(), cpu->name(), ratio(s.running_time),
+                                 ratio(s.preempted_time), ratio(s.ready_time),
+                                 ratio(s.waiting_time),
+                                 ratio(s.waiting_resource_time), s.dispatches,
+                                 s.preemptions});
+        }
+        const auto ps = cpu->engine().phase_stats();
+        rep.processors.push_back({cpu->name(), cpu->policy().name(),
+                                  cpu->engine().kind_name(), ratio(ps.busy_time),
+                                  ratio(ps.overhead_time), ratio(ps.idle_time),
+                                  ps.dispatches, ps.scheduler_runs});
+    }
+    for (const mcse::Relation* rel : rec.relations()) {
+        const auto& s = rel->access_stats();
+        rep.relations.push_back({rel->name(), rel->type_name(), s.accesses,
+                                 s.blocked_accesses, s.blocked_time.to_sec(),
+                                 rel->utilization()});
+    }
+    return rep;
+}
+
+const TaskStatistics* StatisticsReport::task(const std::string& name) const {
+    for (const auto& t : tasks)
+        if (t.name == name) return &t;
+    return nullptr;
+}
+
+const RelationStatistics* StatisticsReport::relation(const std::string& name) const {
+    for (const auto& r : relations)
+        if (r.name == name) return &r;
+    return nullptr;
+}
+
+const ProcessorStatistics* StatisticsReport::processor(const std::string& name) const {
+    for (const auto& p : processors)
+        if (p.name == name) return &p;
+    return nullptr;
+}
+
+void StatisticsReport::print(std::ostream& os) const {
+    auto pct = [](double v) {
+        std::ostringstream ss;
+        ss << std::fixed << std::setprecision(1) << v * 100.0 << "%";
+        return ss.str();
+    };
+    os << "Statistics over " << elapsed.to_string() << "\n";
+    os << "-- tasks --\n";
+    os << std::left << std::setw(20) << "task" << std::setw(12) << "processor"
+       << std::right << std::setw(9) << "active" << std::setw(11) << "preempted"
+       << std::setw(8) << "ready" << std::setw(9) << "waiting" << std::setw(10)
+       << "resource" << std::setw(7) << "disp" << std::setw(7) << "preem"
+       << "\n";
+    for (const auto& t : tasks) {
+        os << std::left << std::setw(20) << t.name << std::setw(12) << t.processor
+           << std::right << std::setw(9) << pct(t.activity_ratio) << std::setw(11)
+           << pct(t.preempted_ratio) << std::setw(8) << pct(t.ready_ratio)
+           << std::setw(9) << pct(t.waiting_ratio) << std::setw(10)
+           << pct(t.waiting_resource_ratio) << std::setw(7) << t.dispatches
+           << std::setw(7) << t.preemptions << "\n";
+    }
+    os << "-- processors --\n";
+    for (const auto& p : processors) {
+        os << std::left << std::setw(20) << p.name << " policy=" << p.policy
+           << " engine=" << p.engine << " busy=" << pct(p.busy_ratio)
+           << " overhead=" << pct(p.overhead_ratio) << " idle=" << pct(p.idle_ratio)
+           << " dispatches=" << p.dispatches << " scheduler_runs=" << p.scheduler_runs
+           << "\n";
+    }
+    if (!relations.empty()) {
+        os << "-- communications --\n";
+        for (const auto& r : relations) {
+            os << std::left << std::setw(20) << r.name << " type=" << std::setw(16)
+               << r.type << " accesses=" << std::setw(8) << r.accesses
+               << " blocked=" << std::setw(6) << r.blocked_accesses
+               << " utilization=" << pct(r.utilization) << "\n";
+        }
+    }
+}
+
+} // namespace rtsc::trace

@@ -1,0 +1,65 @@
+#pragma once
+// Whole-run statistics — the textual counterpart of the paper's Figure 8:
+// per-task activity ratio (1), preempted ratio (2), waiting-on-resource
+// ratio (3), and per-relation communication utilisation ratio (4), plus
+// per-processor busy/overhead/idle breakdowns.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace rtsc::trace {
+
+struct TaskStatistics {
+    std::string name;
+    std::string processor;
+    double activity_ratio = 0.0;         ///< Running / elapsed          (1)
+    double preempted_ratio = 0.0;        ///< Ready-after-preempt / elapsed (2)
+    double ready_ratio = 0.0;            ///< first-wait Ready / elapsed
+    double waiting_ratio = 0.0;          ///< Waiting / elapsed
+    double waiting_resource_ratio = 0.0; ///< resource wait / elapsed    (3)
+    std::uint64_t dispatches = 0;
+    std::uint64_t preemptions = 0;
+};
+
+struct ProcessorStatistics {
+    std::string name;
+    std::string policy;
+    std::string engine;
+    double busy_ratio = 0.0;
+    double overhead_ratio = 0.0;
+    double idle_ratio = 0.0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t scheduler_runs = 0;
+};
+
+struct RelationStatistics {
+    std::string name;
+    std::string type;
+    std::uint64_t accesses = 0;
+    std::uint64_t blocked_accesses = 0;
+    double blocked_time_sec = 0.0;
+    double utilization = 0.0; ///< type-specific, see Relation::utilization (4)
+};
+
+class StatisticsReport {
+public:
+    /// Snapshot everything the recorder observes, with ratios relative to
+    /// `elapsed` (typically Simulator::now()).
+    static StatisticsReport collect(const Recorder& rec, kernel::Time elapsed);
+
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] const TaskStatistics* task(const std::string& name) const;
+    [[nodiscard]] const RelationStatistics* relation(const std::string& name) const;
+    [[nodiscard]] const ProcessorStatistics* processor(const std::string& name) const;
+
+    kernel::Time elapsed{};
+    std::vector<TaskStatistics> tasks;
+    std::vector<ProcessorStatistics> processors;
+    std::vector<RelationStatistics> relations;
+};
+
+} // namespace rtsc::trace

@@ -1,0 +1,153 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace rtsc::trace {
+
+namespace k = rtsc::kernel;
+
+char Timeline::state_char(rtos::TaskState s, bool preempted_ready) noexcept {
+    switch (s) {
+        case rtos::TaskState::running: return '#';
+        case rtos::TaskState::ready: return preempted_ready ? 'p' : 'r';
+        case rtos::TaskState::waiting: return '.';
+        case rtos::TaskState::waiting_resource: return 'm';
+        case rtos::TaskState::created:
+        case rtos::TaskState::terminated: return ' ';
+    }
+    return '?';
+}
+
+kernel::Time Timeline::trace_end() const {
+    k::Time end{};
+    if (!rec_.states().empty()) end = std::max(end, rec_.states().back().at);
+    for (const auto& o : rec_.overheads())
+        end = std::max(end, o.at + o.duration);
+    if (!rec_.comms().empty()) end = std::max(end, rec_.comms().back().at);
+    return end;
+}
+
+std::vector<Timeline::Segment> Timeline::segments(const rtos::Task& task) const {
+    std::vector<Segment> out;
+    k::Time prev_at{};
+    rtos::TaskState prev_state = rtos::TaskState::created;
+    bool seen = false;
+    for (const auto& s : rec_.states()) {
+        if (s.task != &task) continue;
+        if (!seen) {
+            seen = true;
+            prev_at = s.at;
+            prev_state = s.from;
+        }
+        if (s.from == s.to) continue; // creation announcement
+        if (s.at > prev_at || !out.empty() || prev_state != rtos::TaskState::created)
+            out.push_back({prev_at, s.at, prev_state});
+        prev_at = s.at;
+        prev_state = s.to;
+    }
+    if (seen) out.push_back({prev_at, k::Time::max(), prev_state});
+    return out;
+}
+
+std::vector<Timeline::Segment> Timeline::segments(const std::string& task_name) const {
+    for (const auto* t : rec_.all_tasks())
+        if (t->name() == task_name) return segments(*t);
+    return {};
+}
+
+rtos::TaskState Timeline::state_at(const std::string& task_name,
+                                   kernel::Time t) const {
+    const auto segs = segments(task_name);
+    for (const auto& s : segs)
+        if (s.begin <= t && t < s.end) return s.state;
+    return rtos::TaskState::created;
+}
+
+void Timeline::render(std::ostream& os, const Options& opts) const {
+    const k::Time t0 = opts.from;
+    const k::Time t1 = opts.to.is_zero() ? trace_end() : opts.to;
+    if (t1 <= t0) {
+        os << "(empty timeline)\n";
+        return;
+    }
+    const std::size_t cols = std::max<std::size_t>(opts.columns, 10);
+    const double span = static_cast<double>((t1 - t0).raw_ps());
+    auto col_of = [&](k::Time t) -> std::size_t {
+        if (t <= t0) return 0;
+        const double frac = static_cast<double>((t - t0).raw_ps()) / span;
+        return std::min(cols - 1, static_cast<std::size_t>(frac * static_cast<double>(cols)));
+    };
+
+    std::size_t name_w = 9;
+    for (const auto* t : rec_.all_tasks()) name_w = std::max(name_w, t->name().size());
+    for (const auto* p : rec_.processors())
+        name_w = std::max(name_w, p->name().size() + 5);
+
+    os << "TimeLine " << t0.to_string() << " .. " << t1.to_string() << "  ("
+       << k::Time::ps((t1 - t0).raw_ps() / cols).to_string() << "/char)\n";
+    os << "legend: #=running r=ready p=preempted .=waiting m=waiting-resource "
+          "o=RTOS overhead\n";
+
+    for (const auto* task : rec_.all_tasks()) {
+        std::string row(cols, ' ');
+        // Determine whether each ready segment followed a preemption: it did
+        // when the transition INTO ready came from running.
+        k::Time prev_at{};
+        rtos::TaskState prev_state = rtos::TaskState::created;
+        bool prev_preempted = false;
+        auto paint = [&](k::Time from, k::Time to, rtos::TaskState st, bool pre) {
+            const char c = state_char(st, pre);
+            if (c == ' ') return;
+            const k::Time a = std::max(from, t0);
+            const k::Time b = std::min(to, t1);
+            if (b <= a) return;
+            for (std::size_t i = col_of(a); i <= col_of(b > a ? b - k::Time::ps(1) : a); ++i)
+                row[i] = c;
+        };
+        for (const auto& s : rec_.states()) {
+            if (s.task != task || s.from == s.to) continue;
+            paint(prev_at, s.at, prev_state, prev_preempted);
+            prev_at = s.at;
+            prev_state = s.to;
+            prev_preempted = (s.to == rtos::TaskState::ready &&
+                              s.from == rtos::TaskState::running);
+        }
+        paint(prev_at, t1, prev_state, prev_preempted);
+        os << std::left << std::setw(static_cast<int>(name_w)) << task->name()
+           << " |" << row << "|\n";
+    }
+
+    for (const auto* cpu : rec_.processors()) {
+        std::string row(cols, ' ');
+        for (const auto& o : rec_.overheads()) {
+            if (o.cpu != cpu || o.duration.is_zero()) continue;
+            const k::Time a = std::max(o.at, t0);
+            const k::Time b = std::min(o.at + o.duration, t1);
+            if (b <= a) continue;
+            for (std::size_t i = col_of(a); i <= col_of(b - k::Time::ps(1)); ++i)
+                row[i] = 'o';
+        }
+        os << std::left << std::setw(static_cast<int>(name_w))
+           << (cpu->name() + ".rtos") << " |" << row << "|\n";
+    }
+
+    if (opts.show_accesses && !rec_.comms().empty()) {
+        os << "accesses:\n";
+        std::size_t shown = 0;
+        for (const auto& c : rec_.comms()) {
+            if (c.at < t0 || c.at > t1) continue;
+            if (shown++ >= opts.max_access_rows) {
+                os << "  ... (" << rec_.comms().size() << " total)\n";
+                break;
+            }
+            os << "  " << std::right << std::setw(12) << c.at.to_string() << "  "
+               << (c.task != nullptr ? c.task->name() : std::string("<hw>")) << " "
+               << mcse::to_string(c.kind) << " " << c.relation->name()
+               << (c.blocked ? "  [blocked]" : "") << "\n";
+        }
+    }
+}
+
+} // namespace rtsc::trace

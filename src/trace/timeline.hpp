@@ -1,0 +1,67 @@
+#pragma once
+// ASCII TimeLine chart — the textual counterpart of the paper's §5 display
+// tool: "a TimeLine chart displays the task's states and interactions [...]
+// Each horizontal line represents the state of each task with a different
+// style". Rendered with one character column per time bucket:
+//
+//   #  Running          r  Ready (waiting for the processor)
+//   p  Ready after preemption
+//   .  Waiting (synchronization)
+//   m  Waiting for a resource (mutual exclusion)
+//   (blank) not yet created / terminated
+//
+// plus one row per processor showing RTOS overhead activity (o). The access
+// listing below the chart plays the role of the vertical arrows.
+//
+// Besides rendering, Timeline offers a structured segment view used by the
+// integration tests to assert Figure 6/7 scenarios exactly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace rtsc::trace {
+
+class Timeline {
+public:
+    explicit Timeline(const Recorder& rec) : rec_(rec) {}
+
+    struct Options {
+        kernel::Time from{};
+        kernel::Time to{};      ///< zero => end of last record
+        std::size_t columns = 100;
+        bool show_accesses = true;
+        std::size_t max_access_rows = 40;
+    };
+
+    /// Contiguous period one task spent in one state.
+    struct Segment {
+        kernel::Time begin;
+        kernel::Time end; ///< Time::max() when still open at trace end
+        rtos::TaskState state;
+        bool operator==(const Segment&) const = default;
+    };
+
+    /// All state segments of one task, in time order.
+    [[nodiscard]] std::vector<Segment> segments(const rtos::Task& task) const;
+    [[nodiscard]] std::vector<Segment> segments(const std::string& task_name) const;
+
+    /// The segment covering time t for the task (state created if none).
+    [[nodiscard]] rtos::TaskState state_at(const std::string& task_name,
+                                           kernel::Time t) const;
+
+    /// Render the chart.
+    void render(std::ostream& os, const Options& opts) const;
+    void render(std::ostream& os) const { render(os, Options{}); }
+
+    [[nodiscard]] static char state_char(rtos::TaskState s,
+                                         bool preempted_ready) noexcept;
+
+private:
+    [[nodiscard]] kernel::Time trace_end() const;
+    const Recorder& rec_;
+};
+
+} // namespace rtsc::trace

@@ -1,0 +1,92 @@
+#include "trace/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtsc::trace {
+
+namespace k = rtsc::kernel;
+
+namespace {
+
+std::string id_for(std::size_t n) {
+    // Printable VCD identifier codes: '!'..'~'.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return id;
+}
+
+std::string bits(unsigned v, unsigned width) {
+    std::string s;
+    for (unsigned i = width; i-- > 0;) s.push_back(((v >> i) & 1u) ? '1' : '0');
+    return s;
+}
+
+} // namespace
+
+void write_vcd(std::ostream& os, const Recorder& rec) {
+    struct Change {
+        k::Time at;
+        std::string id;
+        std::string value; ///< without the leading 'b'
+        unsigned width;
+    };
+    std::vector<Change> changes;
+
+    std::size_t next_id = 0;
+    os << "$timescale 1ps $end\n$scope module rtsc $end\n";
+
+    std::map<const rtos::Task*, std::string> task_ids;
+    for (const auto* t : rec.all_tasks()) {
+        const std::string id = id_for(next_id++);
+        task_ids[t] = id;
+        os << "$var wire 3 " << id << " " << t->name() << " $end\n";
+    }
+    std::map<const rtos::Processor*, std::string> ovh_ids;
+    for (const auto* p : rec.processors()) {
+        const std::string id = id_for(next_id++);
+        ovh_ids[p] = id;
+        os << "$var wire 1 " << id << " " << p->name() << "_rtos_overhead $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    for (const auto& [task, id] : task_ids)
+        changes.push_back({k::Time::zero(), id,
+                           bits(static_cast<unsigned>(rtos::TaskState::created), 3), 3});
+    for (const auto& [cpu, id] : ovh_ids)
+        changes.push_back({k::Time::zero(), id, "0", 1});
+
+    for (const auto& s : rec.states()) {
+        if (s.from == s.to) continue;
+        changes.push_back(
+            {s.at, task_ids[s.task], bits(static_cast<unsigned>(s.to), 3), 3});
+    }
+    for (const auto& o : rec.overheads()) {
+        if (o.duration.is_zero()) continue;
+        changes.push_back({o.at, ovh_ids[o.cpu], "1", 1});
+        changes.push_back({o.at + o.duration, ovh_ids[o.cpu], "0", 1});
+    }
+
+    std::stable_sort(changes.begin(), changes.end(),
+                     [](const Change& a, const Change& b) { return a.at < b.at; });
+
+    k::Time cur = k::Time::max();
+    for (const auto& c : changes) {
+        if (c.at != cur) {
+            os << '#' << c.at.raw_ps() << '\n';
+            cur = c.at;
+        }
+        if (c.width == 1)
+            os << c.value << c.id << '\n';
+        else
+            os << 'b' << c.value << ' ' << c.id << '\n';
+    }
+}
+
+} // namespace rtsc::trace

@@ -1,0 +1,17 @@
+#pragma once
+// VCD (Value Change Dump) export of task states so a run can be inspected in
+// any waveform viewer (GTKWave & co.) next to hardware signals — the
+// co-simulation-friendly view of the TimeLine chart.
+//
+// Each task becomes a 3-bit wire encoding its TaskState; each processor an
+// additional 2-bit wire encoding idle/overhead/running.
+
+#include <iosfwd>
+
+#include "trace/recorder.hpp"
+
+namespace rtsc::trace {
+
+void write_vcd(std::ostream& os, const Recorder& rec);
+
+} // namespace rtsc::trace

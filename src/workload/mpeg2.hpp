@@ -1,0 +1,116 @@
+#pragma once
+// MPEG-2 compressing/decompressing SoC model — the paper's closing case
+// study: "a video MPEG-2 compressing and decompressing SoC. The system is
+// composed of 18 tasks implemented on six processors, three of them are
+// software processors with a RTOS model."
+//
+// The task graph is a frame pipeline. Computation times are synthetic but
+// shaped like a real codec: I frames cost more to encode than P, P more than
+// B, and per-frame complexity varies deterministically with the frame index
+// (so runs are reproducible). What matters for the RTOS model — and what the
+// paper uses the case study for — is the serialization of multiple tasks on
+// each software processor under configurable policies and overheads.
+//
+// Processors:
+//   HW "video_fe"  : VideoIn, PreFilter                  (hardware, 2 tasks)
+//   HW "xform"     : MotionEstim, DCT, IDCT              (hardware, 3 tasks)
+//   HW "out"       : StreamOut, Display                  (hardware, 2 tasks)
+//   SW cpu_enc     : EncCtrl, MotionDecision, Quant, RateControl  (RTOS, 4)
+//   SW cpu_entropy : VLC, HeaderGen, Mux                 (RTOS, 3 tasks)
+//   SW cpu_dec     : Demux, VLD, IQ, MotionComp          (RTOS, 4 tasks)
+// Total: 18 tasks.
+//
+// Dataflow (one token per frame):
+//   VideoIn -> PreFilter -> MotionEstim -> MotionDecision -> DCT -> Quant
+//     -> VLC -> Mux -> { StreamOut, Demux }
+//   Demux -> VLD -> IQ -> IDCT -> MotionComp -> Display
+// RateControl runs periodically and updates a shared quantisation scale that
+// Quant reads under mutual exclusion; EncCtrl paces frame admission;
+// HeaderGen injects one header per GOP into Mux's input queue.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "mcse/event.hpp"
+#include "mcse/message_queue.hpp"
+#include "mcse/shared_variable.hpp"
+#include "rtos/processor.hpp"
+
+namespace rtsc::workload {
+
+struct Mpeg2Config {
+    std::uint64_t frames = 30;
+    kernel::Time frame_period = kernel::Time::us(1000); ///< capture cadence
+    /// End-to-end constraint: a frame must reach Display within this budget
+    /// after capture.
+    kernel::Time display_deadline = kernel::Time::us(4000);
+    std::size_t gop = 12;              ///< frames per group-of-pictures
+    std::size_t queue_capacity = 4;    ///< inter-stage queue depth
+    rtos::RtosOverheads sw_overheads = rtos::RtosOverheads::uniform(kernel::Time::us(5));
+    rtos::EngineKind engine = rtos::EngineKind::procedure_calls;
+    bool round_robin = false;          ///< RR instead of priority scheduling
+    kernel::Time rr_quantum = kernel::Time::us(100);
+    /// Global scale on all software computation times (design-space knob:
+    /// 1.0 = nominal CPU, 2.0 = twice as slow).
+    double sw_speed_factor = 1.0;
+};
+
+struct FrameStamp {
+    std::uint64_t index = 0;
+    char type = 'I'; ///< I / P / B
+    kernel::Time captured{};
+    kernel::Time displayed{};
+    bool missed_deadline = false;
+
+    [[nodiscard]] kernel::Time latency() const noexcept {
+        return displayed - captured;
+    }
+};
+
+/// The instantiated SoC. Construct with an active Simulator, run the
+/// simulator, then read the metrics.
+class Mpeg2System {
+public:
+    explicit Mpeg2System(const Mpeg2Config& config);
+    ~Mpeg2System();
+
+    Mpeg2System(const Mpeg2System&) = delete;
+    Mpeg2System& operator=(const Mpeg2System&) = delete;
+
+    [[nodiscard]] const Mpeg2Config& config() const noexcept { return config_; }
+
+    // ---- results (valid after the simulation ran) ----
+    [[nodiscard]] const std::vector<FrameStamp>& displayed_frames() const noexcept {
+        return displayed_;
+    }
+    [[nodiscard]] std::uint64_t frames_encoded() const noexcept { return encoded_; }
+    [[nodiscard]] std::uint64_t deadline_misses() const noexcept;
+    [[nodiscard]] kernel::Time max_latency() const noexcept;
+    [[nodiscard]] double average_latency_us() const noexcept;
+
+    /// The three RTOS-modelled processors (enc, entropy, dec).
+    [[nodiscard]] const std::vector<rtos::Processor*>& sw_processors() const noexcept {
+        return sw_cpus_;
+    }
+    /// All communication relations, for recorder attachment.
+    [[nodiscard]] std::vector<mcse::Relation*> relations() const;
+
+    /// Signalled (counter policy) every time a frame reaches Display.
+    [[nodiscard]] mcse::Event& frame_displayed_event() noexcept;
+
+    /// Expected frame type for index i under the IBBPBB... GOP structure.
+    [[nodiscard]] static char frame_type(std::uint64_t index, std::size_t gop);
+
+private:
+    struct Impl;
+    Mpeg2Config config_;
+    std::unique_ptr<Impl> impl_;
+    std::vector<rtos::Processor*> sw_cpus_;
+    std::vector<FrameStamp> displayed_;
+    std::uint64_t encoded_ = 0;
+};
+
+} // namespace rtsc::workload

@@ -1,0 +1,130 @@
+// Conservation properties over randomized workloads:
+//  - processor accounting: busy + overhead + idle == elapsed, always;
+//  - task accounting: the sum of a task's per-state times equals the span
+//    from its first release to its termination (or the end of the run);
+//  - work conservation: total Running time across tasks equals the
+//    processor's busy time plus inline RTOS-call charges;
+//  - compute conservation: every compute(d) contributes exactly d of
+//    Running time regardless of preemptions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct Workload {
+    int n_tasks;
+    int n_irqs;
+    Time overhead;
+    bool rr;
+};
+
+Workload make(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    return {pick(1, 6), pick(0, 8), Time::us(static_cast<Time::rep>(pick(0, 9))),
+            pick(0, 3) == 0};
+}
+
+} // namespace
+
+class ConservationTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, r::EngineKind>> {};
+
+TEST_P(ConservationTest, AccountingAlwaysBalances) {
+    const auto [seed, kind] = GetParam();
+    const Workload wl = make(seed);
+    std::mt19937_64 rng(seed * 7919u);
+    auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+
+    k::Simulator sim;
+    std::unique_ptr<r::SchedulingPolicy> pol;
+    if (wl.rr)
+        pol = std::make_unique<r::RoundRobinPolicy>(
+            Time::us(static_cast<Time::rep>(pick(5, 30))));
+    else
+        pol = std::make_unique<r::PriorityPreemptivePolicy>();
+    r::Processor cpu("cpu", std::move(pol), kind);
+    cpu.set_overheads(r::RtosOverheads::uniform(wl.overhead));
+
+    m::Event irq("irq", m::EventPolicy::counter);
+    std::vector<Time> computes(static_cast<std::size_t>(wl.n_tasks));
+    for (int i = 0; i < wl.n_tasks; ++i) {
+        const Time total = Time::us(static_cast<Time::rep>(pick(20, 200)));
+        computes[static_cast<std::size_t>(i)] = total;
+        cpu.create_task(
+            {.name = "t" + std::to_string(i),
+             .priority = pick(1, 5),
+             .start_time = Time::us(static_cast<Time::rep>(pick(0, 50)))},
+            [total, &irq, i](r::Task& self) {
+                // Split the budget into a few segments with blocking between.
+                const Time chunk = total / 4u;
+                for (int c = 0; c < 3; ++c) {
+                    self.compute(chunk);
+                    if (i % 2 == 0)
+                        self.sleep_for(Time::us(10));
+                    else
+                        (void)irq.await_for(Time::us(15));
+                }
+                self.compute(total - 3u * chunk);
+            });
+    }
+    sim.spawn("hw", [&, n = wl.n_irqs] {
+        for (int i = 0; i < n; ++i) {
+            k::wait(Time::us(static_cast<Time::rep>(20 + 13 * i)));
+            irq.signal();
+        }
+    });
+    sim.run_until(5_ms);
+    const Time elapsed = sim.now();
+
+    // Processor conservation.
+    const auto ps = cpu.engine().phase_stats();
+    EXPECT_EQ(ps.busy_time + ps.overhead_time + ps.idle_time, elapsed)
+        << "seed " << seed;
+
+    // Per-task accounting and compute conservation.
+    Time total_running{};
+    for (std::size_t i = 0; i < cpu.tasks().size(); ++i) {
+        const r::Task& t = *cpu.tasks()[i];
+        const auto s = t.stats_at(elapsed);
+        total_running += s.running_time;
+        if (t.terminated()) {
+            // Every compute() consumed in full.
+            EXPECT_EQ(s.running_time, computes[i]) << "seed " << seed << " t" << i;
+        } else {
+            EXPECT_LE(s.running_time, computes[i]) << "seed " << seed << " t" << i;
+        }
+        // No state time can exceed the elapsed simulation time.
+        const Time sum = s.running_time + s.ready_time + s.preempted_time +
+                         s.waiting_time + s.waiting_resource_time;
+        EXPECT_LE(sum, elapsed) << "seed " << seed << " t" << i;
+    }
+    // Work conservation: tasks' running time accounts for all busy time
+    // (inline RTOS-call charges may make task time exceed busy time, never
+    // the other way around).
+    EXPECT_GE(total_running, ps.busy_time) << "seed " << seed;
+    EXPECT_LE(total_running, ps.busy_time + ps.overhead_time) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, ConservationTest,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 16),
+                       ::testing::Values(r::EngineKind::procedure_calls,
+                                         r::EngineKind::rtos_thread)));

@@ -1,0 +1,175 @@
+// Integration test reproducing the paper's Figure 6 TimeLine scenario:
+// a hardware Clock plus three software tasks (priorities 5/3/2) under
+// priority-based preemptive scheduling with SchedulingDuration =
+// TaskContextLoad = TaskContextSave = 5 us.
+//
+// Asserted, exactly as annotated in the paper:
+//   - at simulation start the functions execute sequentially by priority;
+//   - (1) the Clk event wakes Function_1 which preempts Function_3 at the
+//     exact tick time, with a (b) overhead gap of 15 us (save+sched+load);
+//   - (2) Function_1 signals Event_1; Function_2 does NOT preempt it and the
+//     RTOS charges the 5 us (c) scheduling overhead to Function_1;
+//   - when Function_1 ends, Function_2 starts after the 15 us (a) gap;
+//   - when Function_2 ends, Function_3 resumes where it was preempted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "rtos/processor.hpp"
+#include "trace/recorder.hpp"
+#include "trace/timeline.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct Figure6App {
+    explicit Figure6App(r::EngineKind kind)
+        : cpu("Processor", std::make_unique<r::PriorityPreemptivePolicy>(), kind),
+          clk("Clk", m::EventPolicy::fugitive),
+          event1("Event_1", m::EventPolicy::boolean) {
+        cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+        rec.attach(cpu);
+        rec.attach(clk);
+        rec.attach(event1);
+
+        cpu.create_task({.name = "Function_1", .priority = 5}, [this](r::Task& self) {
+            for (;;) {
+                clk.await();
+                self.compute(30_us);
+                event1.signal(); // wakes Function_2 (lower priority: case (c))
+                self.compute(20_us);
+            }
+        });
+        cpu.create_task({.name = "Function_2", .priority = 3}, [this](r::Task& self) {
+            for (;;) {
+                event1.await();
+                self.compute(25_us);
+            }
+        });
+        cpu.create_task({.name = "Function_3", .priority = 2},
+                        [](r::Task& self) { self.compute(1_ms); });
+
+        // Hardware task "Clock": one tick at t = 140 us.
+        k::Simulator::current().spawn("Clock", [this] {
+            k::wait(140_us);
+            clk.signal();
+        });
+    }
+
+    r::Processor cpu;
+    m::Event clk;
+    m::Event event1;
+    tr::Recorder rec;
+};
+
+class Figure6Test : public ::testing::TestWithParam<r::EngineKind> {};
+
+} // namespace
+
+TEST_P(Figure6Test, FullScenario) {
+    k::Simulator sim;
+    Figure6App app(GetParam());
+    sim.run_until(400_us);
+
+    tr::Timeline tl(app.rec);
+
+    // --- sequential start by priority ---
+    // F1: sched 0-5, load 5-10, runs at 10, immediately awaits Clk.
+    auto f1 = tl.segments("Function_1");
+    ASSERT_GE(f1.size(), 6u);
+    EXPECT_EQ(f1[0], (tr::Timeline::Segment{0_us, 10_us, r::TaskState::ready}));
+    EXPECT_EQ(f1[1], (tr::Timeline::Segment{10_us, 10_us, r::TaskState::running}));
+    EXPECT_EQ(f1[2].state, r::TaskState::waiting);
+    // F2 runs 25-25 (awaits Event_1), F3 starts computing at 40.
+    auto f3 = tl.segments("Function_3");
+    EXPECT_EQ(tl.state_at("Function_3", 40_us), r::TaskState::running);
+
+    // --- (1) the tick preempts Function_3 at exactly 140 us ---
+    EXPECT_EQ(tl.state_at("Function_3", 139_us), r::TaskState::running);
+    EXPECT_EQ(tl.state_at("Function_3", 141_us), r::TaskState::ready);
+    // (b): 15 us of overhead before Function_1 runs at 155.
+    EXPECT_EQ(f1[2], (tr::Timeline::Segment{10_us, 140_us, r::TaskState::waiting}));
+    EXPECT_EQ(f1[3], (tr::Timeline::Segment{140_us, 155_us, r::TaskState::ready}));
+    EXPECT_EQ(f1[4].begin, 155_us);
+    EXPECT_EQ(f1[4].state, r::TaskState::running);
+
+    // --- (2) Event_1 at 185: Function_2 ready, no preemption, (c) = 5 us ---
+    // Function_1 stays running 155-210 (30 + 5 overhead + 20).
+    EXPECT_EQ(f1[4].end, 210_us);
+    bool saw_c_overhead = false;
+    for (const auto& o : app.rec.overheads()) {
+        if (o.at == 185_us) {
+            saw_c_overhead = true;
+            EXPECT_EQ(o.kind, r::OverheadKind::scheduling);
+            EXPECT_EQ(o.duration, 5_us);
+            ASSERT_NE(o.about, nullptr);
+            EXPECT_EQ(o.about->name(), "Function_1");
+        }
+    }
+    EXPECT_TRUE(saw_c_overhead);
+    EXPECT_EQ(tl.state_at("Function_2", 190_us), r::TaskState::ready);
+
+    // --- (a) Function_2 starts 15 us after Function_1 blocks at 210 ---
+    auto f2 = tl.segments("Function_2");
+    EXPECT_EQ(tl.state_at("Function_2", 224_us), r::TaskState::ready);
+    EXPECT_EQ(tl.state_at("Function_2", 226_us), r::TaskState::running);
+    EXPECT_EQ(tl.state_at("Function_2", 249_us), r::TaskState::running);
+    EXPECT_EQ(tl.state_at("Function_2", 251_us), r::TaskState::waiting);
+
+    // --- Function_3 resumes where preempted, 15 us after F2 blocks at 250 ---
+    EXPECT_EQ(tl.state_at("Function_3", 264_us), r::TaskState::ready);
+    EXPECT_EQ(tl.state_at("Function_3", 266_us), r::TaskState::running);
+
+    // Function_3's computation is conserved: 100 us before the preemption,
+    // the rest after resuming.
+    const auto f3_stats = app.cpu.tasks()[2]->stats_at(sim.now());
+    EXPECT_EQ(f3_stats.running_time, 100_us + (400_us - 265_us));
+    EXPECT_EQ(f3_stats.preempted_time, 125_us); // ready 140 -> 265
+    EXPECT_EQ(f3_stats.preemptions, 1u);
+
+    // The rendered chart contains the expected symbols.
+    std::ostringstream os;
+    tl.render(os, {.from = 0_us, .to = 400_us, .columns = 80});
+    const std::string chart = os.str();
+    EXPECT_NE(chart.find("Function_1"), std::string::npos);
+    EXPECT_NE(chart.find("Function_3"), std::string::npos);
+    EXPECT_NE(chart.find('#'), std::string::npos); // running
+    EXPECT_NE(chart.find('p'), std::string::npos); // preempted
+    EXPECT_NE(chart.find('o'), std::string::npos); // RTOS overhead
+    EXPECT_NE(chart.find("signal Event_1"), std::string::npos);
+}
+
+TEST_P(Figure6Test, BothEnginesProduceIdenticalTrace) {
+    std::vector<std::string> logs[2];
+    const r::EngineKind kinds[2] = {r::EngineKind::procedure_calls,
+                                    r::EngineKind::rtos_thread};
+    for (int i = 0; i < 2; ++i) {
+        k::Simulator sim;
+        Figure6App app(kinds[i]);
+        sim.run_until(400_us);
+        for (const auto& s : app.rec.states()) {
+            if (s.from == s.to) continue;
+            logs[i].push_back(s.at.to_string() + " " + s.task->name() + " " +
+                              r::to_string(s.to));
+        }
+    }
+    EXPECT_EQ(logs[0], logs[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, Figure6Test,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "threaded";
+                         });

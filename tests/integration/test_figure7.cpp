@@ -1,0 +1,147 @@
+// Integration test reproducing the paper's Figure 7: mutual-exclusion
+// blocking on SharedVar_1.
+//
+//  (1) Function_3 is preempted by Function_1 *during a read operation* of
+//      the SharedVar_1 shared variable (it keeps holding the resource);
+//  (2) Function_2 then blocks, waiting for the SharedVar_1 resource;
+//      Function_3 resumes its access after an overhead duration;
+//  (3) when Function_3 releases the resource it is preempted by Function_2,
+//      which has a higher priority.
+//
+// The companion test shows the paper's proposed fix — disabling preemption
+// during access to shared data — removing the inversion.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "mcse/shared_variable.hpp"
+#include "rtos/processor.hpp"
+#include "trace/recorder.hpp"
+#include "trace/timeline.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct Figure7App {
+    Figure7App(r::EngineKind kind, m::Protection protection)
+        : cpu("Processor", std::make_unique<r::PriorityPreemptivePolicy>(), kind),
+          clk("Clk", m::EventPolicy::fugitive),
+          event1("Event_1", m::EventPolicy::boolean),
+          shared_var("SharedVar_1", 0, protection) {
+        cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+        rec.attach(cpu);
+        rec.attach(shared_var);
+
+        cpu.create_task({.name = "Function_1", .priority = 5}, [this](r::Task& self) {
+            clk.await();
+            self.compute(20_us);
+            event1.signal();
+            self.compute(10_us);
+        });
+        cpu.create_task({.name = "Function_2", .priority = 3}, [this](r::Task&) {
+            event1.await();
+            (void)shared_var.read(10_us);
+        });
+        cpu.create_task({.name = "Function_3", .priority = 2}, [this](r::Task& self) {
+            (void)shared_var.read(60_us); // long access; preempted inside
+            self.compute(10_us);
+        });
+        k::Simulator::current().spawn("Clock", [this] {
+            k::wait(70_us);
+            clk.signal();
+        });
+    }
+
+    r::Processor cpu;
+    m::Event clk;
+    m::Event event1;
+    m::SharedVariable<int> shared_var;
+    tr::Recorder rec;
+};
+
+class Figure7Test : public ::testing::TestWithParam<r::EngineKind> {};
+
+} // namespace
+
+TEST_P(Figure7Test, MutualExclusionBlockingScenario) {
+    k::Simulator sim;
+    Figure7App app(GetParam(), m::Protection::none);
+    sim.run();
+
+    tr::Timeline tl(app.rec);
+    // Startup: F1 runs 10 then waits; F2 runs 25 then waits; F3 starts its
+    // read at 40 and holds the resource while computing.
+    EXPECT_EQ(tl.state_at("Function_3", 50_us), r::TaskState::running);
+
+    // (1) tick at 70: F3 preempted mid-read, still owner of the resource.
+    EXPECT_EQ(tl.state_at("Function_3", 71_us), r::TaskState::ready);
+    EXPECT_EQ(tl.state_at("Function_1", 90_us), r::TaskState::running);
+
+    // (2) F1 signals Event_1 at 105 ((c) overhead 105-110), finishes at 120;
+    // F2 dispatched at 135, immediately blocks on the resource.
+    EXPECT_EQ(tl.state_at("Function_2", 136_us), r::TaskState::waiting_resource);
+    // F3 resumes its access after the overhead duration.
+    EXPECT_EQ(tl.state_at("Function_3", 151_us), r::TaskState::running);
+
+    // (3) F3 releases at 180 and is preempted by higher-priority F2.
+    EXPECT_EQ(tl.state_at("Function_3", 181_us), r::TaskState::ready);
+    EXPECT_EQ(tl.state_at("Function_2", 181_us), r::TaskState::ready);
+    EXPECT_EQ(tl.state_at("Function_2", 196_us), r::TaskState::running);
+
+    // F2's read completes at 205; F3 then resumes and finishes.
+    const auto& f2 = *app.cpu.tasks()[1];
+    EXPECT_EQ(f2.stats().waiting_resource_time, 45_us); // 135 -> 180
+    const auto& f3 = *app.cpu.tasks()[2];
+    EXPECT_EQ(f3.stats().preemptions, 2u); // by F1 at 70 and by F2 at 180
+    EXPECT_EQ(f3.stats().running_time, 70_us); // 60us read + 10us compute
+
+    // The resource was never free while F2 waited: it blocked from its lock
+    // attempt at 135 until it acquired the resource at 195 (the release at
+    // 180 plus the 15us dispatch overhead).
+    const auto& sv_stats = app.shared_var.access_stats();
+    EXPECT_EQ(sv_stats.blocked_accesses, 1u);
+    EXPECT_EQ(sv_stats.blocked_time, 60_us);
+}
+
+TEST_P(Figure7Test, DisablingPreemptionAvoidsBlocking) {
+    // "This priority inversion problem can be avoided by disabling preemption
+    // during access to shared data. With our RTOS model, this behavior can be
+    // modeled. Designers can easily check the need or benefit of such a
+    // solution for their system."
+    k::Simulator sim;
+    Figure7App app(GetParam(), m::Protection::preemption_lock);
+    sim.run();
+
+    tr::Timeline tl(app.rec);
+    // F3's read is never preempted: the tick at 70 leaves it running.
+    EXPECT_EQ(tl.state_at("Function_3", 71_us), r::TaskState::running);
+    const auto& f3 = *app.cpu.tasks()[2];
+
+    // F3 holds 40-100; F1 (woken at 70) only runs after the access ends.
+    EXPECT_EQ(tl.state_at("Function_1", 99_us), r::TaskState::ready);
+    EXPECT_EQ(tl.state_at("Function_1", 116_us), r::TaskState::running);
+
+    // Nobody ever blocks on the resource.
+    EXPECT_EQ(app.shared_var.access_stats().blocked_accesses, 0u);
+    const auto& f2 = *app.cpu.tasks()[1];
+    EXPECT_EQ(f2.stats().waiting_resource_time, Time::zero());
+    // F3 pays for it with a longer preempted/ready tail instead.
+    EXPECT_GE(f3.stats().preempted_time, Time::zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, Figure7Test,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "threaded";
+                         });

@@ -1,0 +1,149 @@
+// Integration test reproducing the paper's Figure 8: global statistics from
+// a TimeLine — per-task activity ratio (1), preempted ratio (2),
+// waiting-for-resource ratio (3), and communication utilisation ratios (4) —
+// for the same application as Figures 6/7.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "mcse/message_queue.hpp"
+#include "mcse/shared_variable.hpp"
+#include "rtos/processor.hpp"
+#include "trace/recorder.hpp"
+#include "trace/statistics.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+class Figure8Test : public ::testing::TestWithParam<r::EngineKind> {};
+
+TEST_P(Figure8Test, StatisticsFromFigure6Application) {
+    k::Simulator sim;
+    r::Processor cpu("Processor", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+    m::Event clk("Clk", m::EventPolicy::fugitive);
+    m::Event event1("Event_1", m::EventPolicy::boolean);
+    tr::Recorder rec;
+    rec.attach(cpu);
+    rec.attach(clk);
+    rec.attach(event1);
+
+    cpu.create_task({.name = "Function_1", .priority = 5}, [&](r::Task& self) {
+        for (;;) {
+            clk.await();
+            self.compute(30_us);
+            event1.signal();
+            self.compute(20_us);
+        }
+    });
+    cpu.create_task({.name = "Function_2", .priority = 3}, [&](r::Task& self) {
+        for (;;) {
+            event1.await();
+            self.compute(25_us);
+        }
+    });
+    cpu.create_task({.name = "Function_3", .priority = 2},
+                    [](r::Task& self) { self.compute(1_ms); });
+    sim.spawn("Clock", [&] {
+        k::wait(140_us);
+        clk.signal();
+    });
+    sim.run_until(400_us);
+
+    const auto rep = tr::StatisticsReport::collect(rec, sim.now());
+
+    // (1) activity ratios.
+    const auto* f1 = rep.task("Function_1");
+    const auto* f2 = rep.task("Function_2");
+    const auto* f3 = rep.task("Function_3");
+    ASSERT_TRUE(f1 && f2 && f3);
+    EXPECT_NEAR(f1->activity_ratio, 55.0 / 400.0, 1e-9);  // 30+5(c)+20
+    EXPECT_NEAR(f2->activity_ratio, 25.0 / 400.0, 1e-9);
+    EXPECT_NEAR(f3->activity_ratio, 235.0 / 400.0, 1e-9); // 100 + 135
+
+    // (2) preempted ratio: only Function_3 was preempted (ready 140-265).
+    EXPECT_NEAR(f3->preempted_ratio, 125.0 / 400.0, 1e-9);
+    EXPECT_DOUBLE_EQ(f1->preempted_ratio, 0.0);
+    EXPECT_DOUBLE_EQ(f2->preempted_ratio, 0.0);
+
+    // (3) no shared resource in this run.
+    EXPECT_DOUBLE_EQ(f3->waiting_resource_ratio, 0.0);
+
+    // Processor-level conservation: busy + overhead + idle == 1.
+    const auto* proc = rep.processor("Processor");
+    ASSERT_TRUE(proc);
+    EXPECT_NEAR(proc->busy_ratio + proc->overhead_ratio + proc->idle_ratio, 1.0,
+                1e-9);
+    // A task's activity includes the RTOS-call overhead it pays inline (the
+    // 5us (c) charge runs in Function_1's context), while the processor books
+    // that time as overhead — so busy == sum(activity) - inline charges.
+    EXPECT_NEAR(proc->busy_ratio + 5.0 / 400.0,
+                f1->activity_ratio + f2->activity_ratio + f3->activity_ratio,
+                1e-9);
+    // Overheads in this run: start 10us; F1 block 10; F2 block 10; F3 load 5;
+    // preempt 15; (c) 5; F1 block 15; F2 block 15; F3 load 5 => 90us total.
+    EXPECT_NEAR(proc->overhead_ratio, 90.0 / 400.0, 1e-9);
+    EXPECT_EQ(proc->policy, "priority_preemptive");
+
+    // (4) communication statistics. Blocked accesses are recorded when they
+    // complete, so the final still-blocked awaits of F1/F2 do not count.
+    const auto* ev1 = rep.relation("Event_1");
+    ASSERT_TRUE(ev1);
+    EXPECT_EQ(ev1->accesses, 2u); // signal + first await (completed at 225)
+    EXPECT_EQ(ev1->blocked_accesses, 1u);
+    const auto* clk_rel = rep.relation("Clk");
+    ASSERT_TRUE(clk_rel);
+    EXPECT_EQ(clk_rel->accesses, 2u); // 1 signal + F1's completed await
+
+    // The printable report mentions every entity.
+    std::ostringstream os;
+    rep.print(os);
+    const std::string text = os.str();
+    for (const char* needle :
+         {"Function_1", "Function_2", "Function_3", "Processor", "Event_1",
+          "Clk", "active", "preempted", "resource"})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST_P(Figure8Test, ResourceRatioAppearsWithSharedVariable) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::SharedVariable<int> sv("SharedVar_1", 0);
+    tr::Recorder rec;
+    rec.attach(cpu);
+    rec.attach(sv);
+    cpu.create_task({.name = "holder", .priority = 1},
+                    [&](r::Task&) { (void)sv.read(80_us); });
+    cpu.create_task({.name = "contender", .priority = 5, .start_time = 20_us},
+                    [&](r::Task&) { (void)sv.read(20_us); });
+    sim.run();
+
+    // holder 0-20 preempted, contender blocks 20-80 (holder resumes, finishes
+    // at 80), contender reads 80-100. Elapsed 100us.
+    const auto rep = tr::StatisticsReport::collect(rec, sim.now());
+    const auto* contender = rep.task("contender");
+    ASSERT_TRUE(contender);
+    EXPECT_NEAR(contender->waiting_resource_ratio, 60.0 / 100.0, 1e-9);
+    const auto* svr = rep.relation("SharedVar_1");
+    ASSERT_TRUE(svr);
+    EXPECT_NEAR(svr->utilization, 1.0, 1e-9); // locked the whole run
+    EXPECT_EQ(svr->blocked_accesses, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, Figure8Test,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "threaded";
+                         });

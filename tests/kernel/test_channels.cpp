@@ -1,0 +1,208 @@
+// Unit tests for the kernel-level primitive channels: Signal, Fifo, KMutex,
+// KSemaphore.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/channels.hpp"
+#include "kernel/simulator.hpp"
+
+namespace k = rtsc::kernel;
+using k::Simulator;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+TEST(SignalTest, ReadReturnsInitialValue) {
+    Simulator sim;
+    k::Signal<int> s("s", 7);
+    EXPECT_EQ(s.read(), 7);
+}
+
+TEST(SignalTest, WriteCommitsInUpdatePhase) {
+    Simulator sim;
+    k::Signal<int> s("s", 0);
+    int seen_same_phase = -1;
+    int seen_next_delta = -1;
+    sim.spawn("writer", [&] {
+        s.write(5);
+        seen_same_phase = s.read(); // still old value: update phase not yet run
+        k::wait(Time::zero());
+        seen_next_delta = s.read();
+    });
+    sim.run();
+    EXPECT_EQ(seen_same_phase, 0);
+    EXPECT_EQ(seen_next_delta, 5);
+}
+
+TEST(SignalTest, ValueChangedEventFiresOnChangeOnly) {
+    Simulator sim;
+    k::Signal<int> s("s", 0);
+    int changes = 0;
+    sim.spawn("watcher", [&] {
+        for (;;) {
+            k::wait(s.value_changed_event());
+            ++changes;
+        }
+    });
+    sim.spawn("writer", [&] {
+        k::wait(1_us);
+        s.write(1); // change
+        k::wait(1_us);
+        s.write(1); // no change: no notification
+        k::wait(1_us);
+        s.write(2); // change
+    });
+    sim.run_until(10_us);
+    EXPECT_EQ(changes, 2);
+}
+
+TEST(SignalTest, LastWriteInDeltaWins) {
+    Simulator sim;
+    k::Signal<int> s("s", 0);
+    sim.spawn("writer", [&] {
+        s.write(1);
+        s.write(2);
+        s.write(3);
+    });
+    sim.run();
+    EXPECT_EQ(s.read(), 3);
+}
+
+TEST(FifoTest, WriteThenReadSameData) {
+    Simulator sim;
+    k::Fifo<int> f("f", 4);
+    std::vector<int> got;
+    sim.spawn("producer", [&] {
+        for (int i = 1; i <= 3; ++i) f.write(i);
+    });
+    sim.spawn("consumer", [&] {
+        for (int i = 0; i < 3; ++i) got.push_back(f.read());
+    });
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FifoTest, ReaderBlocksUntilDataArrives) {
+    Simulator sim;
+    k::Fifo<int> f("f", 4);
+    Time read_at;
+    sim.spawn("consumer", [&] {
+        int v = f.read();
+        EXPECT_EQ(v, 42);
+        read_at = sim.now();
+    });
+    sim.spawn("producer", [&] {
+        k::wait(9_us);
+        f.write(42);
+    });
+    sim.run();
+    EXPECT_EQ(read_at, 9_us);
+}
+
+TEST(FifoTest, WriterBlocksWhenFull) {
+    Simulator sim;
+    k::Fifo<int> f("f", 2);
+    Time third_written;
+    sim.spawn("producer", [&] {
+        f.write(1);
+        f.write(2);
+        f.write(3); // blocks until the consumer reads
+        third_written = sim.now();
+    });
+    sim.spawn("consumer", [&] {
+        k::wait(5_us);
+        EXPECT_EQ(f.read(), 1);
+    });
+    sim.run();
+    EXPECT_EQ(third_written, 5_us);
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FifoTest, NonBlockingVariants) {
+    Simulator sim;
+    k::Fifo<int> f("f", 1);
+    sim.spawn("p", [&] {
+        int v = 0;
+        EXPECT_FALSE(f.nb_read(v));
+        EXPECT_TRUE(f.nb_write(10));
+        EXPECT_FALSE(f.nb_write(11)); // full
+        EXPECT_TRUE(f.nb_read(v));
+        EXPECT_EQ(v, 10);
+    });
+    sim.run();
+}
+
+TEST(FifoTest, ZeroCapacityRejected) {
+    Simulator sim;
+    EXPECT_THROW(k::Fifo<int>("bad", 0), k::SimulationError);
+}
+
+TEST(KMutexTest, MutualExclusion) {
+    Simulator sim;
+    k::KMutex m("m");
+    std::vector<std::string> log;
+    auto worker = [&](const std::string& who, Time hold) {
+        return [&, who, hold] {
+            m.lock();
+            log.push_back(who + "+");
+            k::wait(hold);
+            log.push_back(who + "-");
+            m.unlock();
+        };
+    };
+    sim.spawn("a", worker("a", 5_us));
+    sim.spawn("b", worker("b", 5_us));
+    sim.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a+", "a-", "b+", "b-"}));
+}
+
+TEST(KMutexTest, TryLockAndOwnershipChecks) {
+    Simulator sim;
+    k::KMutex m("m");
+    sim.spawn("a", [&] {
+        EXPECT_TRUE(m.try_lock());
+        k::wait(5_us);
+        m.unlock();
+    });
+    sim.spawn("b", [&] {
+        k::wait(1_us);
+        EXPECT_FALSE(m.try_lock());
+        EXPECT_THROW(m.unlock(), k::SimulationError); // not the owner
+    });
+    sim.run();
+    EXPECT_FALSE(m.locked());
+}
+
+TEST(KSemaphoreTest, CountingBehaviour) {
+    Simulator sim;
+    k::KSemaphore s("s", 2);
+    std::vector<Time> entered;
+    for (int i = 0; i < 3; ++i) {
+        sim.spawn("w" + std::to_string(i), [&] {
+            s.wait();
+            entered.push_back(sim.now());
+            k::wait(10_us);
+            s.post();
+        });
+    }
+    sim.run();
+    ASSERT_EQ(entered.size(), 3u);
+    EXPECT_EQ(entered[0], Time::zero());
+    EXPECT_EQ(entered[1], Time::zero());
+    EXPECT_EQ(entered[2], 10_us); // third waits for a post
+    EXPECT_EQ(s.value(), 2);
+}
+
+TEST(KSemaphoreTest, TrywaitAndValidation) {
+    Simulator sim;
+    k::KSemaphore s("s", 1);
+    sim.spawn("p", [&] {
+        EXPECT_TRUE(s.trywait());
+        EXPECT_FALSE(s.trywait());
+        s.post();
+        EXPECT_EQ(s.value(), 1);
+    });
+    sim.run();
+    EXPECT_THROW(k::KSemaphore("neg", -1), k::SimulationError);
+}

@@ -1,0 +1,65 @@
+// Unit tests for the periodic Clock module.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernel/clock.hpp"
+#include "kernel/simulator.hpp"
+
+namespace k = rtsc::kernel;
+using k::Simulator;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+TEST(ClockTest, TicksAtPeriod) {
+    Simulator sim;
+    k::Clock clk("clk", 10_us);
+    std::vector<Time> ticks;
+    sim.spawn("listener", [&] {
+        for (;;) {
+            k::wait(clk.tick_event());
+            ticks.push_back(sim.now());
+        }
+    });
+    sim.run_until(35_us);
+    // First tick at t=0 fires before the listener waits, so it is missed
+    // (fugitive kernel event); subsequent ticks at 10, 20, 30 are seen.
+    EXPECT_EQ(ticks, (std::vector<Time>{10_us, 20_us, 30_us}));
+    EXPECT_EQ(clk.tick_count(), 4u);
+}
+
+TEST(ClockTest, StartOffsetDelaysFirstTick) {
+    Simulator sim;
+    k::Clock clk("clk", 10_us, 3_us);
+    std::vector<Time> ticks;
+    sim.spawn("listener", [&] {
+        for (;;) {
+            k::wait(clk.tick_event());
+            ticks.push_back(sim.now());
+        }
+    });
+    sim.run_until(25_us);
+    EXPECT_EQ(ticks, (std::vector<Time>{3_us, 13_us, 23_us}));
+}
+
+TEST(ClockTest, MaxTicksStopsGenerator) {
+    Simulator sim;
+    k::Clock clk("clk", 5_us, 5_us);
+    clk.set_max_ticks(3);
+    int seen = 0;
+    sim.spawn("listener", [&] {
+        for (;;) {
+            k::wait(clk.tick_event());
+            ++seen;
+        }
+    });
+    sim.run(); // terminates because the clock stops generating events
+    EXPECT_EQ(seen, 3);
+    EXPECT_EQ(clk.tick_count(), 3u);
+    EXPECT_EQ(sim.now(), 15_us);
+}
+
+TEST(ClockTest, ZeroPeriodRejected) {
+    Simulator sim;
+    EXPECT_THROW(k::Clock("bad", Time::zero()), k::SimulationError);
+}

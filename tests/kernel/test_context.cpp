@@ -1,0 +1,117 @@
+// Unit tests for the ucontext coroutine layer.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "kernel/context.hpp"
+#include "kernel/report.hpp"
+
+using rtsc::kernel::Coroutine;
+using rtsc::kernel::SimulationError;
+
+TEST(CoroutineTest, RunsToCompletion) {
+    bool ran = false;
+    Coroutine co([&] { ran = true; });
+    EXPECT_FALSE(co.started());
+    co.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(co.finished());
+}
+
+TEST(CoroutineTest, YieldSuspendsAndResumeContinues) {
+    std::vector<int> order;
+    Coroutine* self = nullptr;
+    Coroutine co([&] {
+        order.push_back(1);
+        self->yield();
+        order.push_back(3);
+        self->yield();
+        order.push_back(5);
+    });
+    self = &co;
+    co.resume();
+    order.push_back(2);
+    co.resume();
+    order.push_back(4);
+    co.resume();
+    EXPECT_TRUE(co.finished());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(CoroutineTest, CurrentTracksExecution) {
+    EXPECT_EQ(Coroutine::current(), nullptr);
+    Coroutine* seen = nullptr;
+    Coroutine co([&] { seen = Coroutine::current(); });
+    co.resume();
+    EXPECT_EQ(seen, &co);
+    EXPECT_EQ(Coroutine::current(), nullptr);
+}
+
+TEST(CoroutineTest, NestedCoroutines) {
+    std::vector<int> order;
+    Coroutine inner([&] { order.push_back(2); });
+    Coroutine outer([&] {
+        order.push_back(1);
+        inner.resume();
+        order.push_back(3);
+    });
+    outer.resume();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(inner.finished());
+    EXPECT_TRUE(outer.finished());
+}
+
+TEST(CoroutineTest, ExceptionPropagatesToResumer) {
+    Coroutine co([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(co.resume(), std::runtime_error);
+    EXPECT_TRUE(co.finished());
+}
+
+TEST(CoroutineTest, ResumeAfterFinishThrows) {
+    Coroutine co([] {});
+    co.resume();
+    EXPECT_THROW(co.resume(), SimulationError);
+}
+
+TEST(CoroutineTest, DestroySuspendedCoroutineIsSafe) {
+    auto* co = new Coroutine([] {
+        Coroutine::current()->yield();
+        FAIL() << "should never run past the yield";
+    });
+    co->resume();
+    delete co; // releases stack without unwinding
+    SUCCEED();
+}
+
+TEST(CoroutineTest, ManyCoroutinesInterleave) {
+    constexpr int n = 50;
+    std::vector<std::unique_ptr<Coroutine>> cos;
+    int sum = 0;
+    for (int i = 0; i < n; ++i) {
+        cos.push_back(std::make_unique<Coroutine>([&sum, i] {
+            sum += i;
+            Coroutine::current()->yield();
+            sum += 1000;
+        }));
+    }
+    for (auto& c : cos) c->resume();
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+    for (auto& c : cos) c->resume();
+    EXPECT_EQ(sum, n * (n - 1) / 2 + 1000 * n);
+    for (auto& c : cos) EXPECT_TRUE(c->finished());
+}
+
+TEST(CoroutineTest, DeepStackUsageWithinLimit) {
+    // Recursion that uses a good chunk of the default 128 KiB stack.
+    std::function<int(int)> rec = [&](int d) -> int {
+        char pad[512];
+        pad[0] = static_cast<char>(d);
+        if (d == 0) return pad[0];
+        return rec(d - 1) + (pad[0] ? 0 : 1);
+    };
+    int result = -1;
+    Coroutine co([&] { result = rec(100); });
+    co.resume();
+    EXPECT_EQ(result, 0);
+}

@@ -1,0 +1,154 @@
+// Method-process tests (SC_METHOD-like): initialization run, static
+// sensitivity, next_trigger overrides, interaction with signals and threads,
+// and the wait()-inside-method error.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/channels.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/simulator.hpp"
+
+namespace k = rtsc::kernel;
+using k::Event;
+using k::Simulator;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+TEST(MethodTest, RunsOnceAtStartWithoutSensitivity) {
+    Simulator sim;
+    int runs = 0;
+    sim.spawn_method("m", [&] { ++runs; }, {});
+    sim.spawn("t", [] { k::wait(10_us); });
+    sim.run();
+    EXPECT_EQ(runs, 1); // initialization only; stays dormant afterwards
+}
+
+TEST(MethodTest, StaticSensitivityRetriggers) {
+    Simulator sim;
+    Event e("e");
+    std::vector<Time> runs;
+    sim.spawn_method("m", [&] { runs.push_back(sim.now()); }, {&e});
+    sim.spawn("driver", [&] {
+        for (int i = 0; i < 3; ++i) {
+            k::wait(10_us);
+            e.notify();
+        }
+    });
+    sim.run();
+    EXPECT_EQ(runs, (std::vector<Time>{Time::zero(), 10_us, 20_us, 30_us}));
+}
+
+TEST(MethodTest, NextTriggerTimeOverridesSensitivity) {
+    Simulator sim;
+    Event e("e");
+    std::vector<Time> runs;
+    sim.spawn_method("m",
+                     [&] {
+                         runs.push_back(sim.now());
+                         if (runs.size() == 1)
+                             sim.next_trigger(7_us); // ignore e this once
+                     },
+                     {&e});
+    sim.spawn("driver", [&] {
+        k::wait(3_us);
+        e.notify(); // absorbed: next_trigger(7us) overrides sensitivity
+        k::wait(10_us);
+        e.notify(); // static sensitivity is back: retriggers at 13us
+    });
+    sim.run();
+    EXPECT_EQ(runs, (std::vector<Time>{Time::zero(), 7_us, 13_us}));
+}
+
+TEST(MethodTest, NextTriggerEventOverridesSensitivity) {
+    Simulator sim;
+    Event normal("normal"), special("special");
+    std::vector<std::string> log;
+    sim.spawn_method("m",
+                     [&] {
+                         log.push_back(sim.now().to_string());
+                         sim.next_trigger(special); // only special wakes us
+                     },
+                     {&normal});
+    sim.spawn("driver", [&] {
+        k::wait(5_us);
+        normal.notify(); // ignored
+        k::wait(5_us);
+        special.notify(); // triggers at 10us
+    });
+    sim.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"0 s", "10 us"}));
+}
+
+TEST(MethodTest, LastNextTriggerWins) {
+    Simulator sim;
+    Event e("e");
+    std::vector<Time> runs;
+    sim.spawn_method("m",
+                     [&] {
+                         runs.push_back(sim.now());
+                         if (runs.size() == 1) {
+                             sim.next_trigger(100_us);
+                             sim.next_trigger(5_us); // replaces the 100us one
+                         }
+                     },
+                     {});
+    sim.run();
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[1], 5_us);
+}
+
+TEST(MethodTest, WaitInsideMethodThrows) {
+    Simulator sim;
+    sim.spawn_method("bad", [&] { sim.wait(1_us); }, {});
+    EXPECT_THROW(sim.run(), k::SimulationError);
+}
+
+TEST(MethodTest, MethodWatchesSignalAndClock) {
+    // Hardware-style usage: a method sensitive to a signal's value-changed
+    // event, driven by a thread toggling the signal on clock ticks.
+    Simulator sim;
+    k::Signal<bool> sig("sig", false);
+    k::Clock clk("clk", 10_us);
+    clk.set_max_ticks(6);
+    int edges = 0;
+    sim.spawn_method("edge_counter", [&] { ++edges; },
+                     {&sig.value_changed_event()});
+    sim.spawn("driver", [&] {
+        for (;;) {
+            k::wait(clk.tick_event());
+            sig.write(!sig.read());
+        }
+    });
+    sim.run();
+    // The method's initialization run counts too: 1 + 5 observed toggles
+    // (the driver misses the first tick while reaching its wait).
+    EXPECT_EQ(edges, 1 + 5);
+}
+
+TEST(MethodTest, MethodAndThreadInterleaveDeterministically) {
+    Simulator sim;
+    Event e("e");
+    std::vector<std::string> order;
+    sim.spawn_method("m", [&] { order.push_back("m@" + sim.now().to_string()); },
+                     {&e});
+    sim.spawn("t", [&] {
+        order.push_back("t@" + sim.now().to_string());
+        k::wait(5_us);
+        e.notify();
+        order.push_back("t2@" + sim.now().to_string());
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"m@0 s", "t@0 s", "t2@5 us",
+                                               "m@5 us"}));
+}
+
+TEST(MethodTest, MethodsNeverTerminate) {
+    Simulator sim;
+    auto& m = sim.spawn_method("m", [] {}, {});
+    sim.run();
+    EXPECT_FALSE(m.terminated());
+    EXPECT_EQ(m.kind(), k::Process::Kind::method);
+    EXPECT_EQ(m.activations(), 1u);
+}

@@ -1,0 +1,86 @@
+// Unit tests for rtsc::kernel::Time.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kernel/time.hpp"
+
+using rtsc::kernel::Time;
+using namespace rtsc::kernel::time_literals;
+
+TEST(TimeTest, DefaultIsZero) {
+    Time t;
+    EXPECT_TRUE(t.is_zero());
+    EXPECT_EQ(t, Time::zero());
+    EXPECT_EQ(t.raw_ps(), 0u);
+}
+
+TEST(TimeTest, FactoriesScaleCorrectly) {
+    EXPECT_EQ(Time::ns(1).raw_ps(), 1'000u);
+    EXPECT_EQ(Time::us(1).raw_ps(), 1'000'000u);
+    EXPECT_EQ(Time::ms(1).raw_ps(), 1'000'000'000u);
+    EXPECT_EQ(Time::sec(1).raw_ps(), 1'000'000'000'000u);
+    EXPECT_EQ(Time::us(5), 5_us);
+    EXPECT_EQ(1_ms, 1000_us);
+    EXPECT_EQ(1_sec, 1000_ms);
+}
+
+TEST(TimeTest, FractionalFactoriesRound) {
+    EXPECT_EQ(Time::us_f(2.5).raw_ps(), 2'500'000u);
+    EXPECT_EQ(Time::ns_f(0.5).raw_ps(), 500u);
+    EXPECT_EQ(Time::us_f(0.0), Time::zero());
+}
+
+TEST(TimeTest, Arithmetic) {
+    EXPECT_EQ(3_us + 2_us, 5_us);
+    EXPECT_EQ(5_us - 2_us, 3_us);
+    EXPECT_EQ(2_us * 3u, 6_us);
+    EXPECT_EQ(3u * 2_us, 6_us);
+    EXPECT_EQ(6_us / 2u, 3_us);
+    EXPECT_EQ(7_us / 2_us, 3u);   // whole periods
+    EXPECT_EQ(7_us % 2_us, 1_us); // remainder
+}
+
+TEST(TimeTest, CompoundAssignment) {
+    Time t = 1_us;
+    t += 2_us;
+    EXPECT_EQ(t, 3_us);
+    t -= 1_us;
+    EXPECT_EQ(t, 2_us);
+}
+
+TEST(TimeTest, Ordering) {
+    EXPECT_LT(1_us, 2_us);
+    EXPECT_LE(2_us, 2_us);
+    EXPECT_GT(1_ms, 999_us);
+    EXPECT_EQ(Time::max(), Time::max());
+    EXPECT_LT(1_sec, Time::max());
+}
+
+TEST(TimeTest, SaturatingSubtraction) {
+    EXPECT_EQ(Time::sat_sub(5_us, 2_us), 3_us);
+    EXPECT_EQ(Time::sat_sub(2_us, 5_us), Time::zero());
+    EXPECT_EQ(Time::sat_sub(2_us, 2_us), Time::zero());
+}
+
+TEST(TimeTest, Conversions) {
+    EXPECT_DOUBLE_EQ((15_us).to_us(), 15.0);
+    EXPECT_DOUBLE_EQ((1500_ns).to_us(), 1.5);
+    EXPECT_DOUBLE_EQ((2_ms).to_ms(), 2.0);
+    EXPECT_DOUBLE_EQ((1_sec).to_sec(), 1.0);
+}
+
+TEST(TimeTest, ToStringPicksUnit) {
+    EXPECT_EQ((15_us).to_string(), "15 us");
+    EXPECT_EQ((1_ms).to_string(), "1 ms");
+    EXPECT_EQ((2500_ns).to_string(), "2.500 us");
+    EXPECT_EQ(Time::zero().to_string(), "0 s");
+    EXPECT_EQ((3_sec).to_string(), "3 s");
+    EXPECT_EQ((7_ps).to_string(), "7 ps");
+}
+
+TEST(TimeTest, StreamOutput) {
+    std::ostringstream os;
+    os << 15_us;
+    EXPECT_EQ(os.str(), "15 us");
+}

@@ -1,0 +1,243 @@
+// MCSE Event relation tests: the three memorization policies (fugitive /
+// boolean / counter), task and hardware waiters, wake rules, statistics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+class McseEventTest : public ::testing::TestWithParam<r::EngineKind> {};
+
+TEST_P(McseEventTest, FugitiveSignalWithoutWaiterIsLost) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::fugitive);
+    bool resumed = false;
+    cpu.create_task({.name = "waiter", .priority = 1}, [&](r::Task& self) {
+        self.compute(10_us); // signal happens at t=5 while computing: lost
+        ev.await();
+        resumed = true;
+    });
+    sim.spawn("hw", [&] {
+        k::wait(5_us);
+        ev.signal();
+    });
+    sim.run();
+    EXPECT_FALSE(resumed);
+    EXPECT_EQ(ev.pending(), 0u);
+}
+
+TEST_P(McseEventTest, BooleanMemorizesOneLevel) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::boolean);
+    int awaits_done = 0;
+    cpu.create_task({.name = "waiter", .priority = 1}, [&](r::Task& self) {
+        self.compute(10_us); // two signals land here; boolean keeps only one
+        ev.await();          // consumes the memorized level, no block
+        ++awaits_done;
+        ev.await();          // must block forever: second signal was absorbed
+        ++awaits_done;
+    });
+    sim.spawn("hw", [&] {
+        k::wait(2_us);
+        ev.signal();
+        k::wait(2_us);
+        ev.signal();
+    });
+    sim.run();
+    EXPECT_EQ(awaits_done, 1);
+    EXPECT_EQ(ev.pending(), 0u);
+    EXPECT_EQ(ev.signal_count(), 2u);
+}
+
+TEST_P(McseEventTest, CounterMemorizesEverySignal) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::counter);
+    int awaits_done = 0;
+    cpu.create_task({.name = "waiter", .priority = 1}, [&](r::Task& self) {
+        self.compute(10_us);
+        for (int i = 0; i < 3; ++i) {
+            ev.await();
+            ++awaits_done;
+        }
+    });
+    sim.spawn("hw", [&] {
+        for (int i = 0; i < 3; ++i) {
+            k::wait(2_us);
+            ev.signal();
+        }
+    });
+    sim.run();
+    EXPECT_EQ(awaits_done, 3);
+    EXPECT_EQ(ev.pending(), 0u);
+}
+
+TEST_P(McseEventTest, CounterWakesExactlyOneWaiter) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::counter);
+    int woken = 0;
+    for (int i = 0; i < 3; ++i) {
+        cpu.create_task({.name = "w" + std::to_string(i), .priority = 1},
+                        [&](r::Task&) {
+                            ev.await();
+                            ++woken;
+                        });
+    }
+    sim.spawn("hw", [&] {
+        k::wait(10_us);
+        ev.signal();
+    });
+    sim.run();
+    EXPECT_EQ(woken, 1);
+}
+
+TEST_P(McseEventTest, FugitiveAndBooleanWakeAllWaiters) {
+    for (const auto policy : {m::EventPolicy::fugitive, m::EventPolicy::boolean}) {
+        k::Simulator sim;
+        r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                         GetParam());
+        m::Event ev("ev", policy);
+        int woken = 0;
+        for (int i = 0; i < 3; ++i) {
+            cpu.create_task({.name = "w" + std::to_string(i), .priority = 1},
+                            [&](r::Task&) {
+                                ev.await();
+                                ++woken;
+                            });
+        }
+        sim.spawn("hw", [&] {
+            k::wait(10_us);
+            ev.signal();
+        });
+        sim.run();
+        EXPECT_EQ(woken, 3) << "policy=" << m::to_string(policy);
+    }
+}
+
+TEST_P(McseEventTest, TaskSignalsTask) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+    m::Event ev("ev", m::EventPolicy::boolean);
+    Time consumer_resumed;
+    cpu.create_task({.name = "consumer", .priority = 5}, [&](r::Task& self) {
+        ev.await();
+        consumer_resumed = sim.now();
+        self.compute(10_us);
+    });
+    cpu.create_task({.name = "producer", .priority = 1}, [&](r::Task& self) {
+        self.compute(30_us);
+        ev.signal(); // wakes the higher-priority consumer -> preempted inside
+        self.compute(30_us);
+    });
+    sim.run();
+    // consumer: sched 0-5 load 5-10 runs 10, blocks at 10 (save+sched 10-20),
+    // producer load 20-25, computes 25-55; signal at 55: preemption (b):
+    // save 55-60, sched 60-65, consumer load 65-70 -> resumes at 70.
+    EXPECT_EQ(consumer_resumed, 70_us);
+    EXPECT_EQ(cpu.tasks()[1]->stats().preemptions, 1u);
+}
+
+TEST_P(McseEventTest, HardwareAwaitsTaskSignal) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::counter);
+    Time hw_woke;
+    sim.spawn("hw", [&] {
+        ev.await();
+        hw_woke = sim.now();
+    });
+    cpu.create_task({.name = "sw", .priority = 1}, [&](r::Task& self) {
+        self.compute(25_us);
+        ev.signal();
+    });
+    sim.run();
+    EXPECT_EQ(hw_woke, 25_us);
+}
+
+TEST_P(McseEventTest, TryAwaitConsumesWithoutBlocking) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::counter);
+    std::vector<bool> results;
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        results.push_back(ev.try_await()); // nothing pending
+        self.compute(10_us);               // hw signals twice meanwhile
+        results.push_back(ev.try_await());
+        results.push_back(ev.try_await());
+        results.push_back(ev.try_await()); // consumed both already
+    });
+    sim.spawn("hw", [&] {
+        k::wait(5_us);
+        ev.signal();
+        ev.signal();
+    });
+    sim.run();
+    EXPECT_EQ(results, (std::vector<bool>{false, true, true, false}));
+}
+
+TEST_P(McseEventTest, ResetDropsMemorizedOccurrences) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::counter);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        ev.signal();
+        ev.signal();
+        EXPECT_EQ(ev.pending(), 2u);
+        ev.reset();
+        EXPECT_EQ(ev.pending(), 0u);
+        self.compute(1_us);
+    });
+    sim.run();
+}
+
+TEST_P(McseEventTest, UtilizationCountsBlockedAwaits) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::counter);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        ev.await(); // blocks (signal at t=10)
+        self.compute(5_us);
+        ev.await(); // signal already pending: non-blocking
+    });
+    sim.spawn("hw", [&] {
+        k::wait(10_us);
+        ev.signal();
+        ev.signal();
+    });
+    sim.run();
+    const auto& s = ev.access_stats();
+    EXPECT_EQ(s.accesses, 4u); // 2 signals + 2 awaits
+    EXPECT_EQ(s.blocked_accesses, 1u);
+    EXPECT_EQ(s.blocked_time, 10_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, McseEventTest,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "threaded";
+                         });

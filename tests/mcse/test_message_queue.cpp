@@ -1,0 +1,238 @@
+// MCSE MessageQueue relation tests: bounded/unbounded capacity, blocking
+// read/write, producer-consumer across priorities and across the HW/SW
+// boundary, non-blocking variants, occupancy statistics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "mcse/message_queue.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+class McseQueueTest : public ::testing::TestWithParam<r::EngineKind> {};
+
+TEST_P(McseQueueTest, FifoOrderPreserved) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 8);
+    std::vector<int> got;
+    cpu.create_task({.name = "producer", .priority = 2}, [&](r::Task& self) {
+        for (int i = 1; i <= 5; ++i) {
+            self.compute(3_us);
+            q.write(i);
+        }
+    });
+    cpu.create_task({.name = "consumer", .priority = 1}, [&](r::Task&) {
+        for (int i = 0; i < 5; ++i) got.push_back(q.read());
+    });
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(q.messages_written(), 5u);
+}
+
+TEST_P(McseQueueTest, ReaderBlocksUntilWrite) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 4);
+    Time read_at;
+    int value = 0;
+    cpu.create_task({.name = "consumer", .priority = 5}, [&](r::Task&) {
+        value = q.read();
+        read_at = sim.now();
+    });
+    sim.spawn("hw", [&] {
+        k::wait(17_us);
+        q.write(42);
+    });
+    sim.run();
+    EXPECT_EQ(value, 42);
+    EXPECT_EQ(read_at, 17_us);
+}
+
+TEST_P(McseQueueTest, WriterBlocksWhenFull) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 2);
+    Time third_done;
+    cpu.create_task({.name = "producer", .priority = 5}, [&](r::Task&) {
+        q.write(1);
+        q.write(2);
+        q.write(3); // full: blocks until the consumer reads at t=30
+        third_done = sim.now();
+    });
+    cpu.create_task({.name = "consumer", .priority = 1}, [&](r::Task& self) {
+        self.compute(30_us);
+        EXPECT_EQ(q.read(), 1);
+    });
+    sim.run();
+    EXPECT_EQ(third_done, 30_us);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST_P(McseQueueTest, UnboundedNeverBlocksWriter) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 0);
+    EXPECT_TRUE(q.unbounded());
+    cpu.create_task({.name = "producer", .priority = 1}, [&](r::Task& self) {
+        for (int i = 0; i < 1000; ++i) q.write(i);
+        self.compute(1_us);
+    });
+    sim.run();
+    EXPECT_EQ(q.size(), 1000u);
+    EXPECT_EQ(q.max_occupancy(), 1000u);
+}
+
+TEST_P(McseQueueTest, CrossProcessorProducerConsumer) {
+    k::Simulator sim;
+    r::Processor cpu1("cpu1", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    r::Processor cpu2("cpu2", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    cpu1.set_overheads(r::RtosOverheads::uniform(1_us));
+    cpu2.set_overheads(r::RtosOverheads::uniform(1_us));
+    m::MessageQueue<int> q("q", 2);
+    std::vector<Time> consumed_at;
+    cpu1.create_task({.name = "producer", .priority = 1}, [&](r::Task& self) {
+        for (int i = 0; i < 3; ++i) {
+            self.compute(10_us);
+            q.write(i);
+        }
+    });
+    cpu2.create_task({.name = "consumer", .priority = 1}, [&](r::Task& self) {
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_EQ(q.read(), i);
+            consumed_at.push_back(sim.now());
+            self.compute(5_us);
+        }
+    });
+    sim.run();
+    ASSERT_EQ(consumed_at.size(), 3u);
+    // Producer writes at 12, 22, 32 (1us sched + 1us load + computes); the
+    // idle consumer CPU then pays sched+load = 2us before each read returns.
+    EXPECT_EQ(consumed_at[0], 14_us);
+    EXPECT_EQ(consumed_at[1], 24_us);
+    EXPECT_EQ(consumed_at[2], 34_us);
+}
+
+TEST_P(McseQueueTest, HardwareProducerSoftwareConsumer) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<std::string> q("frames", 4);
+    std::vector<std::string> got;
+    sim.spawn("camera", [&] {
+        for (int i = 0; i < 3; ++i) {
+            k::wait(20_us);
+            q.write("frame" + std::to_string(i));
+        }
+    });
+    cpu.create_task({.name = "encoder", .priority = 1}, [&](r::Task& self) {
+        for (int i = 0; i < 3; ++i) {
+            got.push_back(q.read());
+            self.compute(5_us);
+        }
+    });
+    sim.run();
+    EXPECT_EQ(got, (std::vector<std::string>{"frame0", "frame1", "frame2"}));
+}
+
+TEST_P(McseQueueTest, SoftwareProducerHardwareConsumer) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 1);
+    std::vector<int> got;
+    cpu.create_task({.name = "sw", .priority = 1}, [&](r::Task& self) {
+        for (int i = 0; i < 3; ++i) {
+            self.compute(4_us);
+            q.write(i);
+        }
+    });
+    sim.spawn("dac", [&] {
+        for (int i = 0; i < 3; ++i) got.push_back(q.read());
+    });
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_P(McseQueueTest, NonBlockingVariants) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 1);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        int v = 0;
+        EXPECT_FALSE(q.try_read(v));
+        EXPECT_TRUE(q.try_write(7));
+        EXPECT_FALSE(q.try_write(8)); // full
+        EXPECT_TRUE(q.try_read(v));
+        EXPECT_EQ(v, 7);
+        self.compute(1_us);
+    });
+    sim.run();
+}
+
+TEST_P(McseQueueTest, OccupancyStatistics) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 4);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        self.compute(10_us); // empty 0-10
+        q.write(1);
+        self.compute(10_us); // occupancy 1 for 10-20
+        q.write(2);
+        self.compute(10_us); // occupancy 2 for 20-30
+        (void)q.read();
+        (void)q.read();
+        self.compute(10_us); // empty 30-40
+    });
+    sim.run();
+    EXPECT_EQ(sim.now(), 40_us);
+    EXPECT_EQ(q.max_occupancy(), 2u);
+    // Non-empty for 20us of 40us.
+    EXPECT_NEAR(q.utilization(), 0.5, 1e-9);
+    // Time-averaged occupancy: (1*10 + 2*10)/40 = 0.75.
+    EXPECT_NEAR(q.average_occupancy(), 0.75, 1e-9);
+}
+
+TEST_P(McseQueueTest, BlockedWriteAccountedInStats) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 1);
+    cpu.create_task({.name = "producer", .priority = 5}, [&](r::Task&) {
+        q.write(1);
+        q.write(2); // blocked until t=25
+    });
+    cpu.create_task({.name = "consumer", .priority = 1}, [&](r::Task& self) {
+        self.compute(25_us);
+        (void)q.read();
+    });
+    sim.run();
+    const auto& s = q.access_stats();
+    EXPECT_EQ(s.blocked_accesses, 1u);
+    EXPECT_EQ(s.blocked_time, 25_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, McseQueueTest,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "threaded";
+                         });

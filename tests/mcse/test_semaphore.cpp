@@ -1,0 +1,225 @@
+// MCSE Semaphore relation tests: counting semantics, blocking acquire,
+// FIFO vs priority wake order, HW/SW crossing, RAII guard, statistics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "mcse/semaphore.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+class SemaphoreTest : public ::testing::TestWithParam<r::EngineKind> {};
+
+TEST_P(SemaphoreTest, CountingLimitsConcurrentHolders) {
+    k::Simulator sim;
+    r::Processor cpu1("cpu1", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    r::Processor cpu2("cpu2", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    r::Processor cpu3("cpu3", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    m::Semaphore sem("sem", 2);
+    std::vector<Time> entered;
+    auto worker = [&](r::Task& self) {
+        sem.acquire();
+        entered.push_back(self.processor().simulator().now());
+        self.compute(10_us);
+        sem.release();
+    };
+    // Three tasks on three processors so they would otherwise run in
+    // parallel; the semaphore admits only two at a time.
+    cpu1.create_task({.name = "w1", .priority = 1}, worker);
+    cpu2.create_task({.name = "w2", .priority = 1}, worker);
+    cpu3.create_task({.name = "w3", .priority = 1}, worker);
+    sim.run();
+    ASSERT_EQ(entered.size(), 3u);
+    EXPECT_EQ(entered[0], Time::zero());
+    EXPECT_EQ(entered[1], Time::zero());
+    EXPECT_EQ(entered[2], 10_us);
+    EXPECT_EQ(sem.value(), 2u);
+}
+
+TEST_P(SemaphoreTest, AcquireBlocksUntilRelease) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 0);
+    Time acquired_at;
+    cpu.create_task({.name = "consumer", .priority = 2}, [&](r::Task&) {
+        sem.acquire();
+        acquired_at = sim.now();
+    });
+    sim.spawn("hw_producer", [&] {
+        k::wait(42_us);
+        sem.release();
+    });
+    sim.run();
+    EXPECT_EQ(acquired_at, 42_us);
+}
+
+TEST_P(SemaphoreTest, TryAcquireNeverBlocks) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 1);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        EXPECT_TRUE(sem.try_acquire());
+        EXPECT_FALSE(sem.try_acquire());
+        sem.release();
+        EXPECT_TRUE(sem.try_acquire());
+        self.compute(1_us);
+    });
+    sim.run();
+}
+
+TEST_P(SemaphoreTest, FifoWakeOrder) {
+    k::Simulator sim;
+    r::Processor cpu1("cpu1", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    r::Processor cpu2("cpu2", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    m::Semaphore sem("sem", 0, m::WakeOrder::fifo);
+    std::vector<std::string> order;
+    // Low priority arrives first, high second; FIFO serves low first anyway.
+    cpu1.create_task({.name = "low", .priority = 1, .start_time = 1_us},
+                     [&](r::Task&) {
+                         sem.acquire();
+                         order.push_back("low");
+                     });
+    cpu2.create_task({.name = "high", .priority = 9, .start_time = 2_us},
+                     [&](r::Task&) {
+                         sem.acquire();
+                         order.push_back("high");
+                     });
+    sim.spawn("hw", [&] {
+        k::wait(10_us);
+        sem.release();
+        k::wait(10_us);
+        sem.release();
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"low", "high"}));
+}
+
+TEST_P(SemaphoreTest, PriorityWakeOrder) {
+    k::Simulator sim;
+    r::Processor cpu1("cpu1", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    r::Processor cpu2("cpu2", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    m::Semaphore sem("sem", 0, m::WakeOrder::priority);
+    std::vector<std::string> order;
+    cpu1.create_task({.name = "low", .priority = 1, .start_time = 1_us},
+                     [&](r::Task&) {
+                         sem.acquire();
+                         order.push_back("low");
+                     });
+    cpu2.create_task({.name = "high", .priority = 9, .start_time = 2_us},
+                     [&](r::Task&) {
+                         sem.acquire();
+                         order.push_back("high");
+                     });
+    sim.spawn("hw", [&] {
+        k::wait(10_us);
+        sem.release();
+        k::wait(10_us);
+        sem.release();
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"high", "low"}));
+}
+
+TEST_P(SemaphoreTest, GuardReleasesOnScopeExit) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 1);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        {
+            m::Semaphore::Guard g(sem);
+            EXPECT_EQ(sem.value(), 0u);
+            self.compute(5_us);
+        }
+        EXPECT_EQ(sem.value(), 1u);
+    });
+    sim.run();
+}
+
+TEST_P(SemaphoreTest, HardwareProducerSoftwareConsumerRendezvous) {
+    // Classic producer/consumer item counting across the HW/SW boundary.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore items("items", 0);
+    int consumed = 0;
+    cpu.create_task({.name = "consumer", .priority = 1}, [&](r::Task& self) {
+        for (int i = 0; i < 5; ++i) {
+            items.acquire();
+            self.compute(3_us);
+            ++consumed;
+        }
+    });
+    sim.spawn("producer_hw", [&] {
+        for (int i = 0; i < 5; ++i) {
+            k::wait(10_us);
+            items.release();
+        }
+    });
+    sim.run();
+    EXPECT_EQ(consumed, 5);
+    EXPECT_EQ(items.value(), 0u);
+}
+
+TEST_P(SemaphoreTest, UtilizationIsExhaustedFraction) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 1);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task& self) {
+        self.compute(10_us); // count 1: not exhausted 0-10
+        sem.acquire();       // count 0 from 10
+        self.compute(30_us);
+        sem.release();       // count 1 at 40
+        self.compute(10_us);
+    });
+    sim.run();
+    EXPECT_EQ(sim.now(), 50_us);
+    EXPECT_NEAR(sem.utilization(), 30.0 / 50.0, 1e-9);
+    const auto& stats = sem.access_stats();
+    EXPECT_EQ(stats.accesses, 2u); // acquire + release
+    EXPECT_EQ(stats.blocked_accesses, 0u);
+}
+
+TEST_P(SemaphoreTest, BlockedTimeAccounted) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 0);
+    cpu.create_task({.name = "t", .priority = 1}, [&](r::Task&) {
+        sem.acquire(); // blocked 0 -> 25
+    });
+    sim.spawn("hw", [&] {
+        k::wait(25_us);
+        sem.release();
+    });
+    sim.run();
+    EXPECT_EQ(sem.access_stats().blocked_accesses, 1u);
+    EXPECT_EQ(sem.access_stats().blocked_time, 25_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, SemaphoreTest,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "threaded";
+                         });

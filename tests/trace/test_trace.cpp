@@ -1,0 +1,171 @@
+// Trace-layer tests: recorder contents, timeline segments and rendering,
+// CSV and VCD exporters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "rtos/processor.hpp"
+#include "trace/csv.hpp"
+#include "trace/recorder.hpp"
+#include "trace/timeline.hpp"
+#include "trace/vcd.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+/// Two-task scenario with one preemption, used by most tests.
+struct Scenario {
+    Scenario() : cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>()) {
+        cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+        rec.attach(cpu);
+        rec.attach(irq);
+        cpu.create_task({.name = "H", .priority = 5}, [this](r::Task& self) {
+            irq.await();
+            self.compute(20_us);
+        });
+        cpu.create_task({.name = "L", .priority = 1},
+                        [](r::Task& self) { self.compute(100_us); });
+        k::Simulator::current().spawn("hw", [this] {
+            k::wait(50_us);
+            irq.signal();
+        });
+    }
+    r::Processor cpu;
+    m::Event irq{"irq", m::EventPolicy::boolean};
+    tr::Recorder rec;
+};
+} // namespace
+
+TEST(RecorderTest, CapturesStatesOverheadsAndComms) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    EXPECT_FALSE(s.rec.states().empty());
+    EXPECT_FALSE(s.rec.overheads().empty());
+    ASSERT_FALSE(s.rec.comms().empty());
+    // First comm record: H's await did block.
+    bool saw_signal = false, saw_await = false;
+    for (const auto& c : s.rec.comms()) {
+        if (c.kind == m::AccessKind::signal_op) {
+            saw_signal = true;
+            EXPECT_EQ(c.task, nullptr); // from hardware
+            EXPECT_EQ(c.at, 50_us);
+        }
+        if (c.kind == m::AccessKind::await_op) saw_await = true;
+    }
+    EXPECT_TRUE(saw_signal);
+    EXPECT_TRUE(saw_await);
+    EXPECT_EQ(s.rec.all_tasks().size(), 2u);
+    s.rec.clear();
+    EXPECT_TRUE(s.rec.states().empty());
+}
+
+TEST(TimelineTest, SegmentsAreContiguousAndOrdered) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    tr::Timeline tl(s.rec);
+    for (const char* name : {"H", "L"}) {
+        const auto segs = tl.segments(name);
+        ASSERT_FALSE(segs.empty()) << name;
+        for (std::size_t i = 1; i < segs.size(); ++i)
+            EXPECT_EQ(segs[i].begin, segs[i - 1].end) << name;
+        EXPECT_EQ(segs.back().end, Time::max());
+        EXPECT_EQ(segs.back().state, r::TaskState::terminated);
+    }
+    // L was preempted at 50 and resumed at 100 (save/sched + H 20us + save/
+    // sched/load). state_at picks the right segment.
+    EXPECT_EQ(tl.state_at("L", 49_us), r::TaskState::running);
+    EXPECT_EQ(tl.state_at("L", 60_us), r::TaskState::ready);
+    EXPECT_EQ(tl.segments("no_such_task").size(), 0u);
+}
+
+TEST(TimelineTest, RenderProducesReadableChart) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    std::ostringstream os;
+    tr::Timeline(s.rec).render(os, {.columns = 60});
+    const std::string chart = os.str();
+    EXPECT_NE(chart.find("legend:"), std::string::npos);
+    EXPECT_NE(chart.find("H"), std::string::npos);
+    EXPECT_NE(chart.find("cpu.rtos"), std::string::npos);
+    EXPECT_NE(chart.find('#'), std::string::npos);
+    EXPECT_NE(chart.find('o'), std::string::npos);
+    EXPECT_NE(chart.find("accesses:"), std::string::npos);
+    EXPECT_NE(chart.find("[blocked]"), std::string::npos);
+}
+
+TEST(TimelineTest, EmptyWindowHandled) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    std::ostringstream os;
+    tr::Timeline(s.rec).render(os, {.from = 10_us, .to = 10_us});
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(CsvTest, StateRowsWellFormed) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    std::ostringstream os;
+    tr::write_states_csv(os, s.rec);
+    std::istringstream in(os.str());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "time_us,task,processor,from,to");
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4) << line;
+    }
+    EXPECT_GE(rows, 8u);
+}
+
+TEST(CsvTest, CommAndOverheadRows) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    std::ostringstream comms, ovh;
+    tr::write_comms_csv(comms, s.rec);
+    tr::write_overheads_csv(ovh, s.rec);
+    EXPECT_NE(comms.str().find("irq"), std::string::npos);
+    EXPECT_NE(comms.str().find("<hw>"), std::string::npos);
+    EXPECT_NE(ovh.str().find("context_save"), std::string::npos);
+    EXPECT_NE(ovh.str().find("scheduling"), std::string::npos);
+}
+
+TEST(VcdTest, WellFormedOutput) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    std::ostringstream os;
+    tr::write_vcd(os, s.rec);
+    const std::string vcd = os.str();
+    EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 3"), std::string::npos);
+    EXPECT_NE(vcd.find("cpu_rtos_overhead"), std::string::npos);
+    EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(vcd.find("#0"), std::string::npos);
+    // Timestamps are monotonically non-decreasing.
+    std::istringstream in(vcd);
+    std::string line;
+    long long prev = -1;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '#') {
+            const long long t = std::stoll(line.substr(1));
+            EXPECT_GE(t, prev);
+            prev = t;
+        }
+    }
+    EXPECT_GE(prev, 0);
+}

@@ -1,0 +1,154 @@
+// MPEG-2 SoC case-study tests: structure (18 tasks / 6 processors, 3 with an
+// RTOS model), end-to-end frame flow, determinism, and design-space effects
+// (overheads and CPU speed move latency the right way).
+#include <gtest/gtest.h>
+
+#include "kernel/simulator.hpp"
+#include "trace/recorder.hpp"
+#include "trace/statistics.hpp"
+#include "workload/mpeg2.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+w::Mpeg2Config small_config() {
+    w::Mpeg2Config cfg;
+    cfg.frames = 20;
+    cfg.frame_period = 1000_us;
+    cfg.display_deadline = 5_ms;
+    return cfg;
+}
+} // namespace
+
+TEST(Mpeg2Test, StructureMatchesPaper) {
+    k::Simulator sim;
+    w::Mpeg2System soc(small_config());
+    // Three software processors with an RTOS model...
+    ASSERT_EQ(soc.sw_processors().size(), 3u);
+    std::size_t sw_tasks = 0;
+    for (const auto* cpu : soc.sw_processors()) sw_tasks += cpu->tasks().size();
+    EXPECT_EQ(sw_tasks, 11u); // 4 + 3 + 4
+    // ...plus 7 hardware tasks = 18 total.
+    // (HW tasks are kernel processes: VideoIn, PreFilter, MotionEstim, DCT,
+    // IDCT, StreamOut, Display.)
+    EXPECT_EQ(sw_tasks + 7u, 18u);
+    EXPECT_FALSE(soc.relations().empty());
+}
+
+TEST(Mpeg2Test, AllFramesFlowThroughThePipeline) {
+    k::Simulator sim;
+    auto cfg = small_config();
+    w::Mpeg2System soc(cfg);
+    sim.run_until(100_ms);
+    ASSERT_EQ(soc.displayed_frames().size(), cfg.frames);
+    EXPECT_EQ(soc.frames_encoded(), cfg.frames);
+    // Frames display in order with monotone timestamps.
+    for (std::size_t i = 0; i < soc.displayed_frames().size(); ++i) {
+        const auto& f = soc.displayed_frames()[i];
+        EXPECT_EQ(f.index, i);
+        EXPECT_GT(f.displayed, f.captured);
+        if (i > 0) {
+            EXPECT_GT(f.displayed, soc.displayed_frames()[i - 1].displayed);
+        }
+    }
+}
+
+TEST(Mpeg2Test, FrameTypesFollowGopStructure) {
+    EXPECT_EQ(w::Mpeg2System::frame_type(0, 12), 'I');
+    EXPECT_EQ(w::Mpeg2System::frame_type(12, 12), 'I');
+    EXPECT_EQ(w::Mpeg2System::frame_type(3, 12), 'P');
+    EXPECT_EQ(w::Mpeg2System::frame_type(6, 12), 'P');
+    EXPECT_EQ(w::Mpeg2System::frame_type(1, 12), 'B');
+    EXPECT_EQ(w::Mpeg2System::frame_type(2, 12), 'B');
+}
+
+TEST(Mpeg2Test, DeterministicAcrossRuns) {
+    std::vector<double> latencies[2];
+    for (int run = 0; run < 2; ++run) {
+        k::Simulator sim;
+        w::Mpeg2System soc(small_config());
+        sim.run_until(100_ms);
+        for (const auto& f : soc.displayed_frames())
+            latencies[run].push_back(f.latency().to_us());
+    }
+    EXPECT_EQ(latencies[0], latencies[1]);
+}
+
+TEST(Mpeg2Test, EnginesAgreeOnLatencies) {
+    std::vector<double> latencies[2];
+    const r::EngineKind kinds[2] = {r::EngineKind::procedure_calls,
+                                    r::EngineKind::rtos_thread};
+    for (int i = 0; i < 2; ++i) {
+        k::Simulator sim;
+        auto cfg = small_config();
+        cfg.engine = kinds[i];
+        w::Mpeg2System soc(cfg);
+        sim.run_until(100_ms);
+        for (const auto& f : soc.displayed_frames())
+            latencies[i].push_back(f.latency().to_us());
+    }
+    EXPECT_EQ(latencies[0], latencies[1]);
+}
+
+TEST(Mpeg2Test, SlowerCpuIncreasesLatency) {
+    double avg[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+        k::Simulator sim;
+        auto cfg = small_config();
+        cfg.sw_speed_factor = (i == 0) ? 1.0 : 2.5;
+        w::Mpeg2System soc(cfg);
+        sim.run_until(200_ms);
+        avg[i] = soc.average_latency_us();
+        EXPECT_FALSE(soc.displayed_frames().empty());
+    }
+    EXPECT_GT(avg[1], avg[0]);
+}
+
+TEST(Mpeg2Test, HigherRtosOverheadIncreasesLatency) {
+    double avg[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+        k::Simulator sim;
+        auto cfg = small_config();
+        cfg.sw_overheads = r::RtosOverheads::uniform(i == 0 ? Time::zero() : 50_us);
+        w::Mpeg2System soc(cfg);
+        sim.run_until(200_ms);
+        avg[i] = soc.average_latency_us();
+    }
+    EXPECT_GT(avg[1], avg[0]);
+}
+
+TEST(Mpeg2Test, StatisticsCoverAllSoftwareTasks) {
+    k::Simulator sim;
+    w::Mpeg2System soc(small_config());
+    rtsc::trace::Recorder rec;
+    for (auto* cpu : soc.sw_processors()) rec.attach(*cpu);
+    for (auto* rel : soc.relations()) rec.attach(*rel);
+    sim.run_until(100_ms);
+    const auto rep = rtsc::trace::StatisticsReport::collect(rec, sim.now());
+    EXPECT_EQ(rep.tasks.size(), 11u);
+    EXPECT_EQ(rep.processors.size(), 3u);
+    EXPECT_EQ(rep.relations.size(), soc.relations().size());
+    for (const auto& p : rep.processors) {
+        EXPECT_NEAR(p.busy_ratio + p.overhead_ratio + p.idle_ratio, 1.0, 1e-9)
+            << p.name;
+        EXPECT_GT(p.dispatches, 0u) << p.name;
+    }
+    // Every pipeline stage actually ran.
+    for (const char* name : {"MotionDecision", "Quant", "VLC", "Mux", "Demux",
+                             "VLD", "IQ", "MotionComp"})
+        EXPECT_GT(rep.task(name)->activity_ratio, 0.0) << name;
+}
+
+TEST(Mpeg2Test, TightDeadlineProducesMisses) {
+    k::Simulator sim;
+    auto cfg = small_config();
+    cfg.display_deadline = 500_us; // impossible end-to-end budget
+    w::Mpeg2System soc(cfg);
+    sim.run_until(100_ms);
+    EXPECT_GT(soc.deadline_misses(), 0u);
+    EXPECT_EQ(soc.deadline_misses(), soc.displayed_frames().size());
+}
