@@ -1,0 +1,138 @@
+// Fault-injection cost: arming a FaultInjector with an EMPTY plan must be
+// free — the hooks simply are not installed, so the model's hot paths
+// (compute, raise, queue writes) run the same code as without an injector.
+// The acceptance bar is < 2% wall-clock overhead for the empty plan; a real
+// campaign's cost (extra RNG draws per hooked call) is reported alongside.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "kernel/simulator.hpp"
+#include "mcse/message_queue.hpp"
+#include "rtos/interrupt.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace f = rtsc::fault;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+enum class Mode { no_injector, empty_plan, campaign };
+
+/// Interrupt -> ISR -> queue -> worker pipeline, heavy on the paths the
+/// injector can hook: raises, computes and queue writes.
+std::uint64_t run_model(Mode mode, int pulses, std::uint64_t seed) {
+    k::Simulator sim;
+    r::Processor cpu("cpu");
+    cpu.set_overheads(r::RtosOverheads::uniform(1_us));
+
+    r::InterruptLine irq("irq");
+    m::MessageQueue<int> q("q", 32);
+
+    r::Task& worker =
+        cpu.create_task({.name = "worker", .priority = 1}, [&](r::Task& self) {
+            int v = 0;
+            while (q.read_for(v, 100_us)) self.compute(2_us);
+        });
+    irq.attach_isr(cpu, 5, [&](r::Task&) { (void)q.try_write(1); }, 1_us);
+
+    sim.spawn("hw", [&, pulses] {
+        for (int i = 0; i < pulses; ++i) {
+            k::wait(10_us);
+            irq.raise();
+        }
+    });
+
+    f::FaultPlan plan;
+    if (mode == Mode::campaign) {
+        plan.exec_jitter.push_back({&worker, 0.3, 0.8, 1.5});
+        plan.irq_drops.push_back({&irq, 0.05});
+        plan.irq_bursts.push_back({&irq, 0.05, 1, 2});
+        plan.message_losses.push_back({&q, 0.05});
+    }
+    std::unique_ptr<f::FaultInjector> inj;
+    if (mode != Mode::no_injector) {
+        inj = std::make_unique<f::FaultInjector>(sim, plan, seed);
+        inj->arm();
+    }
+    sim.run();
+    return sim.process_activations();
+}
+
+void BM_Fault(benchmark::State& state, Mode mode) {
+    const int pulses = static_cast<int>(state.range(0));
+    std::uint64_t acc = 0;
+    for (auto _ : state) acc += run_model(mode, pulses, 42);
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(pulses));
+}
+
+double time_once(Mode mode, int pulses) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)run_model(mode, pulses, 42);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double median(std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// {base seconds, empty/base ratio, campaign/base ratio}. The modes are
+/// interleaved per round and each round yields one ratio against its own
+/// baseline, so slow spells that blanket a whole round cancel out; the median
+/// over rounds then discards rounds where a spike hit only one mode.
+std::array<double, 3> time_all(int pulses, int reps) {
+    for (Mode m : {Mode::no_injector, Mode::empty_plan, Mode::campaign})
+        (void)run_model(m, pulses, 42); // warm-up
+    std::vector<double> bases, empties, campaigns;
+    for (int i = 0; i < reps; ++i) {
+        const double b = time_once(Mode::no_injector, pulses);
+        bases.push_back(b);
+        empties.push_back(time_once(Mode::empty_plan, pulses) / b);
+        campaigns.push_back(time_once(Mode::campaign, pulses) / b);
+    }
+    return {median(bases), median(empties), median(campaigns)};
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Fault, no_injector, Mode::no_injector)
+    ->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fault, empty_plan, Mode::empty_plan)
+    ->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fault, campaign, Mode::campaign)
+    ->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::cout << "\n=== empty-plan overhead check (bar: < 2%) ===\n";
+    const int pulses = 2000;
+    const auto [base, empty_ratio, fault_ratio] = time_all(pulses, 15);
+    const double empty_pct = (empty_ratio - 1.0) * 100.0;
+    const double fault_pct = (fault_ratio - 1.0) * 100.0;
+    std::cout << "  no injector : " << base * 1e3 << " ms (median)\n"
+              << "  empty plan  : " << (empty_pct >= 0 ? "+" : "")
+              << empty_pct << "% (median ratio)\n"
+              << "  campaign    : " << (fault_pct >= 0 ? "+" : "")
+              << fault_pct << "% (median ratio)\n";
+    std::cout << (empty_pct < 2.0 ? "  PASS: empty plan costs < 2%\n"
+                                  : "  FAIL: empty plan exceeds the 2% bar\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+#pragma once
+// FaultPlan: a declarative description of the faults to inject into a model.
+//
+// The plan is plain data — which tasks jitter, which interrupt lines drop or
+// burst, which channels lose messages, which tasks crash when — so a
+// campaign can be built programmatically (or parsed from configuration) and
+// replayed exactly: FaultInjector derives one deterministic RNG stream per
+// entry from the campaign seed, making every run with the same plan and seed
+// produce the identical fault pattern, trace timeline and violation list.
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace rtsc::mcse {
+class Relation;
+}
+namespace rtsc::rtos {
+class InterruptLine;
+class Task;
+}
+
+namespace rtsc::fault {
+
+/// Scale a task's compute() durations: with probability `probability` a
+/// duration is multiplied by a factor drawn uniformly from
+/// [scale_min, scale_max]. Use scale > 1 for WCET overruns, < 1 for
+/// data-dependent early completion, and probability 1.0 with a narrow range
+/// for systematic drift.
+struct ExecJitter {
+    rtos::Task* task = nullptr;
+    double probability = 1.0;
+    double scale_min = 1.0;
+    double scale_max = 1.0;
+};
+
+/// Kill `task` at simulated time `at` (one-shot). When `restart` is set the
+/// injector waits for the unwind to complete and brings the task back after
+/// `restart_delay`.
+struct TaskCrash {
+    rtos::Task* task = nullptr;
+    kernel::Time at{};
+    bool restart = false;
+    kernel::Time restart_delay{};
+};
+
+/// Drop each raise() of `line` with probability `probability`.
+struct IrqDrop {
+    rtos::InterruptLine* line = nullptr;
+    double probability = 0.0;
+};
+
+/// Duplicate raises: with probability `probability` a raise() delivers
+/// 1 + U[extra_min, extra_max] occurrences instead of one (bouncy line).
+struct IrqBurst {
+    rtos::InterruptLine* line = nullptr;
+    double probability = 0.0;
+    unsigned extra_min = 1;
+    unsigned extra_max = 1;
+};
+
+/// Raise `line` spuriously (no hardware cause) every `period` with a uniform
+/// jitter in [0, jitter], until simulated time `until` (zero = forever).
+struct IrqSpurious {
+    rtos::InterruptLine* line = nullptr;
+    kernel::Time period{};
+    kernel::Time jitter{};
+    kernel::Time until{};
+};
+
+/// Lose each message written to `channel` with probability `probability`
+/// (the sender still believes the write succeeded).
+struct MessageLoss {
+    mcse::Relation* channel = nullptr;
+    double probability = 0.0;
+};
+
+struct FaultPlan {
+    std::vector<ExecJitter> exec_jitter;
+    std::vector<TaskCrash> task_crashes;
+    std::vector<IrqDrop> irq_drops;
+    std::vector<IrqBurst> irq_bursts;
+    std::vector<IrqSpurious> irq_spurious;
+    std::vector<MessageLoss> message_losses;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return exec_jitter.empty() && task_crashes.empty() &&
+               irq_drops.empty() && irq_bursts.empty() &&
+               irq_spurious.empty() && message_losses.empty();
+    }
+};
+
+} // namespace rtsc::fault

@@ -9,10 +9,46 @@
 
 #include "kernel/report.hpp"
 
+// ASan cannot follow swapcontext on its own (it sees one linear stack and
+// reports false use-after-scope when we land on another fiber); the fiber
+// annotations below tell it about every switch so sanitized builds are
+// clean. See https://github.com/google/sanitizers/issues/189.
+#if defined(__SANITIZE_ADDRESS__)
+#define RTSC_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RTSC_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef RTSC_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace rtsc::kernel {
 
 namespace {
 thread_local Coroutine* g_current = nullptr;
+
+/// Announce an upcoming switch to the stack [bottom, bottom+size); the
+/// current context's fake stack is parked in *fake_save (nullptr destroys
+/// it — only valid when this context never runs again).
+void start_switch_fiber([[maybe_unused]] void** fake_save,
+                        [[maybe_unused]] const void* bottom,
+                        [[maybe_unused]] std::size_t size) {
+#ifdef RTSC_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(fake_save, bottom, size);
+#endif
+}
+
+/// First call on the destination stack after a switch: restore this
+/// context's fake stack and report where the switch came from.
+void finish_switch_fiber([[maybe_unused]] void* fake_save,
+                         [[maybe_unused]] const void** from_bottom,
+                         [[maybe_unused]] std::size_t* from_size) {
+#ifdef RTSC_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake_save, from_bottom, from_size);
+#endif
+}
 
 std::size_t page_size() {
     static const std::size_t sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
@@ -59,13 +95,20 @@ void Coroutine::trampoline(unsigned hi, unsigned lo) {
 }
 
 void Coroutine::run_body() {
+    // First instruction on this fiber's stack: complete the switch that
+    // resume() started and learn the resumer's stack for the way back.
+    finish_switch_fiber(nullptr, &asan_return_stack_, &asan_return_stack_size_);
     try {
         body_();
+    } catch (const ProcessKilled&) {
+        // Simulator::kill_process unwound the body: a normal termination.
     } catch (...) {
         eptr_ = std::current_exception();
     }
     finished_ = true;
-    // Final switch back to the scheduler; this coroutine never runs again.
+    // Final switch back to the scheduler; this coroutine never runs again,
+    // so its fake stack is destroyed (nullptr) rather than parked.
+    start_switch_fiber(nullptr, asan_return_stack_, asan_return_stack_size_);
     ::swapcontext(&ctx_, &return_ctx_);
 }
 
@@ -75,7 +118,10 @@ void Coroutine::resume() {
     Coroutine* prev = g_current;
     g_current = this;
     started_ = true;
+    void* caller_fake = nullptr;
+    start_switch_fiber(&caller_fake, ctx_.uc_stack.ss_sp, ctx_.uc_stack.ss_size);
     ::swapcontext(&return_ctx_, &ctx_);
+    finish_switch_fiber(caller_fake, nullptr, nullptr);
     g_current = prev;
     if (eptr_) {
         auto e = std::exchange(eptr_, nullptr);
@@ -84,7 +130,13 @@ void Coroutine::resume() {
 }
 
 void Coroutine::yield() {
+    start_switch_fiber(&asan_fake_stack_, asan_return_stack_,
+                       asan_return_stack_size_);
     ::swapcontext(&ctx_, &return_ctx_);
+    // Re-entered: refresh the resumer's stack extents — a different context
+    // (e.g. a task performing a kill) may have resumed us this time.
+    finish_switch_fiber(asan_fake_stack_, &asan_return_stack_,
+                        &asan_return_stack_size_);
 }
 
 } // namespace rtsc::kernel

@@ -60,6 +60,12 @@ private:
     bool started_ = false;
     bool finished_ = false;
     std::exception_ptr eptr_;
+    // AddressSanitizer fiber-switch bookkeeping (unused in plain builds):
+    // the fiber's saved fake-stack while suspended, and the resumer's stack
+    // extents captured on each entry so yield() can announce the switch back.
+    void* asan_fake_stack_ = nullptr;
+    const void* asan_return_stack_ = nullptr;
+    std::size_t asan_return_stack_size_ = 0;
 };
 
 } // namespace rtsc::kernel

@@ -22,8 +22,9 @@ class Simulator;
 
 class Process {
 public:
-    /// Why the last wait() returned.
-    enum class WakeReason : std::uint8_t { none, event, timeout };
+    /// Why the last wait() returned. `killed` never reaches user code: the
+    /// kill wake turns into a ProcessKilled throw before wait() returns.
+    enum class WakeReason : std::uint8_t { none, event, timeout, killed };
 
     /// SC_THREAD-like (own stack, suspends via wait) or SC_METHOD-like
     /// (plain callback re-armed by its sensitivity / next_trigger).
@@ -45,6 +46,16 @@ public:
     /// here so communication relations can identify the calling task).
     void* user_data = nullptr;
 
+    /// Daemon processes are infrastructure that legitimately waits forever
+    /// (a dedicated RTOS scheduler thread, a watchdog); the deadlock/stall
+    /// detector skips them.
+    void set_daemon(bool on) noexcept { daemon_ = on; }
+    [[nodiscard]] bool daemon() const noexcept { return daemon_; }
+
+    /// A kill has been requested but the ProcessKilled unwind has not run
+    /// yet (the process terminates at its next resumption).
+    [[nodiscard]] bool kill_requested() const noexcept { return kill_requested_; }
+
 private:
     friend class Simulator;
 
@@ -63,6 +74,8 @@ private:
     std::unique_ptr<Event> done_event_;
     bool terminated_ = false;
     bool runnable_ = false;              ///< already queued for execution
+    bool daemon_ = false;                ///< excluded from stall diagnostics
+    bool kill_requested_ = false;        ///< throw ProcessKilled on next resume
     std::uint64_t activations_ = 0;
 
     // --- wait bookkeeping (owned by Simulator) ---

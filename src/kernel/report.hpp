@@ -21,6 +21,24 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// Thrown inside a process when Simulator::kill_process() targets it: the
+/// exception unwinds the coroutine stack so RAII cleanup (channel waiter
+/// registrations, guards) runs, then the process terminates. Deliberately
+/// NOT derived from std::exception so user-code `catch (std::exception&)`
+/// handlers do not swallow a kill; intermediate code may catch it to add
+/// cleanup but must rethrow.
+class ProcessKilled {
+public:
+    explicit ProcessKilled(std::string process_name)
+        : process_name_(std::move(process_name)) {}
+    [[nodiscard]] const std::string& process_name() const noexcept {
+        return process_name_;
+    }
+
+private:
+    std::string process_name_;
+};
+
 class Reporter {
 public:
     using Sink = std::function<void(Severity, const std::string&)>;

@@ -191,6 +191,32 @@ void Simulator::suspend_current() {
     p.wake_reason_ = Process::WakeReason::none;
     p.waking_event_ = nullptr;
     p.coro_->yield();
+    // A kill posted while this process was suspended surfaces here, on the
+    // process's own stack, so the wait()er's frames unwind with RAII intact.
+    if (p.kill_requested_) {
+        p.kill_requested_ = false;
+        throw ProcessKilled(p.name_);
+    }
+}
+
+void Simulator::kill_process(Process& p) {
+    if (p.terminated_) return;
+    if (&p == current_process_) {
+        p.kill_requested_ = false;
+        throw ProcessKilled(p.name_);
+    }
+    if (p.kind_ == Process::Kind::method ||
+        (p.kind_ == Process::Kind::thread && !p.coro_->started())) {
+        // No live stack to unwind: retire the process in place.
+        p.terminated_ = true;
+        clear_wait_state(p);
+        std::erase(runnable_, &p);
+        p.runnable_ = false;
+        p.done_event_->notify_delta();
+        return;
+    }
+    p.kill_requested_ = true;
+    wake(p, Process::WakeReason::killed, nullptr);
 }
 
 // ---- wait services ----
@@ -360,7 +386,16 @@ void Simulator::delta_notify_phase() {
 }
 
 void Simulator::run_loop(Time limit) {
-    if (running_) throw SimulationError("Simulator::run is not reentrant");
+    if (running_) {
+        // Re-entrant invocation (typically run()/run_until() called from
+        // inside a process) would corrupt the scheduler state; refuse with a
+        // diagnostic through the Reporter (error severity throws).
+        std::string msg = "Simulator::run()/run_until() is not reentrant";
+        if (current_process_ != nullptr)
+            msg += " (called from inside process '" + current_process_->name_ + "')";
+        reporter_.report(Severity::error, msg);
+        return; // unreachable: error severity throws
+    }
     running_ = true;
     stop_requested_ = false;
     try {
@@ -379,7 +414,42 @@ void Simulator::run_loop(Time limit) {
     running_ = false;
 }
 
-void Simulator::run() { run_loop(Time::max()); }
+void Simulator::check_for_stall() {
+    stall_report_ = StallReport{};
+    stall_report_.at = now_;
+    for (const auto& up : processes_) {
+        const Process& p = *up;
+        if (p.terminated_ || p.runnable_ || p.daemon_ ||
+            p.kind_ != Process::Kind::thread || !p.coro_->started())
+            continue;
+        BlockedProcess b;
+        b.process = p.name_;
+        for (const Event* e : p.waiting_on_) b.waiting_on.push_back(e->name());
+        if (b.waiting_on.empty())
+            b.waiting_on.emplace_back("<nothing: suspended forever>");
+        stall_report_.blocked.push_back(std::move(b));
+    }
+    if (stall_report_.detected())
+        reporter_.report(Severity::warning, stall_report_.to_string());
+}
+
+std::string Simulator::StallReport::to_string() const {
+    std::string msg = "deadlock/stall at t=" + at.to_string() + ": " +
+                      std::to_string(blocked.size()) +
+                      " process(es) blocked with no pending activity";
+    for (const auto& b : blocked) {
+        msg += "\n  " + b.process + " waits on:";
+        for (const std::string& e : b.waiting_on) msg += " " + e;
+    }
+    return msg;
+}
+
+void Simulator::run() {
+    run_loop(Time::max());
+    // The run went dry (rather than being stopped): with detection enabled,
+    // diagnose processes that are still blocked and can never wake.
+    if (deadlock_detection_ && !stop_requested_) check_for_stall();
+}
 
 void Simulator::run_until(Time t) {
     run_loop(t);

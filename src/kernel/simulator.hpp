@@ -66,6 +66,14 @@ public:
     void next_trigger(Time delay);
     void next_trigger(Event& e);
 
+    /// Terminate a process asynchronously. A suspended thread process is made
+    /// runnable and a ProcessKilled exception is raised at its suspension
+    /// point so its stack unwinds (RAII cleanup runs); killing the currently
+    /// executing process throws ProcessKilled directly; a method process or a
+    /// never-started thread is terminated in place. Idempotent on terminated
+    /// processes. The done_event fires as for a normal termination.
+    void kill_process(Process& p);
+
     [[nodiscard]] Time now() const noexcept { return now_; }
 
     /// Run until no timed activity remains (or stop() is called).
@@ -108,6 +116,32 @@ public:
     /// (guards against zero-delay activity loops in models). Default 1M.
     void set_max_deltas_per_instant(std::uint64_t n) noexcept { max_deltas_per_instant_ = n; }
 
+    // ---- deadlock / stall detection ----
+
+    /// One process found blocked when the simulation ran out of activity.
+    struct BlockedProcess {
+        std::string process;                ///< process name
+        std::vector<std::string> waiting_on;///< event names it waits for
+    };
+    /// Structured diagnostic produced when run() exhausts all timed activity
+    /// while live (non-daemon) thread processes are still blocked.
+    struct StallReport {
+        Time at{};                          ///< time the stall was detected
+        std::vector<BlockedProcess> blocked;
+        [[nodiscard]] bool detected() const noexcept { return !blocked.empty(); }
+        [[nodiscard]] std::string to_string() const;
+    };
+
+    /// When enabled, run() ending with live blocked thread processes emits a
+    /// warning through the Reporter naming each stuck process and the events
+    /// it waits on, and fills deadlock_report(). Off by default: servers that
+    /// legitimately idle at end of simulation would otherwise be flagged
+    /// (mark such processes with Process::set_daemon to exempt them).
+    void set_deadlock_detection(bool on) noexcept { deadlock_detection_ = on; }
+    [[nodiscard]] const StallReport& deadlock_report() const noexcept {
+        return stall_report_;
+    }
+
     /// Hook invoked on every process state change the kernel can observe;
     /// the trace layer uses this sparingly. May be empty.
     std::function<void(Process&, bool started)> on_process_switch;
@@ -143,6 +177,7 @@ private:
     Process& require_process(const char* what) const;
 
     bool advance_time(Time limit);          ///< pop next time's entries; false if none <= limit
+    void check_for_stall();                 ///< fills stall_report_ after a dry run()
     void evaluate_phase();
     void update_phase();
     void delta_notify_phase();
@@ -156,6 +191,8 @@ private:
     std::uint64_t activations_ = 0;
     bool stop_requested_ = false;
     bool running_ = false;
+    bool deadlock_detection_ = false;
+    StallReport stall_report_;
 
     std::vector<std::unique_ptr<Process>> processes_;
     std::deque<Process*> runnable_;

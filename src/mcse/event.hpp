@@ -103,10 +103,10 @@ public:
             }
             TaskWaiter w{task};
             waiters_.push_back(&w);
+            WaiterGuard guard(w, waiters_); // unwind/timeout-safe dereg
             (void)task->processor().engine().block_timed(
                 *task, rtos::TaskState::waiting, timeout);
             if (!w.delivered) {
-                std::erase(waiters_, &w);
                 record(task, AccessKind::await_op, now() - started);
                 return false;
             }

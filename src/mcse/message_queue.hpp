@@ -51,6 +51,13 @@ public:
                 kernel::wait(hw_wake());
             }
         }
+        // Fault injection: the sender believes the message went out; the
+        // queue never sees it.
+        if (lose_transfer()) {
+            record(task, AccessKind::write_op,
+                   blocked ? now() - started : kernel::Time::zero());
+            return;
+        }
         push(std::move(msg));
         wake_one(read_waiters_);
         hw_wake().notify();
@@ -98,9 +105,9 @@ public:
                 }
                 TaskWaiter w{task};
                 read_waiters_.push_back(&w);
+                WaiterGuard guard(w, read_waiters_); // unwind/timeout-safe dereg
                 (void)task->processor().engine().block_timed(
                     *task, rtos::TaskState::waiting, remaining);
-                if (!w.delivered) std::erase(read_waiters_, &w);
             }
         } else {
             while (buf_.empty()) {
@@ -124,6 +131,10 @@ public:
     /// Non-blocking write; returns false when full.
     [[nodiscard]] bool try_write(T msg) {
         if (full()) return false;
+        if (lose_transfer()) {
+            record(rtos::current_task(), AccessKind::write_op, kernel::Time::zero());
+            return true; // the sender believes it succeeded
+        }
         push(std::move(msg));
         wake_one(read_waiters_);
         hw_wake().notify();

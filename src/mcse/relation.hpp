@@ -9,8 +9,10 @@
 // (plain kernel process) blocks at kernel level. A relation can therefore
 // connect HW and SW sides of a co-simulated model transparently.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -87,12 +89,50 @@ public:
     /// time locked; events: fraction of awaits that had to block).
     [[nodiscard]] virtual double utilization() const = 0;
 
+    // ---- fault injection ----
+
+    /// Loss hook: consulted on each transfer the relation chooses to subject
+    /// to loss (MessageQueue writes); returning true drops the transfer.
+    /// Installed by fault::FaultInjector; one hook per relation.
+    void set_loss_hook(std::function<bool()> hook) { loss_hook_ = std::move(hook); }
+    /// Transfers dropped by the loss hook so far.
+    [[nodiscard]] std::uint64_t lost() const noexcept { return lost_; }
+
 protected:
     /// A registered software-task waiter; lives on the waiting task's stack.
     struct TaskWaiter {
         rtos::Task* task;
         bool delivered = false;
     };
+
+    /// RAII deregistration: removes the waiter from its list on scope exit,
+    /// so a kill()/crash unwinding through a blocked task never leaves a
+    /// dangling stack pointer registered with the relation. Erasing an
+    /// already-removed waiter is a no-op.
+    class WaiterGuard {
+    public:
+        WaiterGuard(TaskWaiter& w, std::deque<TaskWaiter*>& list)
+            : w_(w), list_(list) {}
+        ~WaiterGuard() {
+            const auto it = std::find(list_.begin(), list_.end(), &w_);
+            if (it != list_.end()) list_.erase(it);
+        }
+        WaiterGuard(const WaiterGuard&) = delete;
+        WaiterGuard& operator=(const WaiterGuard&) = delete;
+
+    private:
+        TaskWaiter& w_;
+        std::deque<TaskWaiter*>& list_;
+    };
+
+    /// True when the loss hook decides to drop this transfer (also counts it).
+    bool lose_transfer() {
+        if (loss_hook_ && loss_hook_()) {
+            ++lost_;
+            return true;
+        }
+        return false;
+    }
 
     [[nodiscard]] kernel::Simulator& sim() const noexcept { return sim_; }
     [[nodiscard]] kernel::Time now() const noexcept { return sim_.now(); }
@@ -116,19 +156,28 @@ protected:
     void block_task(TaskWaiter& w, std::deque<TaskWaiter*>& list,
                     rtos::TaskState state) {
         list.push_back(&w);
+        WaiterGuard guard(w, list); // unwind-safe: kill() cleans up
         do {
             w.task->processor().engine().block(*w.task, state);
         } while (!w.delivered);
     }
 
     /// Deliver one waiter (FIFO) if any; returns whether one was woken.
+    /// Waiters whose task was killed/crashed are skipped (their stack is
+    /// unwinding; delivering to them would lose the wake-up).
     static bool wake_one(std::deque<TaskWaiter*>& list) {
-        if (list.empty()) return false;
-        TaskWaiter* w = list.front();
-        list.pop_front();
-        w->delivered = true;
-        w->task->processor().engine().make_ready(*w->task);
-        return true;
+        while (!list.empty()) {
+            TaskWaiter* w = list.front();
+            if (w->task->killed() || w->task->crashed() || w->task->terminated()) {
+                list.pop_front();
+                continue;
+            }
+            list.pop_front();
+            w->delivered = true;
+            w->task->processor().engine().make_ready(*w->task);
+            return true;
+        }
+        return false;
     }
 
     /// Deliver every registered waiter.
@@ -147,6 +196,8 @@ private:
     kernel::Event hw_wake_;
     std::vector<CommObserver*> observers_;
     AccessStats stats_;
+    std::function<bool()> loss_hook_;
+    std::uint64_t lost_ = 0;
 };
 
 } // namespace rtsc::mcse

@@ -72,9 +72,9 @@ public:
                 }
                 TaskWaiter w{task};
                 waiters_.push_back(&w);
+                WaiterGuard guard(w, waiters_); // unwind/timeout-safe dereg
                 (void)task->processor().engine().block_timed(
                     *task, rtos::TaskState::waiting, remaining);
-                if (!w.delivered) std::erase(waiters_, &w);
             }
         } else {
             while (count_ == 0) {
@@ -140,6 +140,10 @@ public:
 
 private:
     void wake_best() {
+        std::erase_if(waiters_, [](TaskWaiter* w) {
+            return w->task->killed() || w->task->crashed() || w->task->terminated();
+        });
+        if (waiters_.empty()) return;
         auto best = std::max_element(
             waiters_.begin(), waiters_.end(), [](TaskWaiter* a, TaskWaiter* b) {
                 return a->task->effective_priority() < b->task->effective_priority();

@@ -56,8 +56,10 @@ public:
     /// CPU time (preemptible for software tasks) while holding the resource.
     [[nodiscard]] T read(kernel::Time access_duration = kernel::Time::zero()) {
         const kernel::Time blocked_for = lock();
+        LockRelease rel{*this}; // kill()-unwind-safe: never leak the resource
         consume_access(access_duration);
         T copy = value_;
+        rel.armed = false;
         unlock();
         record(rtos::current_task(), AccessKind::read_op, blocked_for);
         return copy;
@@ -67,8 +69,10 @@ public:
     /// CPU time while holding the resource.
     void write(T v, kernel::Time access_duration = kernel::Time::zero()) {
         const kernel::Time blocked_for = lock();
+        LockRelease rel{*this}; // kill()-unwind-safe: never leak the resource
         consume_access(access_duration);
         value_ = std::move(v);
+        rel.armed = false;
         unlock();
         record(rtos::current_task(), AccessKind::write_op, blocked_for);
     }
@@ -103,6 +107,16 @@ public:
     }
 
 private:
+    /// Releases the resource if a kill/crash unwinds the accessor mid-way
+    /// (the wake it triggers takes the engine's non-suspending path).
+    struct LockRelease {
+        SharedVariable& sv;
+        bool armed = true;
+        ~LockRelease() {
+            if (armed) sv.unlock();
+        }
+    };
+
     /// Acquire the resource; returns how long the caller was blocked
     /// (including the re-dispatch latency after the resource was released).
     kernel::Time lock() {
@@ -166,6 +180,9 @@ private:
     }
 
     void wake_highest_priority_waiter() {
+        std::erase_if(waiters_, [](TaskWaiter* w) {
+            return w->task->killed() || w->task->crashed() || w->task->terminated();
+        });
         if (waiters_.empty()) return;
         auto best = std::max_element(
             waiters_.begin(), waiters_.end(), [](TaskWaiter* a, TaskWaiter* b) {

@@ -1,6 +1,7 @@
 #include "rtos/engine.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "kernel/simulator.hpp"
 #include "rtos/processor.hpp"
@@ -165,9 +166,12 @@ void SchedulerEngine::await_dispatch(Task& t) {
             // thread of the §4.1 engine naturally runs after them, and the
             // two engines must behave identically.
             t.kicked_ = false;
+            pass_runner_ = &t;
             k::wait(k::Time::zero());
             schedule_pass(&t);
+            pass_runner_ = nullptr;
             dispatch_in_progress_ = false;
+            if (t.killed_) throw k::ProcessKilled(t.name());
             continue;
         }
         k::wait(t.ev_run_);
@@ -179,7 +183,7 @@ void SchedulerEngine::await_dispatch(Task& t) {
 // ------------------------------------------------------ task-thread services
 
 void SchedulerEngine::start_task(Task& t) {
-    if (!t.config_.start_time.is_zero()) k::wait(t.config_.start_time);
+    if (!t.start_delay_.is_zero()) k::wait(t.start_delay_);
     make_ready(t);
     await_dispatch(t);
 }
@@ -273,9 +277,12 @@ bool SchedulerEngine::block_timed(Task& t, TaskState kind, k::Time timeout) {
         }
         if (t.kicked_) {
             t.kicked_ = false;
+            pass_runner_ = &t;
             k::wait(k::Time::zero());
             schedule_pass(&t);
+            pass_runner_ = nullptr;
             dispatch_in_progress_ = false;
+            if (t.killed_) throw k::ProcessKilled(t.name());
             continue;
         }
         if (t.state() != kind) {
@@ -333,6 +340,10 @@ void SchedulerEngine::make_ready(Task& t) {
         case TaskState::running:
             return; // already scheduled (spurious wake)
         case TaskState::terminated:
+            // A late wake aimed at a killed/crashed task (timer, channel
+            // delivery racing the kill at the same instant) is dropped; a
+            // wake towards a normally-terminated task is still a model bug.
+            if (t.killed_ || t.crashed_) return;
             engine_error("make_ready on terminated task: " + t.name());
         case TaskState::created:
         case TaskState::waiting:
@@ -345,9 +356,16 @@ void SchedulerEngine::make_ready(Task& t) {
     t.set_state(TaskState::ready);
 
     Task* caller = current_task();
+    // A killed/crashed caller is unwinding (ProcessKilled or a body
+    // exception in flight): cleanup code — guards releasing semaphores or
+    // shared variables — must not suspend, so its wakes take the
+    // non-blocking interrupt-style path below; the leave charges the dying
+    // task still owes will run the scheduling pass that dispatches the
+    // woken task.
     const bool rtos_call_from_running =
         caller != nullptr && &caller->processor() == &processor_ &&
-        caller == running_;
+        caller == running_ && !caller->killed() &&
+        std::uncaught_exceptions() == 0;
     if (rtos_call_from_running) {
         if (preempts(t))
             inline_preempt(*caller);
@@ -365,6 +383,92 @@ void SchedulerEngine::make_ready(Task& t) {
     }
     // overhead phase: the in-flight scheduling pass (or the post-load check)
     // will consider the new arrival.
+}
+
+void SchedulerEngine::kill(Task& t) {
+    if (t.state() == TaskState::terminated || t.killed_) return;
+    t.killed_ = true;
+    cancel_slice(t);
+    k::Simulator& sim = processor_.simulator();
+
+    if (pass_runner_ == &t) {
+        // Its thread is executing the in-flight kicked scheduling pass
+        // (procedural engine). Let the pass complete — both engines always
+        // finish a started pass — and the kicked branch rechecks killed_
+        // right after it; here we only take the task out of contention.
+        const auto it = std::find(ready_.begin(), ready_.end(), &t);
+        if (it != ready_.end()) ready_.erase(it);
+        t.set_state(TaskState::terminated);
+        return;
+    }
+    if (current_task() == &t) {
+        // Self-kill: unwind this thread; run_body completes the Running
+        // leave (save + sched) afterwards.
+        throw k::ProcessKilled(t.name());
+    }
+
+    switch (t.state()) {
+        case TaskState::running:
+            // The save + sched charges are paid during the unwind in the
+            // task's own thread, exactly like a normal leave.
+            sim.kill_process(*t.proc_);
+            break;
+        case TaskState::ready: {
+            const auto it = std::find(ready_.begin(), ready_.end(), &t);
+            if (it != ready_.end()) {
+                ready_.erase(it);
+                t.set_state(TaskState::terminated);
+                const bool owned_kick = t.kicked_;
+                t.kicked_ = false;
+                sim.kill_process(*t.proc_);
+                if (owned_kick) {
+                    // The victim was designated to execute an idle-dispatch
+                    // pass that has not started yet: hand the kick to another
+                    // ready task, or drop the dispatch.
+                    if (!ready_.empty())
+                        kick_idle_dispatch(*ready_.front());
+                    else
+                        dispatch_in_progress_ = false;
+                }
+            } else {
+                // Granted or mid-context-load: the dispatch decision is
+                // void; the unwind charges a fresh scheduling pass so a
+                // replacement is picked (or the CPU goes idle).
+                t.granted_ = false;
+                t.redispatch_on_unwind_ = true;
+                t.set_state(TaskState::terminated);
+                sim.kill_process(*t.proc_);
+            }
+            break;
+        }
+        case TaskState::created:
+        case TaskState::waiting:
+        case TaskState::waiting_resource:
+            t.set_state(TaskState::terminated);
+            sim.kill_process(*t.proc_);
+            break;
+        case TaskState::terminated:
+            break; // unreachable (guarded above)
+    }
+}
+
+void SchedulerEngine::on_body_unwound(Task& t, bool crashed) {
+    if (crashed) t.crashed_ = true;
+    if (t.state() == TaskState::running) {
+        // Killed / crashed while Running: a normal leave — save + sched,
+        // then the next winner pays its load.
+        finish_task(t);
+        return;
+    }
+    if (t.state() != TaskState::terminated) {
+        const auto it = std::find(ready_.begin(), ready_.end(), &t);
+        if (it != ready_.end()) ready_.erase(it);
+        t.set_state(TaskState::terminated);
+    }
+    if (t.redispatch_on_unwind_) {
+        t.redispatch_on_unwind_ = false;
+        reschedule_after_leave(t, /*charge_save=*/false, /*sync=*/false);
+    }
 }
 
 void SchedulerEngine::recheck_preemption() {

@@ -67,6 +67,21 @@ public:
     /// priority changed.
     void recheck_preemption();
 
+    /// Terminate a task with correct engine bookkeeping (see Task::kill).
+    /// A Running victim pays context-save + scheduling during its unwind; a
+    /// Ready victim is unlinked from the ready queue (handing off a pending
+    /// idle-dispatch kick if it owned one); a granted / mid-context-load
+    /// victim voids its grant and a fresh scheduling pass picks a
+    /// replacement; a Waiting victim simply unwinds. Idempotent.
+    void kill(Task& t);
+
+    /// Called by Task::run_body after the task's stack unwound via kill or an
+    /// exception escaping the body: completes the leave-Running charges or
+    /// the replacement scheduling pass. Runs in the (still live) task thread
+    /// after the exception has been destroyed, so it may consume simulated
+    /// time.
+    void on_body_unwound(Task& t, bool crashed);
+
     // ---- introspection ----
     [[nodiscard]] Task* running() const noexcept { return running_; }
     [[nodiscard]] const ReadyQueue& ready_queue() const noexcept { return ready_; }
@@ -164,6 +179,11 @@ protected:
     Phase phase_ = Phase::idle;
     kernel::Time phase_since_{};
     bool dispatch_in_progress_ = false; ///< an idle-kick scheduling pass is pending
+    /// Task whose thread is currently executing a kicked scheduling pass
+    /// (procedural engine). kill() must not unwind it mid-pass: the pass
+    /// completes first — keeping both engines' charges identical — and the
+    /// kicked branch rechecks killed_ afterwards.
+    Task* pass_runner_ = nullptr;
     PhaseStats stats_;
 };
 

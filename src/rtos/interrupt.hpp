@@ -33,11 +33,40 @@ public:
     [[nodiscard]] mcse::Event& event() noexcept { return event_; }
 
     /// Assert the interrupt (typically from a hardware process). Pending
-    /// occurrences are counted, so bursts are not lost.
+    /// occurrences are counted, so bursts are not lost — unless a bounded
+    /// pending depth (set_max_pending) or a fault-injection raise filter
+    /// drops them.
     void raise() {
-        raise_times_.push_back(kernel::Simulator::current().now());
         ++raised_;
-        event_.signal();
+        unsigned copies = 1;
+        if (raise_filter_) copies = raise_filter_();
+        if (copies == 0) {
+            ++dropped_;
+            return;
+        }
+        for (unsigned i = 0; i < copies; ++i) deliver_one();
+    }
+
+    /// Bounded-pending mode: at most `n` raised-but-not-yet-serviced
+    /// occurrences are remembered; further raises are counted in dropped()
+    /// instead of queueing. 0 (the default) means unbounded.
+    void set_max_pending(std::size_t n) noexcept { max_pending_ = n; }
+    [[nodiscard]] std::size_t max_pending() const noexcept { return max_pending_; }
+    /// Occurrences lost to the pending bound or to a fault-injection filter.
+    [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+    /// Fault-injection hook: called once per raise(); returns how many
+    /// occurrences to actually deliver (0 = drop, 1 = normal, >1 = burst).
+    /// Installed by fault::FaultInjector; one filter per line.
+    using RaiseFilter = std::function<unsigned()>;
+    void set_raise_filter(RaiseFilter f) { raise_filter_ = std::move(f); }
+
+    /// Deliver one occurrence directly, bypassing the raise filter (used by
+    /// FaultInjector to model spurious interrupts). Honours the pending
+    /// bound and counts towards raised().
+    void raise_spurious() {
+        ++raised_;
+        deliver_one();
     }
 
     /// Handler body type: runs in the ISR task's context, once per interrupt.
@@ -47,7 +76,7 @@ public:
     /// wait for an interrupt, record the dispatch latency, run the handler.
     Task& attach_isr(Processor& cpu, int priority, Handler handler,
                      kernel::Time handler_cost = kernel::Time::zero()) {
-        return cpu.create_task(
+        Task& isr = cpu.create_task(
             {.name = name_ + ".isr", .priority = priority},
             [this, handler = std::move(handler), handler_cost](Task& self) {
                 for (;;) {
@@ -58,6 +87,9 @@ public:
                     ++serviced_;
                 }
             });
+        // The ISR loop legitimately idles forever between interrupts.
+        isr.set_daemon(true);
+        return isr;
     }
 
     // ---- latency statistics (raise -> handler running) ----
@@ -74,6 +106,15 @@ public:
     }
 
 private:
+    void deliver_one() {
+        if (max_pending_ != 0 && raise_times_.size() >= max_pending_) {
+            ++dropped_;
+            return;
+        }
+        raise_times_.push_back(kernel::Simulator::current().now());
+        event_.signal();
+    }
+
     void account_latency(kernel::Time serviced_at) {
         if (raise_times_.empty()) return; // spurious (should not happen)
         const kernel::Time raised_at = raise_times_.front();
@@ -88,6 +129,9 @@ private:
     std::string name_;
     mcse::Event event_;
     std::deque<kernel::Time> raise_times_;
+    std::size_t max_pending_ = 0; ///< 0 = unbounded
+    std::uint64_t dropped_ = 0;
+    RaiseFilter raise_filter_;
     std::uint64_t raised_ = 0;
     std::uint64_t serviced_ = 0;
     std::uint64_t measured_ = 0;

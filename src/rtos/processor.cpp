@@ -40,6 +40,16 @@ Task& Processor::create_task(TaskConfig config, Task::Body body) {
     return t;
 }
 
+void Processor::restart_task(Task& t, kernel::Time delay) {
+    if (&t.processor() != this)
+        throw k::SimulationError("restart_task: task '" + t.name() +
+                                 "' belongs to another processor");
+    if (!t.terminated())
+        throw k::SimulationError("restart_task on a live task: " + t.name() +
+                                 " (kill it first)");
+    t.prepare_restart(delay);
+}
+
 void Processor::set_preemptive(bool on) {
     const bool was_allowed = preemption_allowed();
     preemptive_ = on;

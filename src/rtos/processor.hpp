@@ -41,6 +41,13 @@ public:
         return tasks_;
     }
 
+    /// Bring a terminated task (normal end, kill() or crash) back to life
+    /// with a fresh incarnation of its body, released after `delay` of
+    /// simulated time. Statistics accumulate across incarnations;
+    /// Task::restarts() counts them. Throws if the task is still alive or
+    /// belongs to another processor.
+    void restart_task(Task& t, kernel::Time delay = kernel::Time::zero());
+
     // ---- scheduling policy ----
     [[nodiscard]] SchedulingPolicy& policy() const noexcept { return *policy_; }
     /// The paper's extension point: "designers can define their own policies

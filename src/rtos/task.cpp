@@ -21,20 +21,88 @@ Task::Task(Processor& processor, TaskConfig config, Body body)
       body_(std::move(body)),
       ev_run_(config_.name + ".TaskRun"),
       ev_preempt_(config_.name + ".TaskPreempt"),
-      ev_ack_(config_.name + ".TaskAck") {
+      ev_ack_(config_.name + ".TaskAck"),
+      start_delay_(config_.start_time) {
     state_since_ = processor_.simulator().now();
-    proc_ = &processor_.simulator().spawn(
-        config_.name,
-        [this] {
-            processor_.engine().start_task(*this);
-            body_(*this);
-            processor_.engine().finish_task(*this);
-        },
-        config_.stack_bytes);
-    proc_->user_data = this;
+    spawn_process();
 }
 
 Task::~Task() = default;
+
+void Task::spawn_process() {
+    proc_ = &processor_.simulator().spawn(config_.name, [this] { run_body(); },
+                                          config_.stack_bytes);
+    proc_->user_data = this;
+    proc_->set_daemon(daemon_);
+}
+
+void Task::set_daemon(bool on) {
+    daemon_ = on;
+    proc_->set_daemon(on);
+}
+
+void Task::run_body() {
+    SchedulerEngine& eng = processor_.engine();
+    // The engine bookkeeping consumes simulated time (charge waits), so it
+    // must run *after* the catch blocks: yielding the coroutine while an
+    // exception is live would corrupt the thread-local C++ EH state shared
+    // by every coroutine on this OS thread.
+    enum class Exit : std::uint8_t { normal, killed, crashed } exit = Exit::normal;
+    std::string diagnostic;
+    try {
+        eng.start_task(*this);
+        body_(*this);
+    } catch (const kernel::ProcessKilled&) {
+        exit = Exit::killed;
+    } catch (const std::exception& e) {
+        exit = Exit::crashed;
+        diagnostic = e.what();
+    } catch (...) {
+        exit = Exit::crashed;
+        diagnostic = "unknown exception type";
+    }
+    switch (exit) {
+        case Exit::normal:
+            eng.finish_task(*this);
+            break;
+        case Exit::killed:
+            eng.on_body_unwound(*this, /*crashed=*/false);
+            break;
+        case Exit::crashed:
+            processor_.simulator().reporter().report(
+                kernel::Severity::warning,
+                "task '" + name() + "' terminated by unhandled exception: " +
+                    diagnostic);
+            eng.on_body_unwound(*this, /*crashed=*/true);
+            break;
+    }
+}
+
+void Task::kill() { processor_.engine().kill(*this); }
+
+k::Event& Task::done_event() noexcept { return proc_->done_event(); }
+
+bool Task::body_finished() const noexcept { return proc_->terminated(); }
+
+void Task::prepare_restart(kernel::Time delay) {
+    killed_ = false;
+    crashed_ = false;
+    granted_ = false;
+    kicked_ = false;
+    preempt_pending_ = false;
+    preempt_reason_ = PreemptReason::none;
+    entered_ready_preempted_ = false;
+    redispatch_on_unwind_ = false;
+    boosted_ = false;
+    has_deadline_ = false;
+    ev_run_.cancel();
+    ev_preempt_.cancel();
+    ev_ack_.cancel();
+    ++restarts_;
+    start_delay_ = delay;
+    set_state(TaskState::created);
+    spawn_process();
+}
 
 void Task::set_state(TaskState s) {
     const k::Time now = processor_.simulator().now();
@@ -64,7 +132,10 @@ void Task::set_base_priority(int p) {
     processor_.engine().recheck_preemption();
 }
 
-void Task::compute(k::Time duration) { processor_.engine().consume(*this, duration); }
+void Task::compute(k::Time duration) {
+    if (compute_hook_) duration = compute_hook_(*this, duration);
+    processor_.engine().consume(*this, duration);
+}
 
 void Task::sleep_for(k::Time duration) { processor_.engine().sleep_for(*this, duration); }
 

@@ -87,6 +87,46 @@ public:
     [[nodiscard]] TaskState state() const noexcept { return state_; }
     [[nodiscard]] bool terminated() const noexcept { return state_ == TaskState::terminated; }
 
+    // ---- fault-tolerant lifecycle ----
+
+    /// Terminate the task from any simulation context. A Running task pays
+    /// context-save + scheduling like a normal leave (charged during the
+    /// unwind in the task's own thread); a Ready task is unlinked from the
+    /// ready queue; a Waiting task is removed from whatever it blocks on
+    /// (its stack unwinds so channel registrations clean up). Idempotent.
+    /// From the task's own body this throws kernel::ProcessKilled — do not
+    /// swallow it.
+    void kill();
+
+    /// The task was terminated by kill() (as opposed to returning normally).
+    [[nodiscard]] bool killed() const noexcept { return killed_; }
+    /// The task was terminated by an exception escaping its body.
+    [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+    /// Number of times the task has been restarted (Processor::restart_task).
+    [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+
+    /// Fault-injection hook: when set, every compute()/delay() duration is
+    /// passed through the hook first (execution-time jitter / WCET-overrun
+    /// scaling). One hook per task; pass nullptr to clear.
+    using ComputeHook = std::function<kernel::Time(Task&, kernel::Time)>;
+    void set_compute_hook(ComputeHook hook) { compute_hook_ = std::move(hook); }
+
+    /// Fires (delta-delayed) when the current incarnation's process body
+    /// returns or finishes unwinding. A killed Running task still owes its
+    /// context-save + scheduling charges when kill() returns; wait on this
+    /// before Processor::restart_task().
+    [[nodiscard]] kernel::Event& done_event() noexcept;
+    /// The current incarnation's process has fully finished (body returned
+    /// or unwind + leave charges completed). Stronger than terminated():
+    /// a killed Running task is terminated before its unwind finishes.
+    [[nodiscard]] bool body_finished() const noexcept;
+
+    /// Mark the task as infrastructure that legitimately waits forever (ISR
+    /// loops, server tasks): the kernel deadlock/stall detector skips it.
+    /// Sticky across restarts.
+    void set_daemon(bool on);
+    [[nodiscard]] bool daemon() const noexcept { return daemon_; }
+
     // ---- services callable from within the task body ----
 
     /// Consume `duration` of CPU time. Preemptible: a higher-priority task
@@ -150,6 +190,16 @@ private:
 
     void set_state(TaskState s);
 
+    /// Process body: start/body/finish with exception isolation. A kill
+    /// unwind or an exception escaping the user body terminates only this
+    /// task; the engine bookkeeping runs after the exception is destroyed
+    /// (yielding inside a catch block would corrupt the thread-local
+    /// exception-handling state shared by all coroutines).
+    void run_body();
+    void spawn_process();
+    /// Reset lifecycle/engine flags and spawn a fresh process (restart).
+    void prepare_restart(kernel::Time delay);
+
     Processor& processor_;
     TaskConfig config_;
     Body body_;
@@ -175,6 +225,15 @@ private:
     bool preempt_pending_ = false;
     PreemptReason preempt_reason_ = PreemptReason::none;
     bool entered_ready_preempted_ = false; ///< current Ready episode follows a preemption
+
+    // fault-tolerant lifecycle (see SchedulerEngine::kill / on_body_unwound)
+    bool daemon_ = false;                ///< exempt from stall diagnostics
+    bool killed_ = false;                ///< kill() initiated (sticky until restart)
+    bool crashed_ = false;               ///< body exited via unhandled exception
+    bool redispatch_on_unwind_ = false;  ///< killed while granted/loading: rerun sched
+    std::uint64_t restarts_ = 0;
+    kernel::Time start_delay_{};         ///< release delay of the current incarnation
+    ComputeHook compute_hook_;
 
     Stats stats_;
 };

@@ -12,6 +12,9 @@ ThreadedEngine::ThreadedEngine(Processor& processor)
     : SchedulerEngine(processor), rtk_run_(processor.name() + ".RTKRun") {
     rtk_proc_ = &processor.simulator().spawn(processor.name() + ".rtos",
                                              [this] { rtos_thread_body(); });
+    // The RTOS thread legitimately waits forever on RTKRun; keep it out of
+    // deadlock/stall diagnostics.
+    rtk_proc_->set_daemon(true);
 }
 
 void ThreadedEngine::rtos_thread_body() {

@@ -55,6 +55,18 @@ void ConstraintMonitor::on_task_state(const rtos::Task& task,
             rule.released = now;
             continue;
         }
+        // A kill/crash ends the task from *any* state: an open response
+        // episode can never complete, so it is closed as a violation (checked
+        // before the normal-completion rule — running -> terminated is
+        // ambiguous between a kill and a normal finish).
+        if (rule.active && to == rtos::TaskState::terminated &&
+            (task.killed() || task.crashed())) {
+            rule.active = false;
+            ++checks_;
+            add_violation({rule.name + " [killed]", now, now - rule.released,
+                           rule.bound, rule.task});
+            continue;
+        }
         // Completion: the running task blocks again or terminates.
         if (rule.active && from == rtos::TaskState::running &&
             (to == rtos::TaskState::waiting ||
@@ -63,7 +75,7 @@ void ConstraintMonitor::on_task_state(const rtos::Task& task,
             ++checks_;
             const k::Time response = now - rule.released;
             if (response > rule.bound)
-                violations_.push_back({rule.name, now, response, rule.bound});
+                add_violation({rule.name, now, response, rule.bound, rule.task});
         }
     }
 }
@@ -81,9 +93,14 @@ void ConstraintMonitor::on_access(const mcse::Relation& rel,
             ++checks_;
             const k::Time latency = now - started;
             if (latency > rule.bound)
-                violations_.push_back({rule.name, now, latency, rule.bound});
+                add_violation({rule.name, now, latency, rule.bound, nullptr});
         }
     }
+}
+
+void ConstraintMonitor::add_violation(Violation v) {
+    violations_.push_back(std::move(v));
+    if (on_violation_) on_violation_(violations_.back());
 }
 
 void ConstraintMonitor::print(std::ostream& os) const {

@@ -17,6 +17,7 @@
 // The monitor observes processors and relations like the Recorder does, and
 // collects violations for inspection or test assertions.
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -35,6 +36,9 @@ public:
         kernel::Time at;       ///< when the violation was detected
         kernel::Time measured;
         kernel::Time bound;
+        /// Task the violated rule monitors (response rules; nullptr for
+        /// latency rules). Recovery handlers use it to kill/restart/demote.
+        const rtos::Task* task = nullptr;
     };
 
     /// Every activation of `task` must complete within `bound` of its
@@ -58,6 +62,15 @@ public:
         return checks_;
     }
     void print(std::ostream& os) const;
+
+    /// Invoked synchronously on every recorded violation (after it is
+    /// appended to violations()). The callback runs inside the task state /
+    /// access notification, possibly on the violating task's own thread: it
+    /// must not block or kill tasks directly — defer recovery to a separate
+    /// process (fault::DeadlineMissHandler does exactly that).
+    void set_violation_callback(std::function<void(const Violation&)> cb) {
+        on_violation_ = std::move(cb);
+    }
 
     // TaskObserver
     void on_task_state(const rtos::Task& task, rtos::TaskState from,
@@ -86,6 +99,7 @@ private:
 
     void attach_processor(rtos::Processor& cpu);
     void attach_relation(mcse::Relation& rel);
+    void add_violation(Violation v);
 
     std::vector<ResponseRule> response_rules_;
     std::vector<LatencyRule> latency_rules_;
@@ -93,6 +107,7 @@ private:
     std::vector<const mcse::Relation*> attached_relations_;
     std::vector<Violation> violations_;
     std::uint64_t checks_ = 0;
+    std::function<void(const Violation&)> on_violation_;
 };
 
 } // namespace rtsc::trace

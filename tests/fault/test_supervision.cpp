@@ -1,0 +1,282 @@
+// Supervision machinery: per-task Watchdog heartbeats, the
+// DeadlineMissHandler reacting to ConstraintMonitor violations, the kernel
+// deadlock/stall diagnostic, and the Simulator::run() re-entrancy guard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "../rtos/recording.hpp"
+#include "fault/deadline_handler.hpp"
+#include "fault/watchdog.hpp"
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "rtos/processor.hpp"
+#include "trace/constraints.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace tr = rtsc::trace;
+namespace f = rtsc::fault;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+void silence(k::Simulator& sim) {
+    sim.reporter().set_sink([](k::Severity, const std::string&) {});
+}
+} // namespace
+
+// ---------------------------------------------------------------- Watchdog
+
+TEST(Watchdog, PettingInTimeNeverFires) {
+    k::Simulator sim;
+    r::Processor cpu("cpu");
+    r::Task& a = cpu.create_task({.name = "a", .priority = 1},
+                                 [](r::Task& self) {
+                                     for (int i = 0; i < 5; ++i)
+                                         self.compute(10_us);
+                                 });
+    f::Watchdog wd(a, 25_us, {.action = f::RecoveryAction::log});
+    // Heartbeat on every compute() entry: t = 0, 10, 20, 30, 40.
+    a.set_compute_hook([&wd](r::Task&, k::Time d) {
+        wd.pet();
+        return d;
+    });
+    sim.run();
+    EXPECT_TRUE(a.terminated());
+    EXPECT_FALSE(a.killed());
+    EXPECT_EQ(wd.timeouts(), 0u);
+}
+
+TEST(Watchdog, MissedHeartbeatKillsTheTask) {
+    k::Simulator sim;
+    silence(sim);
+    r::Processor cpu("cpu");
+    m::Event ev("ev");
+    f::Watchdog* wdp = nullptr;
+    r::Task& a = cpu.create_task({.name = "a", .priority = 1},
+                                 [&](r::Task& self) {
+                                     for (int i = 0; i < 3; ++i) {
+                                         self.compute(10_us);
+                                         wdp->pet();
+                                     }
+                                     ev.await(); // heartbeats stop here
+                                 });
+    f::Watchdog wd(a, 25_us, {.action = f::RecoveryAction::kill});
+    wdp = &wd;
+    sim.run();
+
+    // Last pet at t=30; the watchdog fires 25us later and kills a.
+    EXPECT_EQ(wd.timeouts(), 1u);
+    EXPECT_EQ(wd.last_beat(), 30_us);
+    EXPECT_TRUE(a.killed());
+    EXPECT_TRUE(a.terminated());
+    EXPECT_EQ(sim.now(), 55_us);
+}
+
+TEST(Watchdog, RestartPolicyRevivesAHungTask) {
+    k::Simulator sim;
+    silence(sim);
+    r::Processor cpu("cpu");
+    m::Event ev("ev");
+    f::Watchdog* wdp = nullptr;
+    int incarnations = 0;
+    r::Task& a = cpu.create_task({.name = "a", .priority = 1},
+                                 [&](r::Task& self) {
+                                     ++incarnations;
+                                     self.compute(10_us);
+                                     wdp->pet();
+                                     ev.await(); // hangs every incarnation
+                                 });
+    f::Watchdog wd(a, 30_us, {.action = f::RecoveryAction::restart});
+    wdp = &wd;
+    sim.run_until(200_us);
+
+    EXPECT_GE(wd.timeouts(), 2u);
+    EXPECT_GE(a.restarts(), 2u);
+    EXPECT_EQ(static_cast<std::uint64_t>(incarnations), a.restarts() + 1);
+}
+
+TEST(Watchdog, DemotePolicyLetsLowerPriorityWorkThrough) {
+    k::Simulator sim;
+    silence(sim);
+    r::Processor cpu("cpu");
+    r::Task& hog = cpu.create_task({.name = "hog", .priority = 5},
+                                   [](r::Task& self) {
+                                       for (;;) self.compute(10_us);
+                                   });
+    hog.set_daemon(true);
+    bool low_done = false;
+    cpu.create_task({.name = "low", .priority = 1}, [&](r::Task& self) {
+        self.compute(20_us);
+        low_done = true;
+    });
+    f::Watchdog wd(hog, 15_us,
+                   {.action = f::RecoveryAction::demote_priority, .demote_to = 0});
+    sim.run_until(100_us);
+
+    EXPECT_GE(wd.timeouts(), 1u);
+    EXPECT_EQ(hog.base_priority(), 0);
+    EXPECT_TRUE(low_done);
+}
+
+// ----------------------------------------------------- DeadlineMissHandler
+
+TEST(DeadlineMissHandler, KillPolicyTerminatesTheViolator) {
+    k::Simulator sim;
+    silence(sim);
+    r::Processor cpu("cpu");
+    tr::ConstraintMonitor mon;
+    r::Task& a = cpu.create_task({.name = "a", .priority = 1},
+                                 [](r::Task& self) {
+                                     for (;;) {
+                                         self.compute(20_us);
+                                         self.sleep_for(10_us);
+                                     }
+                                 });
+    mon.require_response(a, 5_us, "a.response");
+    f::DeadlineMissHandler handler(mon);
+    handler.set_policy(a, {.action = f::RecoveryAction::kill});
+    sim.run();
+
+    // First activation completes at t=20, measured 20us > 5us: the handler's
+    // agent kills a at the same instant.
+    ASSERT_EQ(mon.violations().size(), 1u);
+    EXPECT_EQ(mon.violations()[0].task, &a);
+    EXPECT_EQ(handler.handled(), 1u);
+    EXPECT_EQ(handler.kills(), 1u);
+    EXPECT_TRUE(a.killed());
+}
+
+TEST(DeadlineMissHandler, RestartPolicyKeepsRevivingTheViolator) {
+    k::Simulator sim;
+    silence(sim);
+    r::Processor cpu("cpu");
+    tr::ConstraintMonitor mon;
+    r::Task& a = cpu.create_task({.name = "a", .priority = 1},
+                                 [](r::Task& self) {
+                                     for (;;) {
+                                         self.compute(20_us);
+                                         self.sleep_for(10_us);
+                                     }
+                                 });
+    mon.require_response(a, 5_us, "a.response");
+    f::DeadlineMissHandler handler(mon);
+    handler.set_policy(
+        a, {.action = f::RecoveryAction::restart, .restart_delay = 5_us});
+    sim.run_until(150_us);
+
+    EXPECT_GE(handler.restarts(), 2u);
+    EXPECT_EQ(a.restarts(), handler.restarts());
+    EXPECT_GE(mon.violations().size(), handler.restarts());
+}
+
+TEST(DeadlineMissHandler, ViolationsWithoutAPolicyAreCountedNotActedOn) {
+    k::Simulator sim;
+    silence(sim);
+    r::Processor cpu("cpu");
+    tr::ConstraintMonitor mon;
+    r::Task& a = cpu.create_task({.name = "a", .priority = 1},
+                                 [](r::Task& self) { self.compute(20_us); });
+    mon.require_response(a, 5_us, "a.response");
+    f::DeadlineMissHandler handler(mon); // no policy for a
+    sim.run();
+
+    EXPECT_EQ(mon.violations().size(), 1u);
+    EXPECT_EQ(handler.handled(), 0u);
+    EXPECT_EQ(handler.unhandled(), 1u);
+    EXPECT_FALSE(a.killed());
+    EXPECT_TRUE(a.terminated());
+}
+
+TEST(DeadlineMissHandler, DemotePolicyLowersThePriority) {
+    k::Simulator sim;
+    silence(sim);
+    r::Processor cpu("cpu");
+    tr::ConstraintMonitor mon;
+    r::Task& a = cpu.create_task({.name = "a", .priority = 5},
+                                 [](r::Task& self) {
+                                     self.compute(20_us);
+                                     self.sleep_for(10_us);
+                                 });
+    mon.require_response(a, 5_us, "a.response");
+    f::DeadlineMissHandler handler(mon);
+    handler.set_policy(
+        a, {.action = f::RecoveryAction::demote_priority, .demote_to = 1});
+    sim.run();
+
+    EXPECT_EQ(handler.demotions(), 1u);
+    EXPECT_EQ(a.base_priority(), 1);
+}
+
+// ------------------------------------------------------ deadlock detection
+
+TEST(DeadlockDetection, StallReportNamesStuckTasks) {
+    for (const auto kind :
+         {r::EngineKind::procedure_calls, r::EngineKind::rtos_thread}) {
+        k::Simulator sim;
+        silence(sim);
+        sim.set_deadlock_detection(true);
+        r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                         kind);
+        m::Event e1("e1");
+        m::Event e2("e2");
+        // Classic lost-signal deadlock: both tasks wait forever.
+        cpu.create_task({.name = "a", .priority = 2}, [&](r::Task& self) {
+            self.compute(5_us);
+            e1.await();
+        });
+        cpu.create_task({.name = "b", .priority = 1}, [&](r::Task& self) {
+            self.compute(5_us);
+            e2.await();
+        });
+        sim.run();
+
+        const auto& rep = sim.deadlock_report();
+        ASSERT_TRUE(rep.detected());
+        // Exactly the two stuck tasks — infrastructure daemons (the RTOS
+        // thread on the threaded engine) are exempt.
+        ASSERT_EQ(rep.blocked.size(), 2u);
+        std::vector<std::string> names;
+        for (const auto& bp : rep.blocked) names.push_back(bp.process);
+        EXPECT_NE(std::find(names.begin(), names.end(), "a"), names.end());
+        EXPECT_NE(std::find(names.begin(), names.end(), "b"), names.end());
+        const std::string text = rep.to_string();
+        EXPECT_NE(text.find('a'), std::string::npos);
+        EXPECT_NE(text.find('b'), std::string::npos);
+        EXPECT_EQ(sim.reporter().count(k::Severity::warning), 1u);
+    }
+}
+
+TEST(DeadlockDetection, CleanCompletionReportsNothing) {
+    k::Simulator sim;
+    sim.set_deadlock_detection(true);
+    r::Processor cpu("cpu");
+    cpu.create_task({.name = "a", .priority = 1},
+                    [](r::Task& self) { self.compute(10_us); });
+    sim.run();
+    EXPECT_FALSE(sim.deadlock_report().detected());
+    EXPECT_EQ(sim.reporter().count(k::Severity::warning), 0u);
+}
+
+TEST(DeadlockDetection, DaemonsAreExempt) {
+    k::Simulator sim;
+    sim.set_deadlock_detection(true);
+    k::Event ev("ev");
+    k::Process& server = sim.spawn("server", [&] { k::wait(ev); });
+    server.set_daemon(true);
+    sim.spawn("worker", [] { k::wait(10_us); });
+    sim.run();
+    EXPECT_FALSE(sim.deadlock_report().detected());
+}
+
+// ------------------------------------------------------- re-entrancy guard
+
+TEST(ReentrancyGuard, RunInsideAProcessThrows) {
+    k::Simulator sim;
+    silence(sim);
+    sim.spawn("nested", [&] { sim.run_until(10_us); });
+    EXPECT_THROW(sim.run(), k::SimulationError);
+}

@@ -117,6 +117,61 @@ TEST_P(InterruptTest, LatencyGrowsUnderPreemptionLock) {
     EXPECT_EQ(line2.max_latency(), 200_us); // served when the region ends
 }
 
+TEST_P(InterruptTest, BoundedPendingDropsOverflowRaises) {
+    // set_max_pending(2): a burst of 5 raises against a busy CPU keeps only
+    // the first two occurrences; the other three are counted in dropped(),
+    // not serviced late.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    r::InterruptLine line("irq");
+    line.set_max_pending(2);
+    EXPECT_EQ(line.max_pending(), 2u);
+    int handled = 0;
+    line.attach_isr(cpu, 9, [&](r::Task&) { ++handled; }, 10_us);
+    cpu.create_task({.name = "hog", .priority = 1},
+                    [](r::Task& self) { self.compute(50_us); });
+    // The ISR outranks the hog, but a preemption-locked region keeps it off
+    // the CPU while the burst arrives.
+    sim.spawn("hw", [&] {
+        cpu.lock_preemption();
+        k::wait(10_us);
+        for (int i = 0; i < 5; ++i) line.raise();
+        k::wait(5_us);
+        cpu.unlock_preemption();
+    });
+    sim.run();
+
+    EXPECT_EQ(line.raised(), 5u);
+    EXPECT_EQ(line.dropped(), 3u);
+    EXPECT_EQ(line.serviced(), 2u);
+    EXPECT_EQ(handled, 2);
+}
+
+TEST_P(InterruptTest, UnboundedByDefaultKeepsWholeBurst) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    r::InterruptLine line("irq");
+    int handled = 0;
+    line.attach_isr(cpu, 9, [&](r::Task&) { ++handled; }, 10_us);
+    cpu.create_task({.name = "hog", .priority = 1},
+                    [](r::Task& self) { self.compute(50_us); });
+    sim.spawn("hw", [&] {
+        cpu.lock_preemption();
+        k::wait(10_us);
+        for (int i = 0; i < 5; ++i) line.raise();
+        k::wait(5_us);
+        cpu.unlock_preemption();
+    });
+    sim.run();
+
+    EXPECT_EQ(line.raised(), 5u);
+    EXPECT_EQ(line.dropped(), 0u);
+    EXPECT_EQ(line.serviced(), 5u);
+    EXPECT_EQ(handled, 5);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothEngines, InterruptTest,
                          ::testing::Values(r::EngineKind::procedure_calls,
                                            r::EngineKind::rtos_thread),

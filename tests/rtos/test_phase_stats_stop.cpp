@@ -1,0 +1,55 @@
+// Regression: SchedulerEngine::phase_stats() must fold the in-progress phase
+// episode up to the current instant, so idle + overhead + busy always equals
+// elapsed time — even when the simulation is stopped in the middle of an
+// overhead charge (e.g. inside a context-load) on either engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/simulator.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+class PhaseStatsStopTest : public ::testing::TestWithParam<r::EngineKind> {};
+
+} // namespace
+
+TEST_P(PhaseStatsStopTest, PhaseTimesSumToElapsedAtAnyStopPoint) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+    cpu.create_task({.name = "a", .priority = 1}, [](r::Task& self) {
+        self.compute(10_us); // sched 0-5, load 5-10, run 10-20
+        self.sleep_for(10_us); // save 20-25, sched 25-30, idle, wake at 30
+        self.compute(10_us); // sched 30-35, load 35-40, run 40-50
+    });                        // save 50-55, sched 55-60, idle afterwards
+
+    // Stop inside every kind of episode: mid-sched (3), mid-context-load (7),
+    // mid-run (15), mid-context-save (22), mid-second-sched (27), mid-load
+    // after the idle gap (37), and in the trailing idle (70).
+    for (const k::Time stop :
+         {3_us, 7_us, 15_us, 22_us, 27_us, 37_us, 70_us}) {
+        sim.run_until(stop);
+        const auto ps = cpu.engine().phase_stats();
+        EXPECT_EQ(ps.idle_time + ps.overhead_time + ps.busy_time, stop)
+            << "stopped at " << stop.to_string();
+    }
+
+    // Final split at t=70: 20us of computation, 40us of charges (4 scheds,
+    // 2 loads, 2 saves at 5us each), and the trailing 60-70 idle stretch.
+    const auto ps = cpu.engine().phase_stats();
+    EXPECT_EQ(ps.busy_time, 20_us);
+    EXPECT_EQ(ps.overhead_time, 40_us);
+    EXPECT_EQ(ps.idle_time, 10_us);
+    EXPECT_EQ(ps.dispatches, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, PhaseStatsStopTest,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread));

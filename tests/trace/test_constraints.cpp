@@ -9,6 +9,7 @@
 #include "kernel/simulator.hpp"
 #include "mcse/event.hpp"
 #include "mcse/message_queue.hpp"
+#include "rtos/interrupt.hpp"
 #include "rtos/processor.hpp"
 #include "trace/constraints.hpp"
 #include "workload/taskset.hpp"
@@ -196,6 +197,86 @@ TEST_P(ConstraintTest, PeriodicTaskSetUnderConstraintMonitor) {
     EXPECT_TRUE(mon.ok());
     EXPECT_FALSE(tight.ok());
     EXPECT_GE(mon.checks_performed(), 14u); // 15 jobs in 60ms
+}
+
+TEST_P(ConstraintTest, DroppedInterruptDoesNotMisPairLatencyIndices) {
+    // A dropped raise() never signals the line's event, so it contributes no
+    // source occurrence: the latency rule keeps pairing the n-th surviving
+    // signal with the n-th reaction instead of sliding one index off.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+    r::InterruptLine line("line");
+    m::MessageQueue<int> out("out", 4);
+    line.attach_isr(cpu, 5, [&](r::Task&) { out.write(1); }, 30_us);
+
+    // Deterministic fault: drop exactly the second raise.
+    unsigned nth = 0;
+    line.set_raise_filter([&nth]() -> unsigned { return ++nth == 2 ? 0u : 1u; });
+
+    tr::ConstraintMonitor mon;
+    mon.require_latency("reaction", line.event(), m::AccessKind::signal_op, out,
+                        m::AccessKind::write_op, 45_us);
+    sim.spawn("hw", [&] {
+        for (int i = 0; i < 3; ++i) {
+            k::wait(100_us);
+            line.raise();
+        }
+    });
+    sim.run_until(600_us);
+
+    EXPECT_EQ(line.raised(), 3u);
+    EXPECT_EQ(line.dropped(), 1u);
+    EXPECT_EQ(line.serviced(), 2u);
+    // Surviving raises at 100 and 300 react at 140 and 340 (idle wake
+    // sched+load 10us + 30us handler): both within the 45us bound. A
+    // mis-paired index would match the 300us signal against a stale
+    // reaction and report a spurious violation.
+    EXPECT_TRUE(mon.ok()) << mon.violations().size();
+    EXPECT_EQ(mon.checks_performed(), 2u);
+}
+
+TEST_P(ConstraintTest, KilledTaskClosesOpenResponseEpisodeAsViolation) {
+    // A task killed mid-activation never completes that activation; the
+    // monitor must close the episode as a violation instead of leaving it
+    // dangling (or silently matching a later activation).
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    auto& a = cpu.create_task({.name = "a", .priority = 1},
+                              [](r::Task& self) { self.compute(100_us); });
+    tr::ConstraintMonitor mon;
+    mon.require_response(a, 50_us, "a.resp");
+    sim.spawn("killer", [&] {
+        k::wait(30_us);
+        a.kill();
+    });
+    sim.run();
+
+    ASSERT_EQ(mon.violations().size(), 1u);
+    const auto& v = mon.violations()[0];
+    EXPECT_EQ(v.constraint, "a.resp [killed]");
+    EXPECT_EQ(v.at, 30_us);
+    EXPECT_EQ(v.measured, 30_us); // release at 0, killed at 30
+    EXPECT_EQ(v.task, &a);
+    // The kill episode is still one performed check.
+    EXPECT_EQ(mon.checks_performed(), 1u);
+}
+
+TEST_P(ConstraintTest, NormalTerminationStillCompletesTheEpisode) {
+    // Counterpart to the killed-episode rule: a task that terminates
+    // normally within its bound stays green.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    auto& a = cpu.create_task({.name = "a", .priority = 1},
+                              [](r::Task& self) { self.compute(20_us); });
+    tr::ConstraintMonitor mon;
+    mon.require_response(a, 50_us, "a.resp");
+    sim.run();
+    EXPECT_TRUE(mon.ok());
+    EXPECT_EQ(mon.checks_performed(), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothEngines, ConstraintTest,
