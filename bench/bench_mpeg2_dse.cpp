@@ -5,14 +5,22 @@
 // designer would run: RTOS overheads x scheduling policy x CPU speed, with
 // end-to-end frame latency and deadline misses as the metrics, plus a
 // simulation-performance benchmark of the whole SoC model under both engines.
+// The exploration grid itself runs through the campaign runner
+// (src/campaign/): every grid point is an independent scenario with its own
+// Simulator, so the sweep parallelizes across worker threads while the
+// aggregate stays bit-identical to the serial order.
 #include <benchmark/benchmark.h>
 
 #include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
+#include "campaign_harness.hpp"
 #include "kernel/simulator.hpp"
 #include "workload/mpeg2.hpp"
 
+namespace c = rtsc::campaign;
 namespace k = rtsc::kernel;
 namespace r = rtsc::rtos;
 namespace w = rtsc::workload;
@@ -58,33 +66,48 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    std::cout << "\n=== MPEG2: design-space exploration (30 frames @ 1 ms, "
-                 "display deadline 5 ms) ===\n\n";
-    std::cout << "  overhead  policy           speed  avg-lat(us)  max-lat     "
-                 " misses/disp\n";
+    // The DSE grid as a scenario campaign: overheads x policy x CPU speed.
+    std::vector<c::ScenarioSpec> scenarios;
     for (const Time ovh : {Time::zero(), 5_us, 25_us, 75_us}) {
         for (const bool rr : {false, true}) {
             for (const double speed : {1.0, 2.0}) {
-                w::Mpeg2Config cfg;
-                cfg.frames = 30;
-                cfg.sw_overheads = r::RtosOverheads::uniform(ovh);
-                cfg.round_robin = rr;
-                cfg.sw_speed_factor = speed;
-                const DseRow row = run_soc(cfg);
-                std::cout << "  " << std::left << std::setw(8) << ovh.to_string()
-                          << "  " << std::setw(15)
-                          << (rr ? "round_robin" : "priority") << std::right
-                          << std::setw(7) << speed << "  " << std::setw(10)
-                          << std::fixed << std::setprecision(1)
-                          << row.avg_latency_us << "  " << std::setw(11)
-                          << row.max_latency.to_string() << "  " << std::setw(6)
-                          << row.misses << "/" << row.displayed << "\n";
+                std::ostringstream nm;
+                nm << ovh.to_string() << "/"
+                   << (rr ? "round_robin" : "priority") << "/x" << speed;
+                scenarios.push_back({nm.str(), [ovh, rr, speed](c::ScenarioContext& ctx) {
+                    w::Mpeg2Config cfg;
+                    cfg.frames = 30;
+                    cfg.sw_overheads = r::RtosOverheads::uniform(ovh);
+                    cfg.round_robin = rr;
+                    cfg.sw_speed_factor = speed;
+                    const DseRow row = run_soc(cfg);
+                    ctx.metric("avg_latency_us", row.avg_latency_us);
+                    ctx.metric("max_latency_us", row.max_latency.to_sec() * 1e6);
+                    ctx.metric("misses", static_cast<double>(row.misses));
+                    ctx.metric("displayed", static_cast<double>(row.displayed));
+                    ctx.note("max_latency", row.max_latency.to_string());
+                }});
             }
         }
+    }
+    const auto outcome =
+        rtsc::campaign_bench::run_and_record("mpeg2_dse", scenarios, 2026);
+
+    std::cout << "\n=== MPEG2: design-space exploration (30 frames @ 1 ms, "
+                 "display deadline 5 ms) ===\n\n";
+    std::cout << "  overhead/policy/speed        avg-lat(us)  max-lat     "
+                 " misses/disp\n";
+    for (const auto& res : outcome.serial.results) {
+        std::cout << "  " << std::left << std::setw(27) << res.name << std::right
+                  << "  " << std::setw(10) << std::fixed << std::setprecision(1)
+                  << res.metrics[0].second << "  " << std::setw(11)
+                  << res.notes[0].second << "  " << std::setw(6)
+                  << static_cast<std::uint64_t>(res.metrics[2].second) << "/"
+                  << static_cast<std::uint64_t>(res.metrics[3].second) << "\n";
     }
     std::cout << "\nExpected shape: latency grows with overhead and CPU load; "
                  "round-robin adds rotation overheads on the busy decoder "
                  "processor; large overheads plus a slow CPU start missing the "
                  "display deadline.\n";
-    return 0;
+    return outcome.digests_match && outcome.serial.failures() == 0 ? 0 : 1;
 }

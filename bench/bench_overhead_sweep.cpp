@@ -3,15 +3,21 @@
 // response times. Sweeps the overhead magnitude, compares fixed vs
 // ready-count-dependent scheduling durations, and checks simulated responses
 // against the overhead-extended response-time analysis bound.
+//
+// The sweep runs through the campaign runner (src/campaign/): every overhead
+// configuration is an independent scenario with its own Simulator, so the
+// sweep parallelizes across workers with a bit-identical aggregate.
 #include <iomanip>
 #include <iostream>
 #include <memory>
 
 #include "analysis/response_time.hpp"
+#include "campaign_harness.hpp"
 #include "kernel/simulator.hpp"
 #include "rtos/processor.hpp"
 #include "workload/taskset.hpp"
 
+namespace c = rtsc::campaign;
 namespace k = rtsc::kernel;
 namespace r = rtsc::rtos;
 namespace w = rtsc::workload;
@@ -29,96 +35,127 @@ std::vector<w::PeriodicSpec> the_set() {
     };
 }
 
-struct Row {
-    Time r1, r2, r3;
-    bool t3_completed;
-    std::uint64_t misses;
-    double overhead_ratio;
-};
-
-/// "never" instead of a misleading 0 when a task starved completely.
-std::string fmt_response(Time r, bool completed) {
-    return completed ? r.to_string() : std::string("never");
-}
-
-Row run(const r::RtosOverheads& ov) {
+void run_into(c::ScenarioContext& ctx, const r::RtosOverheads& ov) {
     k::Simulator sim;
     r::Processor cpu("cpu");
     cpu.set_overheads(ov);
     w::PeriodicTaskSet ts(cpu, the_set());
     sim.run_until(120_ms);
     const auto ps = cpu.engine().phase_stats();
-    return Row{ts.results()[0].max_response, ts.results()[1].max_response,
-               ts.results()[2].max_response, !ts.results()[2].jobs.empty(),
-               ts.total_misses(), ps.overhead_time.to_sec() / sim.now().to_sec()};
+    const bool t3_completed = !ts.results()[2].jobs.empty();
+    ctx.metric("r1_us", ts.results()[0].max_response.to_sec() * 1e6);
+    ctx.metric("r2_us", ts.results()[1].max_response.to_sec() * 1e6);
+    ctx.metric("r3_us", ts.results()[2].max_response.to_sec() * 1e6);
+    ctx.metric("t3_completed", t3_completed);
+    ctx.metric("misses", static_cast<double>(ts.total_misses()));
+    ctx.metric("overhead_ratio",
+               ps.overhead_time.to_sec() / sim.now().to_sec());
+    ctx.note("r1", ts.results()[0].max_response.to_string());
+    ctx.note("r2", ts.results()[1].max_response.to_string());
+    // "never" instead of a misleading 0 when t3 starved completely.
+    ctx.note("r3", t3_completed ? ts.results()[2].max_response.to_string()
+                                : std::string("never"));
+}
+
+double metric(const c::ScenarioResult& res, const char* key) {
+    for (const auto& [k2, v] : res.metrics)
+        if (key == k2) return v;
+    return 0;
+}
+
+std::string note(const c::ScenarioResult& res, const char* key) {
+    for (const auto& [k2, v] : res.notes)
+        if (key == k2) return v;
+    return {};
+}
+
+void print_row(const c::ScenarioResult& res, const std::string& label) {
+    std::cout << "  " << std::left << std::setw(9) << label << std::right
+              << "  " << std::setw(9) << note(res, "r1") << "  " << std::setw(9)
+              << note(res, "r2") << "  " << std::setw(10) << note(res, "r3")
+              << "  " << std::setw(6)
+              << static_cast<std::uint64_t>(metric(res, "misses")) << "  "
+              << std::fixed << std::setprecision(1)
+              << metric(res, "overhead_ratio") * 100 << "%\n";
 }
 
 } // namespace
 
 int main() {
-    std::cout << "=== OVH: RTOS overhead sweep (T=4/6/20 ms, C=1/2/3 ms, RM "
+    const Time fixed_sweep[] = {Time::zero(), 10_us, 50_us, 100_us, 200_us, 400_us};
+    const Time formula_sweep[] = {10_us, 50_us, 100_us, 200_us};
+
+    std::vector<c::ScenarioSpec> scenarios;
+    for (const Time ovh : fixed_sweep)
+        scenarios.push_back({"fixed/" + ovh.to_string(),
+                             [ovh](c::ScenarioContext& ctx) {
+                                 run_into(ctx, r::RtosOverheads::uniform(ovh));
+                             }});
+    for (const Time base : formula_sweep)
+        scenarios.push_back({"formula/" + base.to_string(),
+                             [base](c::ScenarioContext& ctx) {
+                                 r::RtosOverheads ov;
+                                 ov.scheduling = r::OverheadModel::formula(
+                                     [base](const r::SystemState& s) {
+                                         return base *
+                                                static_cast<Time::rep>(
+                                                    std::max<std::size_t>(
+                                                        1, s.ready_tasks));
+                                     });
+                                 ov.context_load = base;
+                                 ov.context_save = base;
+                                 run_into(ctx, ov);
+                             }});
+    const auto outcome =
+        rtsc::campaign_bench::run_and_record("overhead_sweep", scenarios, 1603);
+    const auto& report = outcome.serial;
+
+    std::cout << "\n=== OVH: RTOS overhead sweep (T=4/6/20 ms, C=1/2/3 ms, RM "
                  "priorities) ===\n\n";
     std::cout << "fixed overheads (each of sched/load/save):\n";
     std::cout << "  overhead   R(t1)      R(t2)      R(t3)       misses  "
                  "rtos-share\n";
-    for (const Time ovh :
-         {Time::zero(), 10_us, 50_us, 100_us, 200_us, 400_us}) {
-        const Row row = run(r::RtosOverheads::uniform(ovh));
-        std::cout << "  " << std::left << std::setw(9) << ovh.to_string()
-                  << std::right << "  " << std::setw(9) << row.r1.to_string()
-                  << "  " << std::setw(9) << row.r2.to_string() << "  "
-                  << std::setw(10) << fmt_response(row.r3, row.t3_completed) << "  " << std::setw(6)
-                  << row.misses << "  " << std::fixed << std::setprecision(1)
-                  << row.overhead_ratio * 100 << "%\n";
-    }
+    for (const Time ovh : fixed_sweep)
+        print_row(*report.find("fixed/" + ovh.to_string()), ovh.to_string());
 
     std::cout << "\nready-count-dependent scheduling duration "
                  "(sched = base * ready_tasks, load = save = base):\n";
     std::cout << "  base       R(t1)      R(t2)      R(t3)       misses  "
                  "rtos-share\n";
-    for (const Time base : {10_us, 50_us, 100_us, 200_us}) {
-        r::RtosOverheads ov;
-        ov.scheduling = r::OverheadModel::formula([base](const r::SystemState& s) {
-            return base * static_cast<Time::rep>(std::max<std::size_t>(
-                              1, s.ready_tasks));
-        });
-        ov.context_load = base;
-        ov.context_save = base;
-        const Row row = run(ov);
-        std::cout << "  " << std::left << std::setw(9) << base.to_string()
-                  << std::right << "  " << std::setw(9) << row.r1.to_string()
-                  << "  " << std::setw(9) << row.r2.to_string() << "  "
-                  << std::setw(10) << fmt_response(row.r3, row.t3_completed) << "  " << std::setw(6)
-                  << row.misses << "  " << std::fixed << std::setprecision(1)
-                  << row.overhead_ratio * 100 << "%\n";
-    }
+    for (const Time base : formula_sweep)
+        print_row(*report.find("formula/" + base.to_string()), base.to_string());
 
     std::cout << "\ncross-check against overhead-extended RTA (cs = 3 * "
                  "overhead lumped per switch):\n";
     int failures = 0;
     for (const Time ovh : {Time::zero(), 50_us, 100_us}) {
-        const Row row = run(r::RtosOverheads::uniform(ovh));
+        const auto& res = *report.find("fixed/" + ovh.to_string());
         std::vector<a::PeriodicTask> at;
         for (const auto& s : the_set())
             at.push_back({s.name, s.period, s.wcet, s.deadline, s.priority,
                           Time::zero()});
         const auto bound = a::response_time_analysis(
             at, {.context_switch = 3u * ovh, .max_iterations = 1000});
-        const Time rs[3] = {row.r1, row.r2, row.r3};
+        const double rs[3] = {metric(res, "r1_us"), metric(res, "r2_us"),
+                              metric(res, "r3_us")};
+        const std::string rstr[3] = {note(res, "r1"), note(res, "r2"),
+                                     note(res, "r3")};
         for (int i = 0; i < 3; ++i) {
-            const bool ok = bound[static_cast<std::size_t>(i)].response &&
-                            rs[i] <= *bound[static_cast<std::size_t>(i)].response;
+            const auto& b = bound[static_cast<std::size_t>(i)];
+            const bool ok = b.response && rs[i] <= b.response->to_sec() * 1e6;
             if (!ok) ++failures;
             std::cout << "  ovh=" << std::setw(6) << ovh.to_string() << "  "
                       << at[static_cast<std::size_t>(i)].name << ": sim "
-                      << std::setw(9) << rs[i].to_string() << " <= RTA "
-                      << bound[static_cast<std::size_t>(i)].response->to_string()
-                      << "  " << (ok ? "PASS" : "FAIL") << "\n";
+                      << std::setw(9) << rstr[i] << " <= RTA "
+                      << b.response->to_string() << "  "
+                      << (ok ? "PASS" : "FAIL") << "\n";
         }
     }
     std::cout << (failures == 0
                       ? "\nresponse times grow with overheads and stay within "
                         "the analytical bound\n"
                       : "\nFAILURES present\n");
-    return failures == 0 ? 0 : 1;
+    const bool ok = failures == 0 && outcome.digests_match &&
+                    report.failures() == 0;
+    return ok ? 0 : 1;
 }

@@ -9,15 +9,20 @@
 // Expected shape (textbook): EDF tracks the U<=1 bound; RM starts losing
 // sets past the Liu&Layland bound but exact RTA predicts the simulated
 // outcome; overheads shift both curves left.
+// Runs at statistical scale through the campaign runner (src/campaign/):
+// each random set is one scenario seeded from the campaign seed, so the
+// sweep parallelizes across workers with a bit-identical aggregate.
 #include <iomanip>
 #include <iostream>
 #include <memory>
 
 #include "analysis/response_time.hpp"
+#include "campaign_harness.hpp"
 #include "kernel/simulator.hpp"
 #include "rtos/processor.hpp"
 #include "workload/taskset.hpp"
 
+namespace c = rtsc::campaign;
 namespace k = rtsc::kernel;
 namespace r = rtsc::rtos;
 namespace w = rtsc::workload;
@@ -69,44 +74,81 @@ std::vector<w::PeriodicSpec> unique_priorities(std::vector<w::PeriodicSpec> spec
 
 } // namespace
 
+namespace {
+
+/// One random set at utilisation `u`: three simulations + the analytical
+/// predictors, all folded into metrics. Seeded from the scenario's
+/// campaign-derived seed, so the whole curve replays from one number.
+void evaluate_set(c::ScenarioContext& ctx, double u) {
+    const auto specs = unique_priorities(
+        w::random_task_set(kTasksPerSet, u, 1_ms, 20_ms, ctx.seed()));
+
+    std::vector<a::PeriodicTask> at;
+    for (const auto& sp : specs)
+        at.push_back({sp.name, sp.period, sp.wcet, sp.deadline,
+                      sp.priority, Time::zero()});
+    bool rta_schedulable = true;
+    for (const auto& res : a::response_time_analysis(at))
+        rta_schedulable &= res.schedulable;
+    const double real_u = a::utilization(at);
+
+    const bool rm_ok = simulate(specs, false, Time::zero());
+    const bool edf_ok = simulate(specs, true, Time::zero());
+    const bool rm_ovh_ok = simulate(specs, false, 50_us);
+    ctx.metric("sim_rm_ok", rm_ok);
+    ctx.metric("sim_edf_ok", edf_ok);
+    ctx.metric("sim_rm_ovh_ok", rm_ovh_ok);
+    ctx.metric("rta_ok", rta_schedulable);
+    ctx.metric("rm_bound_ok", real_u <= a::rm_utilization_bound(kTasksPerSet));
+    ctx.metric("edf_bound_ok", real_u <= 1.0);
+    // RTA must predict the zero-overhead RM simulation. (The horizon is
+    // finite, so a simulated pass with RTA-fail is possible only if the
+    // first busy period exceeds the horizon — not here.)
+    ctx.metric("rta_mispredicted", rta_schedulable != rm_ok);
+}
+
+} // namespace
+
 int main() {
-    std::cout << "=== schedulability curves: " << kSetsPerPoint
+    constexpr double kUtilizations[] = {0.55, 0.65, 0.75, 0.82, 0.88, 0.94, 0.99};
+
+    std::vector<c::ScenarioSpec> scenarios;
+    for (const double u : kUtilizations)
+        for (int s = 0; s < kSetsPerPoint; ++s) {
+            std::ostringstream name;
+            name << "u" << std::fixed << std::setprecision(2) << u << "/set"
+                 << s;
+            scenarios.push_back({name.str(), [u](c::ScenarioContext& ctx) {
+                                     evaluate_set(ctx, u);
+                                 }});
+        }
+    const auto outcome = rtsc::campaign_bench::run_and_record(
+        "schedulability_curve", scenarios, 1979);
+
+    std::cout << "\n=== schedulability curves: " << kSetsPerPoint
               << " random sets of " << kTasksPerSet
               << " tasks per utilisation point (periods 1-20 ms) ===\n\n";
     std::cout << "   U    sim-RM  sim-EDF  sim-RM+50us  RTA-pred  RM-bound  "
                  "EDF-bound\n";
 
     int rta_mispredictions = 0;
-    for (const double u : {0.55, 0.65, 0.75, 0.82, 0.88, 0.94, 0.99}) {
+    std::size_t next = 0;
+    for (const double u : kUtilizations) {
         Point pt;
         for (int s = 0; s < kSetsPerPoint; ++s) {
-            const auto seed =
-                static_cast<std::uint64_t>(u * 1000) * 131u + static_cast<std::uint64_t>(s);
-            const auto specs = unique_priorities(
-                w::random_task_set(kTasksPerSet, u, 1_ms, 20_ms, seed));
-
-            std::vector<a::PeriodicTask> at;
-            for (const auto& sp : specs)
-                at.push_back({sp.name, sp.period, sp.wcet, sp.deadline,
-                              sp.priority, Time::zero()});
-            bool rta_schedulable = true;
-            for (const auto& res : a::response_time_analysis(at))
-                rta_schedulable &= res.schedulable;
-            const double real_u = a::utilization(at);
-
-            const bool rm_ok = simulate(specs, false, Time::zero());
-            const bool edf_ok = simulate(specs, true, Time::zero());
-            const bool rm_ovh_ok = simulate(specs, false, 50_us);
-            pt.sim_rm_ok += rm_ok;
-            pt.sim_edf_ok += edf_ok;
-            pt.sim_rm_ovh_ok += rm_ovh_ok;
-            pt.rta_ok += rta_schedulable;
-            pt.rm_bound_ok += real_u <= a::rm_utilization_bound(kTasksPerSet);
-            pt.edf_bound_ok += real_u <= 1.0;
-            // RTA must predict the zero-overhead RM simulation. (The horizon
-            // is finite, so a simulated pass with RTA-fail is possible only
-            // if the first busy period exceeds the horizon — not here.)
-            if (rta_schedulable != rm_ok) ++rta_mispredictions;
+            const auto& res = outcome.serial.results[next++];
+            auto metric = [&res](const char* key) {
+                for (const auto& [k2, v] : res.metrics)
+                    if (key == k2) return static_cast<int>(v);
+                return 0;
+            };
+            pt.sim_rm_ok += metric("sim_rm_ok");
+            pt.sim_edf_ok += metric("sim_edf_ok");
+            pt.sim_rm_ovh_ok += metric("sim_rm_ovh_ok");
+            pt.rta_ok += metric("rta_ok");
+            pt.rm_bound_ok += metric("rm_bound_ok");
+            pt.edf_bound_ok += metric("edf_bound_ok");
+            rta_mispredictions += metric("rta_mispredicted");
         }
         auto pc = [](int n) {
             std::ostringstream os;
@@ -124,5 +166,7 @@ int main() {
     std::cout << "Expected shape: EDF ~= 100% until U->1; RM degrades past "
                  "the Liu&Layland bound but matches exact RTA; 50 us "
                  "overheads shift the RM curve left.\n";
-    return rta_mispredictions == 0 ? 0 : 1;
+    const bool ok = rta_mispredictions == 0 && outcome.digests_match &&
+                    outcome.serial.failures() == 0;
+    return ok ? 0 : 1;
 }

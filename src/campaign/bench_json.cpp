@@ -1,0 +1,70 @@
+#include "campaign/bench_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rtsc::campaign {
+
+namespace {
+
+[[nodiscard]] std::string format_entry(const BenchEntry& e) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"scenarios\": %zu, "
+                  "\"hardware_cores\": %u, \"workers\": %u, "
+                  "\"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
+                  "\"speedup\": %.2f, \"digest\": \"%016llx\", "
+                  "\"digests_match\": %s}",
+                  e.name.c_str(), e.scenarios, e.hardware_cores, e.workers,
+                  e.serial_ms, e.parallel_ms, e.speedup,
+                  static_cast<unsigned long long>(e.digest),
+                  e.digests_match ? "true" : "false");
+    return buf;
+}
+
+/// The merge key of an entry line, or "" for non-entry lines.
+[[nodiscard]] std::string entry_name(const std::string& line) {
+    const std::string tag = "{\"name\": \"";
+    const std::size_t at = line.find(tag);
+    if (at == std::string::npos) return {};
+    const std::size_t start = at + tag.size();
+    const std::size_t end = line.find('"', start);
+    if (end == std::string::npos) return {};
+    return line.substr(start, end - start);
+}
+
+} // namespace
+
+void write_bench_entry(const std::string& path, const BenchEntry& entry) {
+    std::vector<std::string> entries;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            if (!entry_name(line).empty()) entries.push_back(line);
+    }
+
+    bool replaced = false;
+    for (std::string& line : entries) {
+        if (entry_name(line) == entry.name) {
+            line = format_entry(entry);
+            replaced = true;
+        }
+    }
+    if (!replaced) entries.push_back(format_entry(entry));
+
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        // normalize trailing commas: every entry but the last gets one
+        std::string line = entries[i];
+        while (!line.empty() && (line.back() == ',' || line.back() == ' '))
+            line.pop_back();
+        out << line << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace rtsc::campaign

@@ -1,0 +1,31 @@
+#pragma once
+// Writer for BENCH_campaign.json: each campaign-ported benchmark records its
+// serial-vs-parallel wall time and the determinism verdict as one entry.
+// Entries merge by name, so the three benches can update the same file in any
+// order without clobbering each other.
+
+#include <cstdint>
+#include <string>
+
+namespace rtsc::campaign {
+
+struct BenchEntry {
+    std::string name;             ///< benchmark id, the merge key
+    std::size_t scenarios = 0;    ///< campaign size
+    unsigned hardware_cores = 0;  ///< std::thread::hardware_concurrency()
+    unsigned workers = 0;         ///< worker threads of the parallel run
+    double serial_ms = 0;         ///< campaign wall time, workers=1
+    double parallel_ms = 0;       ///< campaign wall time, workers=N
+    double speedup = 0;           ///< serial_ms / parallel_ms
+    std::uint64_t digest = 0;     ///< aggregate-report digest (serial run)
+    bool digests_match = false;   ///< parallel digest == serial digest
+};
+
+/// Merge `entry` into the JSON file at `path`: an existing entry with the
+/// same name is replaced, otherwise the entry is appended; other entries are
+/// preserved. The file is created if absent. The format is strict — one
+/// entry object per line under "entries" — and only this writer should
+/// author the file.
+void write_bench_entry(const std::string& path, const BenchEntry& entry);
+
+} // namespace rtsc::campaign

@@ -1,0 +1,185 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace rtsc::campaign {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+[[nodiscard]] double elapsed_ms(clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+}
+
+// FNV-1a 64-bit, fed field-by-field with length prefixes so the digest is a
+// function of the field *sequence*, not of an ambiguous concatenation.
+class Fnv1a {
+public:
+    void bytes(const void* data, std::size_t n) noexcept {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+    void u64(std::uint64_t v) noexcept { bytes(&v, sizeof v); }
+    void f64(double v) noexcept {
+        static_assert(sizeof(double) == sizeof(std::uint64_t));
+        std::uint64_t bits;
+        __builtin_memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+    void str(const std::string& s) noexcept {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+std::size_t CampaignReport::failures() const noexcept {
+    std::size_t n = 0;
+    for (const ScenarioResult& r : results)
+        if (!r.ok) ++n;
+    return n;
+}
+
+const ScenarioResult* CampaignReport::find(const std::string& name) const {
+    for (const ScenarioResult& r : results)
+        if (r.name == name) return &r;
+    return nullptr;
+}
+
+std::uint64_t CampaignReport::digest() const {
+    Fnv1a h;
+    h.u64(seed);
+    h.u64(results.size());
+    for (const ScenarioResult& r : results) {
+        h.str(r.name);
+        h.u64(r.index);
+        h.u64(r.seed);
+        h.u64(r.ok ? 1 : 0);
+        h.str(r.error);
+        h.u64(r.metrics.size());
+        for (const auto& [k, v] : r.metrics) {
+            h.str(k);
+            h.f64(v);
+        }
+        h.u64(r.notes.size());
+        for (const auto& [k, v] : r.notes) {
+            h.str(k);
+            h.str(v);
+        }
+    }
+    return h.value();
+}
+
+std::string CampaignReport::to_string() const {
+    std::ostringstream os;
+    os << "campaign seed=" << seed << " scenarios=" << results.size()
+       << " workers=" << workers << " wall=" << wall_ms << "ms\n";
+    for (const ScenarioResult& r : results) {
+        os << "  [" << r.index << "] " << r.name << ": "
+           << (r.ok ? "ok" : "FAILED") << " (" << r.wall_ms << "ms)";
+        if (!r.ok) os << " — " << r.error;
+        for (const auto& [k, v] : r.metrics) os << " " << k << "=" << v;
+        os << "\n";
+    }
+    if (const std::size_t f = failures(); f != 0)
+        os << "  " << f << " scenario(s) FAILED\n";
+    return os.str();
+}
+
+std::string CampaignReport::to_csv() const {
+    std::ostringstream os;
+    os << "scenario,index,seed,ok,metric,value\n";
+    for (const ScenarioResult& r : results) {
+        if (r.metrics.empty()) {
+            os << r.name << "," << r.index << "," << r.seed << ","
+               << (r.ok ? 1 : 0) << ",,\n";
+            continue;
+        }
+        for (const auto& [k, v] : r.metrics)
+            os << r.name << "," << r.index << "," << r.seed << ","
+               << (r.ok ? 1 : 0) << "," << k << "," << v << "\n";
+    }
+    return os.str();
+}
+
+CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
+    const clock::time_point campaign_t0 = clock::now();
+
+    CampaignReport report;
+    report.seed = opt_.seed;
+    report.results.resize(scenarios.size());
+
+    unsigned workers = opt_.workers;
+    if (workers == 0) workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+    if (workers > scenarios.size() && !scenarios.empty())
+        workers = static_cast<unsigned>(scenarios.size());
+    report.workers = workers;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex progress_mu;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= scenarios.size()) return;
+
+            const ScenarioSpec& spec = scenarios[i];
+            ScenarioResult& out = report.results[i];
+            out.name = spec.name;
+            out.index = i;
+            out.seed = derive_seed(opt_.seed, i);
+
+            ScenarioContext ctx(i, out.seed);
+            const clock::time_point t0 = clock::now();
+            try {
+                spec.body(ctx);
+                out.ok = true;
+            } catch (const std::exception& e) {
+                out.ok = false;
+                out.error = e.what();
+            } catch (...) {
+                out.ok = false;
+                out.error = "unknown exception type";
+            }
+            out.wall_ms = elapsed_ms(t0);
+            out.metrics = std::move(ctx.metrics_);
+            out.notes = std::move(ctx.notes_);
+
+            const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opt_.on_progress) {
+                std::lock_guard<std::mutex> lk(progress_mu);
+                opt_.on_progress(Progress{done, scenarios.size(), out});
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+        for (std::thread& t : pool) t.join();
+    }
+
+    report.wall_ms = elapsed_ms(campaign_t0);
+    return report;
+}
+
+} // namespace rtsc::campaign

@@ -24,6 +24,21 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer likewise needs to be told about fiber switches, or it
+// attributes one fiber's accesses to another's stack and reports bogus
+// races (and misses real ones) when several simulators run on separate
+// threads (src/campaign/).
+#if defined(__SANITIZE_THREAD__)
+#define RTSC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RTSC_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef RTSC_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace rtsc::kernel {
 
 namespace {
@@ -47,6 +62,20 @@ void finish_switch_fiber([[maybe_unused]] void* fake_save,
                          [[maybe_unused]] std::size_t* from_size) {
 #ifdef RTSC_ASAN_FIBERS
     __sanitizer_finish_switch_fiber(fake_save, from_bottom, from_size);
+#endif
+}
+
+[[nodiscard]] void* tsan_this_fiber() {
+#ifdef RTSC_TSAN_FIBERS
+    return __tsan_get_current_fiber();
+#else
+    return nullptr;
+#endif
+}
+
+void tsan_switch_fiber([[maybe_unused]] void* fiber) {
+#ifdef RTSC_TSAN_FIBERS
+    __tsan_switch_to_fiber(fiber, 0);
 #endif
 }
 
@@ -82,9 +111,16 @@ Coroutine::Coroutine(Body body, std::size_t stack_bytes) : body_(std::move(body)
     ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Coroutine::trampoline), 2,
                   static_cast<unsigned>(self >> 32),
                   static_cast<unsigned>(self & 0xffffffffu));
+
+#ifdef RTSC_TSAN_FIBERS
+    tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Coroutine::~Coroutine() {
+#ifdef RTSC_TSAN_FIBERS
+    if (tsan_fiber_) __tsan_destroy_fiber(tsan_fiber_);
+#endif
     if (stack_base_) ::munmap(stack_base_, map_bytes_);
 }
 
@@ -109,6 +145,7 @@ void Coroutine::run_body() {
     // Final switch back to the scheduler; this coroutine never runs again,
     // so its fake stack is destroyed (nullptr) rather than parked.
     start_switch_fiber(nullptr, asan_return_stack_, asan_return_stack_size_);
+    tsan_switch_fiber(tsan_caller_);
     ::swapcontext(&ctx_, &return_ctx_);
 }
 
@@ -120,6 +157,8 @@ void Coroutine::resume() {
     started_ = true;
     void* caller_fake = nullptr;
     start_switch_fiber(&caller_fake, ctx_.uc_stack.ss_sp, ctx_.uc_stack.ss_size);
+    tsan_caller_ = tsan_this_fiber();
+    tsan_switch_fiber(tsan_fiber_);
     ::swapcontext(&return_ctx_, &ctx_);
     finish_switch_fiber(caller_fake, nullptr, nullptr);
     g_current = prev;
@@ -132,6 +171,7 @@ void Coroutine::resume() {
 void Coroutine::yield() {
     start_switch_fiber(&asan_fake_stack_, asan_return_stack_,
                        asan_return_stack_size_);
+    tsan_switch_fiber(tsan_caller_);
     ::swapcontext(&ctx_, &return_ctx_);
     // Re-entered: refresh the resumer's stack extents — a different context
     // (e.g. a task performing a kill) may have resumed us this time.

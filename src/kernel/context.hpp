@@ -66,6 +66,10 @@ private:
     void* asan_fake_stack_ = nullptr;
     const void* asan_return_stack_ = nullptr;
     std::size_t asan_return_stack_size_ = 0;
+    // ThreadSanitizer fiber handles (unused in plain builds): this fiber and
+    // the fiber that most recently resumed it.
+    void* tsan_fiber_ = nullptr;
+    void* tsan_caller_ = nullptr;
 };
 
 } // namespace rtsc::kernel

@@ -181,7 +181,9 @@ void Simulator::clear_wait_state(Process& p) {
 void Simulator::arm_timeout(Process& p, Time timeout) {
     ++p.timeout_seq_;
     p.timeout_armed_ = true;
-    timed_.push(TimedEntry{now_ + timeout, order_counter_++,
+    const Time at = now_ + timeout; // saturating: Time::max() means "never"
+    if (at == Time::max()) return;  // no heap entry: the timeout cannot fire
+    timed_.push(TimedEntry{at, order_counter_++,
                            TimedEntry::Kind::process_timeout, nullptr, &p,
                            p.timeout_seq_});
 }

@@ -48,10 +48,13 @@ public:
 
     constexpr auto operator<=>(const Time&) const noexcept = default;
 
-    constexpr Time& operator+=(Time rhs) noexcept { ps_ += rhs.ps_; return *this; }
+    // Additions saturate at Time::max(): the value doubles as the "never"
+    // sentinel for timeouts, and a wrapping `now + Time::max()` would travel
+    // back in time and fire a supposedly-infinite timeout immediately.
+    constexpr Time& operator+=(Time rhs) noexcept { ps_ = add_sat(ps_, rhs.ps_); return *this; }
     constexpr Time& operator-=(Time rhs) noexcept { ps_ -= rhs.ps_; return *this; }
 
-    [[nodiscard]] friend constexpr Time operator+(Time a, Time b) noexcept { return Time{a.ps_ + b.ps_}; }
+    [[nodiscard]] friend constexpr Time operator+(Time a, Time b) noexcept { return Time{add_sat(a.ps_, b.ps_)}; }
     [[nodiscard]] friend constexpr Time operator-(Time a, Time b) noexcept { return Time{a.ps_ - b.ps_}; }
     [[nodiscard]] friend constexpr Time operator*(Time a, rep k) noexcept { return Time{a.ps_ * k}; }
     [[nodiscard]] friend constexpr Time operator*(rep k, Time a) noexcept { return Time{a.ps_ * k}; }
@@ -71,6 +74,9 @@ public:
 
 private:
     constexpr explicit Time(rep ps) noexcept : ps_{ps} {}
+    [[nodiscard]] static constexpr rep add_sat(rep a, rep b) noexcept {
+        return a > ~rep{0} - b ? ~rep{0} : a + b;
+    }
     rep ps_ = 0;
 };
 

@@ -17,7 +17,8 @@ namespace {
 }
 } // namespace
 
-SchedulerEngine::SchedulerEngine(Processor& processor) : processor_(processor) {}
+SchedulerEngine::SchedulerEngine(Processor& processor)
+    : processor_(processor), ordered_(processor.policy().ordered()) {}
 
 void SchedulerEngine::set_kicked(Task& t) noexcept { t.kicked_ = true; }
 kernel::Event& SchedulerEngine::run_event(Task& t) noexcept { return t.ev_run_; }
@@ -51,10 +52,38 @@ SchedulerEngine::PhaseStats SchedulerEngine::phase_stats() const {
 // ------------------------------------------------------------ small helpers
 
 void SchedulerEngine::push_ready(Task& t, bool front) {
-    if (front)
-        ready_.insert(ready_.begin(), &t);
-    else
-        ready_.push_back(&t);
+    if (!ordered_) {
+        if (front)
+            ready_.insert(ready_.begin(), &t);
+        else
+            ready_.push_back(&t);
+        return;
+    }
+    // Ordered insert, stable within one rank: a preempted task (`front`)
+    // goes ahead of its equal-rank peers, a fresh arrival behind them — the
+    // same tie-break the arrival-order queue plus select()-scan produced.
+    const SchedulingPolicy& pol = processor_.policy();
+    const auto cmp = [&pol](const Task* a, const Task* b) {
+        return pol.before(*a, *b);
+    };
+    const auto it =
+        front ? std::lower_bound(ready_.begin(), ready_.end(), &t, cmp)
+              : std::upper_bound(ready_.begin(), ready_.end(), &t, cmp);
+    ready_.insert(it, &t);
+}
+
+void SchedulerEngine::requeue_ready(Task& t) {
+    if (!ordered_) return; // position is arrival order; the select scan
+                           // re-reads keys on every decision anyway
+    const auto it = std::find(ready_.begin(), ready_.end(), &t);
+    if (it == ready_.end()) return;
+    ready_.erase(it);
+    push_ready(t, /*front=*/t.entered_ready_preempted_);
+}
+
+void SchedulerEngine::on_priority_changed(Task& t) {
+    requeue_ready(t);
+    recheck_preemption();
 }
 
 bool SchedulerEngine::preempts(const Task& candidate) const {

@@ -66,6 +66,13 @@ public:
     /// Re-evaluate preemption after the preemption mode was re-enabled or a
     /// priority changed.
     void recheck_preemption();
+    /// A scheduling key (priority / deadline) of `t` changed: reposition it
+    /// in the incrementally ordered ready queue (no-op for unordered
+    /// policies or when `t` is not Ready).
+    void requeue_ready(Task& t);
+    /// requeue_ready + recheck_preemption — the full effect of a priority
+    /// change visible to the scheduler.
+    void on_priority_changed(Task& t);
 
     /// Terminate a task with correct engine bookkeeping (see Task::kill).
     /// A Running victim pays context-save + scheduling during its unwind; a
@@ -174,6 +181,9 @@ protected:
     static kernel::Event& ack_event(Task& t) noexcept;
 
     Processor& processor_;
+    /// The policy maintains a strict weak order: keep ready_ sorted by it
+    /// incrementally instead of scanning per decision (see ReadyQueue docs).
+    bool ordered_;
     ReadyQueue ready_;
     Task* running_ = nullptr;
     Phase phase_ = Phase::idle;

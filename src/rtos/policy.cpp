@@ -7,6 +7,8 @@
 
 namespace rtsc::rtos {
 
+bool SchedulingPolicy::before(const Task&, const Task&) const { return false; }
+
 Task* PriorityPreemptivePolicy::select(const ReadyQueue& ready) const {
     Task* best = nullptr;
     for (Task* t : ready) {
@@ -20,6 +22,10 @@ Task* PriorityPreemptivePolicy::select(const ReadyQueue& ready) const {
 bool PriorityPreemptivePolicy::should_preempt(const Task& candidate,
                                               const Task& running) const {
     return candidate.effective_priority() > running.effective_priority();
+}
+
+bool PriorityPreemptivePolicy::before(const Task& a, const Task& b) const {
+    return a.effective_priority() > b.effective_priority();
 }
 
 Task* FifoPolicy::select(const ReadyQueue& ready) const {
@@ -49,6 +55,12 @@ bool EdfPolicy::should_preempt(const Task& candidate, const Task& running) const
     if (!candidate.has_deadline()) return false;
     if (!running.has_deadline()) return true;
     return candidate.absolute_deadline() < running.absolute_deadline();
+}
+
+bool EdfPolicy::before(const Task& a, const Task& b) const {
+    if (!a.has_deadline()) return false; // deadline-less tasks rank last
+    if (!b.has_deadline()) return true;
+    return a.absolute_deadline() < b.absolute_deadline();
 }
 
 std::vector<int> rate_monotonic_priorities(const std::vector<kernel::Time>& periods) {

@@ -23,9 +23,13 @@
 
 namespace rtsc::rtos {
 
-/// The ReadyTaskQueue: ready tasks in arrival order. Preempted tasks are
+/// The ReadyTaskQueue. For policies without an incremental order (ordered()
+/// == false) it holds ready tasks in arrival order, preempted tasks
 /// re-inserted at the front so that, within one priority level, a preempted
-/// task resumes before later arrivals of the same priority.
+/// task resumes before later arrivals of the same priority. For ordering-
+/// aware policies the engine keeps it sorted by SchedulingPolicy::before()
+/// instead — same dispatch sequence, but the decision reads the front in
+/// O(1) rather than re-scanning (or re-sorting) the queue every time.
 using ReadyQueue = std::vector<Task*>;
 
 class SchedulingPolicy {
@@ -45,6 +49,22 @@ public:
 
     /// Round-robin quantum; Time::zero() disables slicing (the default).
     [[nodiscard]] virtual kernel::Time time_slice() const { return kernel::Time::zero(); }
+
+    // ---- incremental-ordering support ----
+
+    /// A policy returning true here promises that before() is a strict weak
+    /// "a runs before b" order consistent with select(). The engine then
+    /// maintains the ready queue in that order incrementally — sorted insert
+    /// on membership change, repositioning on priority/deadline change — and
+    /// the default Processor::scheduling_policy dispatches the front task
+    /// without consulting select() at all. select() must still implement the
+    /// full scan: it is the fallback for custom Processor overrides and for
+    /// direct use on arbitrary (unsorted) queues.
+    [[nodiscard]] virtual bool ordered() const noexcept { return false; }
+    /// Strict weak order: should `a` run before `b`? Only consulted when
+    /// ordered() is true. Equal-rank FIFO is handled by the engine's stable
+    /// insertion, not by this predicate.
+    [[nodiscard]] virtual bool before(const Task& a, const Task& b) const;
 };
 
 /// Fixed-priority preemptive scheduling — "the most widely used" (§3.1) and
@@ -57,6 +77,8 @@ public:
     [[nodiscard]] Task* select(const ReadyQueue& ready) const override;
     [[nodiscard]] bool should_preempt(const Task& candidate,
                                       const Task& running) const override;
+    [[nodiscard]] bool ordered() const noexcept override { return true; }
+    [[nodiscard]] bool before(const Task& a, const Task& b) const override;
 };
 
 /// First-come first-served: run in ready order, never preempt.
@@ -94,6 +116,8 @@ public:
     [[nodiscard]] Task* select(const ReadyQueue& ready) const override;
     [[nodiscard]] bool should_preempt(const Task& candidate,
                                       const Task& running) const override;
+    [[nodiscard]] bool ordered() const noexcept override { return true; }
+    [[nodiscard]] bool before(const Task& a, const Task& b) const override;
 };
 
 /// User-defined policy from lambdas — the library-level counterpart of

@@ -52,8 +52,13 @@ public:
     [[nodiscard]] SchedulingPolicy& policy() const noexcept { return *policy_; }
     /// The paper's extension point: "designers can define their own policies
     /// by overloading the SchedulingPolicy method of our Processor class".
-    /// Defaults to delegating to the policy strategy object.
+    /// Defaults to delegating to the policy strategy object. For ordering-
+    /// aware policies (SchedulingPolicy::ordered()) the engine keeps `ready`
+    /// sorted in dispatch order, so the decision is O(1) from the front; an
+    /// override sees the queue in that same dispatch order — install a
+    /// non-ordered policy (e.g. FifoPolicy) to get arrival order instead.
     [[nodiscard]] virtual Task* scheduling_policy(const ReadyQueue& ready) const {
+        if (policy_->ordered()) return ready.empty() ? nullptr : ready.front();
         return policy_->select(ready);
     }
     [[nodiscard]] virtual bool should_preempt(const Task& candidate,

@@ -129,7 +129,29 @@ void Task::set_state(TaskState s) {
 
 void Task::set_base_priority(int p) {
     config_.priority = p;
-    processor_.engine().recheck_preemption();
+    processor_.engine().on_priority_changed(*this);
+}
+
+void Task::inherit_priority(int p) {
+    boosted_ = true;
+    boost_priority_ = p;
+    processor_.engine().requeue_ready(*this);
+}
+
+void Task::restore_base_priority() {
+    boosted_ = false;
+    processor_.engine().requeue_ready(*this);
+}
+
+void Task::set_absolute_deadline(kernel::Time t) {
+    deadline_ = t;
+    has_deadline_ = true;
+    processor_.engine().requeue_ready(*this);
+}
+
+void Task::clear_deadline() {
+    has_deadline_ = false;
+    processor_.engine().requeue_ready(*this);
 }
 
 void Task::compute(k::Time duration) {

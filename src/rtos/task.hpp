@@ -66,22 +66,18 @@ public:
     void set_base_priority(int p);
 
     /// Priority-inheritance support (used by mcse::SharedVariable): raise the
-    /// effective priority without touching the base priority.
-    void inherit_priority(int p) noexcept {
-        boosted_ = true;
-        boost_priority_ = p;
-    }
+    /// effective priority without touching the base priority. Does not
+    /// re-evaluate preemption (the booster blocks right after, triggering a
+    /// scheduling pass), but does reposition a Ready task in the queue.
+    void inherit_priority(int p);
     /// Drop an inherited priority back to the base priority.
-    void restore_base_priority() noexcept { boosted_ = false; }
+    void restore_base_priority();
 
     // ---- EDF support ----
     [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
     [[nodiscard]] kernel::Time absolute_deadline() const noexcept { return deadline_; }
-    void set_absolute_deadline(kernel::Time t) noexcept {
-        deadline_ = t;
-        has_deadline_ = true;
-    }
-    void clear_deadline() noexcept { has_deadline_ = false; }
+    void set_absolute_deadline(kernel::Time t);
+    void clear_deadline();
 
     // ---- state ----
     [[nodiscard]] TaskState state() const noexcept { return state_; }

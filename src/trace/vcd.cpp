@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,37 @@ std::string bits(unsigned v, unsigned width) {
     return s;
 }
 
+/// VCD $var reference names must be single whitespace-free tokens, and '$'
+/// starts a VCD keyword while '[' ... ']' is parsed as a vector bit range.
+/// Model names are arbitrary strings ("frame buffer", "cpu[0].dec"), so map
+/// every unsafe byte to '_' before emitting a declaration.
+std::string sanitize_name(const std::string& raw) {
+    std::string out = raw.empty() ? std::string("unnamed") : raw;
+    for (char& c : out) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u <= ' ' || u >= 0x7f || c == '$' || c == '[' || c == ']')
+            c = '_';
+    }
+    return out;
+}
+
+/// Sanitizing can collide distinct names ("a b" and "a_b"); a duplicated
+/// reference silently merges two signals in most viewers. Suffix until unique.
+class NameDeduper {
+public:
+    std::string unique(const std::string& raw) {
+        std::string name = sanitize_name(raw);
+        if (used_.insert(name).second) return name;
+        for (int n = 2;; ++n) {
+            const std::string candidate = name + "_" + std::to_string(n);
+            if (used_.insert(candidate).second) return candidate;
+        }
+    }
+
+private:
+    std::set<std::string> used_;
+};
+
 } // namespace
 
 void write_vcd(std::ostream& os, const Recorder& rec) {
@@ -42,17 +74,19 @@ void write_vcd(std::ostream& os, const Recorder& rec) {
     std::size_t next_id = 0;
     os << "$timescale 1ps $end\n$scope module rtsc $end\n";
 
+    NameDeduper names;
     std::map<const rtos::Task*, std::string> task_ids;
     for (const auto* t : rec.all_tasks()) {
         const std::string id = id_for(next_id++);
         task_ids[t] = id;
-        os << "$var wire 3 " << id << " " << t->name() << " $end\n";
+        os << "$var wire 3 " << id << " " << names.unique(t->name()) << " $end\n";
     }
     std::map<const rtos::Processor*, std::string> ovh_ids;
     for (const auto* p : rec.processors()) {
         const std::string id = id_for(next_id++);
         ovh_ids[p] = id;
-        os << "$var wire 1 " << id << " " << p->name() << "_rtos_overhead $end\n";
+        os << "$var wire 1 " << id << " "
+           << names.unique(p->name() + "_rtos_overhead") << " $end\n";
     }
     os << "$upscope $end\n$enddefinitions $end\n";
 

@@ -1,0 +1,115 @@
+// Concurrent per-thread simulators — the kernel property the campaign runner
+// rests on. Simulator binds itself to the constructing thread
+// (thread_local), so independent simulations on separate threads must
+// neither interfere nor diverge from a single-threaded reference run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "rtos/processor.hpp"
+#include "workload/taskset.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace w = rtsc::workload;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct RunOutcome {
+    std::uint64_t misses = 0;
+    std::vector<Time> max_responses;
+    Time end{};
+
+    bool operator==(const RunOutcome&) const = default;
+};
+
+/// One complete simulation: 3-task rate-monotonic set from `seed`, 60 ms
+/// horizon. Self-contained — builds and destroys its own Simulator.
+RunOutcome run_one(r::EngineKind kind, std::uint64_t seed) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     kind);
+    cpu.set_overheads(r::RtosOverheads::uniform(10_us));
+    w::PeriodicTaskSet ts(cpu, w::random_task_set(3, 0.65, 1_ms, 8_ms, seed));
+    sim.run_until(60_ms);
+    RunOutcome out;
+    out.misses = ts.total_misses();
+    for (const auto& res : ts.results()) out.max_responses.push_back(res.max_response);
+    out.end = sim.now();
+    return out;
+}
+
+class ConcurrentSimulators : public ::testing::TestWithParam<r::EngineKind> {};
+
+} // namespace
+
+TEST_P(ConcurrentSimulators, TwoThreadsMatchSerialReference) {
+    const r::EngineKind kind = GetParam();
+    const RunOutcome ref_a = run_one(kind, 111);
+    const RunOutcome ref_b = run_one(kind, 222);
+
+    RunOutcome got_a, got_b;
+    std::thread ta([&] { got_a = run_one(kind, 111); });
+    std::thread tb([&] { got_b = run_one(kind, 222); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(got_a, ref_a);
+    EXPECT_EQ(got_b, ref_b);
+}
+
+TEST_P(ConcurrentSimulators, ManySimulatorsInFlightStaysDeterministic) {
+    const r::EngineKind kind = GetParam();
+    constexpr int kThreads = 4;
+    constexpr int kRunsPerThread = 3;
+
+    std::vector<RunOutcome> refs;
+    for (int t = 0; t < kThreads; ++t)
+        refs.push_back(run_one(kind, 1000u + static_cast<std::uint64_t>(t)));
+
+    std::vector<std::vector<RunOutcome>> got(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            // Back-to-back simulators on one thread: each must rebind the
+            // thread-local current-simulator slot cleanly.
+            for (int i = 0; i < kRunsPerThread; ++i)
+                got[static_cast<std::size_t>(t)].push_back(
+                    run_one(kind, 1000u + static_cast<std::uint64_t>(t)));
+        });
+    for (std::thread& th : pool) th.join();
+
+    for (int t = 0; t < kThreads; ++t)
+        for (const RunOutcome& o : got[static_cast<std::size_t>(t)])
+            EXPECT_EQ(o, refs[static_cast<std::size_t>(t)]) << "thread " << t;
+}
+
+TEST(ConcurrentSimulatorsMixed, BothEnginesSideBySide) {
+    const RunOutcome ref_p = run_one(r::EngineKind::procedure_calls, 77);
+    const RunOutcome ref_t = run_one(r::EngineKind::rtos_thread, 77);
+    // Identical simulated-time behaviour is the engines' contract; the
+    // reference runs must agree with each other before we go concurrent.
+    EXPECT_EQ(ref_p, ref_t);
+
+    RunOutcome got_p, got_t;
+    std::thread a([&] { got_p = run_one(r::EngineKind::procedure_calls, 77); });
+    std::thread b([&] { got_t = run_one(r::EngineKind::rtos_thread, 77); });
+    a.join();
+    b.join();
+    EXPECT_EQ(got_p, ref_p);
+    EXPECT_EQ(got_t, ref_t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ConcurrentSimulators,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "rtos_thread";
+                         });

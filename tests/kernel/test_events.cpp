@@ -286,3 +286,55 @@ TEST(EventTest, HasPendingReflectsState) {
     });
     sim.run();
 }
+
+TEST(EventTest, MaxTimeoutMeansNever) {
+    // Regression: now + Time::max() used to wrap and fire the "infinite"
+    // timeout in the past, i.e. immediately. A Time::max() timeout must
+    // never fire: the event still wins whenever it is delivered...
+    Simulator sim;
+    Event e("e");
+    Process::WakeReason reason{};
+    Time woke_at;
+    sim.spawn("waiter", [&] {
+        k::wait(25_us); // start the wait from a non-zero now()
+        reason = sim.wait(Time::max(), e);
+        woke_at = sim.now();
+    });
+    sim.spawn("notifier", [&] {
+        k::wait(40_us);
+        e.notify();
+    });
+    sim.run();
+    EXPECT_EQ(reason, Process::WakeReason::event);
+    EXPECT_EQ(woke_at, 40_us);
+}
+
+TEST(EventTest, MaxTimeoutWithoutDeliveryBlocksForever) {
+    // ...and with no delivery the waiter stays blocked: the run goes dry at
+    // the last real activity instead of jumping to t = Time::max().
+    Simulator sim;
+    Event e("never");
+    bool woke = false;
+    sim.spawn("waiter", [&] {
+        (void)sim.wait(Time::max(), e);
+        woke = true;
+    });
+    sim.spawn("other", [&] { k::wait(10_us); });
+    sim.run();
+    EXPECT_FALSE(woke);
+    EXPECT_EQ(sim.now(), 10_us);
+}
+
+TEST(EventTest, MaxTimeoutFromTimeZero) {
+    // The sentinel also holds at now() == 0 (no offset to saturate away).
+    Simulator sim;
+    Event e("never");
+    bool woke = false;
+    sim.spawn("waiter", [&] {
+        (void)sim.wait(Time::max(), e);
+        woke = true;
+    });
+    sim.run();
+    EXPECT_FALSE(woke);
+    EXPECT_EQ(sim.now(), Time::zero());
+}

@@ -84,3 +84,32 @@ TEST(TimeTest, StreamOutput) {
     os << 15_us;
     EXPECT_EQ(os.str(), "15 us");
 }
+
+TEST(TimeTest, SaturatingAddition) {
+    // Time::max() is the "never" sentinel: adding an offset must not wrap
+    // backwards in time.
+    EXPECT_EQ(Time::max() + 1_ps, Time::max());
+    EXPECT_EQ(1_us + Time::max(), Time::max());
+    EXPECT_EQ(Time::max() + Time::max(), Time::max());
+    EXPECT_EQ(Time::ps(~Time::rep{0} - 1) + 1_ps, Time::max());
+    EXPECT_EQ(Time::ps(~Time::rep{0} - 2) + 1_ps, Time::ps(~Time::rep{0} - 1));
+
+    Time t = Time::max();
+    t += 5_ms;
+    EXPECT_EQ(t, Time::max());
+
+    // Ordinary additions are unaffected.
+    EXPECT_EQ(1_us + 2_us, 3_us);
+    t = 1_us;
+    t += 2_us;
+    EXPECT_EQ(t, 3_us);
+}
+
+TEST(TimeTest, NeverSentinelStaysTerminal) {
+    // now + Time::max() used as an absolute deadline keeps comparing larger
+    // than any reachable simulation time.
+    const Time deadline = 123_sec + Time::max();
+    EXPECT_EQ(deadline, Time::max());
+    EXPECT_GT(deadline, 200_sec);
+    EXPECT_EQ(Time::sat_sub(deadline, 123_sec), Time::max() - 123_sec);
+}

@@ -244,3 +244,123 @@ TEST(RateMonotonicTest, EmptyAndSingle) {
     ASSERT_EQ(one.size(), 1u);
     EXPECT_EQ(one[0], 1);
 }
+
+// ---- pinned dispatch-order contract --------------------------------------
+// These tests freeze the priority + FIFO-tie-break semantics the ready queue
+// must preserve however it is maintained (scanned or kept incrementally
+// ordered): strict priority first, FIFO within one level, preempted tasks
+// resuming before equal-priority later arrivals, and priority/deadline
+// changes of Ready tasks taking effect at the next decision.
+
+TEST_P(PolicyTest, PriorityFifoTieBreakWithinLevel) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    std::vector<std::string> order;
+    auto body = [&](r::Task& self) {
+        order.push_back(self.name());
+        self.compute(10_us);
+    };
+    // Three equal-priority tasks in arrival order, one urgent later arrival.
+    cpu.create_task({.name = "eq1", .priority = 4}, body);
+    cpu.create_task({.name = "eq2", .priority = 4, .start_time = 1_us}, body);
+    cpu.create_task({.name = "eq3", .priority = 4, .start_time = 2_us}, body);
+    cpu.create_task({.name = "hi", .priority = 8, .start_time = 3_us}, body);
+    sim.run();
+    // hi preempts eq1 at 3us; eq1 then resumes before its equal-priority
+    // peers; eq2/eq3 keep FIFO order.
+    EXPECT_EQ(order, (std::vector<std::string>{"eq1", "hi", "eq2", "eq3"}));
+}
+
+TEST_P(PolicyTest, PreemptedResumesBeforeEqualPriorityArrivals) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    RecordingObserver rec;
+    cpu.add_observer(rec);
+    std::vector<std::string> order;
+    auto log = [&](r::Task& self) { order.push_back(self.name()); };
+    cpu.create_task({.name = "victim", .priority = 5}, [&](r::Task& self) {
+        log(self);
+        self.compute(50_us);
+    });
+    cpu.create_task({.name = "intruder", .priority = 9, .start_time = 10_us},
+                    [&](r::Task& self) {
+                        log(self);
+                        self.compute(20_us);
+                    });
+    // Same priority as victim, becomes ready while victim sits preempted.
+    cpu.create_task({.name = "peer", .priority = 5, .start_time = 20_us},
+                    [&](r::Task& self) {
+                        log(self);
+                        self.compute(10_us);
+                    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"victim", "intruder", "peer"}));
+    // The preempted victim got the CPU back before the equally-ranked peer:
+    // peer only starts after victim's remaining 40us (at 30+40=70us).
+    const auto p = rec.of("peer");
+    EXPECT_EQ(p[1], (Transition{70_us, "peer", r::TaskState::running}));
+}
+
+TEST_P(PolicyTest, RaisingReadyTaskPriorityReordersNextDecision) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    std::vector<std::string> order;
+    auto body = [&](r::Task& self) {
+        order.push_back(self.name());
+        self.compute(10_us);
+    };
+    cpu.create_task({.name = "runner", .priority = 9}, [&](r::Task& self) {
+        order.push_back(self.name());
+        self.compute(30_us);
+    });
+    cpu.create_task({.name = "a", .priority = 3, .start_time = 1_us}, body);
+    auto& b = cpu.create_task({.name = "b", .priority = 2, .start_time = 2_us}, body);
+    sim.spawn("controller", [&] {
+        k::wait(5_us);
+        b.set_base_priority(5); // b is Ready: must now beat a
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"runner", "b", "a"}));
+}
+
+TEST_P(PolicyTest, EdfDeadlineChangeOfReadyTaskReordersNextDecision) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::EdfPolicy>(), GetParam());
+    std::vector<std::string> order;
+    auto body = [&](r::Task& self) {
+        order.push_back(self.name());
+        self.compute(10_us);
+    };
+    auto& runner = cpu.create_task({.name = "runner", .priority = 0},
+                                   [&](r::Task& self) {
+                                       order.push_back(self.name());
+                                       self.compute(30_us);
+                                   });
+    runner.set_absolute_deadline(35_us);
+    auto& a = cpu.create_task({.name = "a", .priority = 0, .start_time = 1_us}, body);
+    a.set_absolute_deadline(200_us);
+    auto& b = cpu.create_task({.name = "b", .priority = 0, .start_time = 2_us}, body);
+    b.set_absolute_deadline(300_us);
+    sim.spawn("controller", [&] {
+        k::wait(5_us);
+        b.set_absolute_deadline(100_us); // b is Ready: now earlier than a
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"runner", "b", "a"}));
+}
+
+TEST_P(PolicyTest, EqualPrioritySingleJobsNoPreemptionAmongPeers) {
+    // FIFO within a level also means no preemption among equals.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    auto body = [](r::Task& self) { self.compute(10_us); };
+    auto& t1 = cpu.create_task({.name = "p1", .priority = 4}, body);
+    auto& t2 = cpu.create_task({.name = "p2", .priority = 4, .start_time = 3_us}, body);
+    sim.run();
+    EXPECT_EQ(t1.stats().preemptions, 0u);
+    EXPECT_EQ(t2.stats().preemptions, 0u);
+}

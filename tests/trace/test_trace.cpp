@@ -169,3 +169,63 @@ TEST(VcdTest, WellFormedOutput) {
     }
     EXPECT_GE(prev, 0);
 }
+
+TEST(VcdTest, VarNamesAreSanitized) {
+    // Regression: raw task names went into $var declarations verbatim, so a
+    // name with a space produced "$var wire 3 ! my task $end" — an extra
+    // token no VCD parser accepts. Reserved characters break parsing too.
+    k::Simulator sim;
+    r::Processor cpu("main cpu");
+    cpu.create_task({.name = "frame decoder", .priority = 2},
+                    [](r::Task& self) { self.compute(10_us); });
+    cpu.create_task({.name = "io$drain[0]", .priority = 1},
+                    [](r::Task& self) { self.compute(5_us); });
+    tr::Recorder rec;
+    rec.attach(cpu);
+    sim.run();
+
+    std::ostringstream os;
+    tr::write_vcd(os, rec);
+    std::istringstream in(os.str());
+    std::string line;
+    int vars = 0;
+    while (std::getline(in, line)) {
+        if (line.rfind("$var", 0) != 0) continue;
+        ++vars;
+        // "$var wire <w> <id> <name> $end" — exactly 6 tokens.
+        std::istringstream tok(line);
+        std::string word;
+        int words = 0;
+        std::string name;
+        while (tok >> word) {
+            if (++words == 5) name = word;
+        }
+        EXPECT_EQ(words, 6) << line;
+        EXPECT_EQ(name.find('$'), std::string::npos) << line;
+        EXPECT_EQ(name.find('['), std::string::npos) << line;
+    }
+    EXPECT_EQ(vars, 3); // two tasks + one processor overhead wire
+    EXPECT_NE(os.str().find("frame_decoder"), std::string::npos);
+    EXPECT_NE(os.str().find("io_drain_0_"), std::string::npos);
+    EXPECT_NE(os.str().find("main_cpu_rtos_overhead"), std::string::npos);
+}
+
+TEST(VcdTest, CollidingNamesAreDeduped) {
+    // "a b" and "a_b" both sanitize to "a_b"; identical references would
+    // silently merge two signals in the viewer.
+    k::Simulator sim;
+    r::Processor cpu("cpu");
+    cpu.create_task({.name = "a b", .priority = 2},
+                    [](r::Task& self) { self.compute(1_us); });
+    cpu.create_task({.name = "a_b", .priority = 1},
+                    [](r::Task& self) { self.compute(1_us); });
+    tr::Recorder rec;
+    rec.attach(cpu);
+    sim.run();
+
+    std::ostringstream os;
+    tr::write_vcd(os, rec);
+    const std::string vcd = os.str();
+    EXPECT_NE(vcd.find(" a_b "), std::string::npos);
+    EXPECT_NE(vcd.find(" a_b_2 "), std::string::npos);
+}
