@@ -1,0 +1,205 @@
+// Observability hook overhead: the engine probe sites (scheduler run,
+// dispatch, preempt) cost one untaken branch each when no MetricsCollector
+// is attached. This bench pins that claim with numbers: the token-ring
+// workload from bench_engine_compare is timed bare, then with a collector
+// attached, on both engines.
+//
+// Expected result: the no-sink configuration is indistinguishable from the
+// pre-instrumentation baseline (<2% delta), and even with a collector
+// attached the cost stays small — the hooks do integer bucketing, no
+// allocation on the hot path.
+//
+// The measured deltas land in BENCH_obs.json (same line-based entry format
+// as BENCH_campaign.json; path overridable with RTSC_BENCH_OBS_JSON).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/bench_json.hpp"
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+namespace o = rtsc::obs;
+namespace c = rtsc::campaign;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+/// Same token-ring + periodic-IRQ workload as bench_engine_compare, with an
+/// optional metrics collector attached. Returns the dispatch count so the
+/// two configurations can be checked to have simulated identical behaviour.
+std::uint64_t run_ring(r::EngineKind kind, int n_tasks, int rounds,
+                       o::MetricsRegistry* registry) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     kind);
+    cpu.set_overheads(r::RtosOverheads::uniform(1_us));
+
+    std::unique_ptr<o::MetricsCollector> collector;
+    if (registry != nullptr) {
+        collector = std::make_unique<o::MetricsCollector>(*registry);
+        collector->attach(cpu);
+    }
+
+    std::vector<std::unique_ptr<m::Event>> ring;
+    ring.reserve(static_cast<std::size_t>(n_tasks));
+    for (int i = 0; i < n_tasks; ++i)
+        ring.push_back(std::make_unique<m::Event>("ev" + std::to_string(i),
+                                                  m::EventPolicy::counter));
+    m::Event irq("irq", m::EventPolicy::counter);
+
+    for (int i = 0; i < n_tasks; ++i) {
+        cpu.create_task(
+            {.name = "t" + std::to_string(i), .priority = 1},
+            [&, i, rounds](r::Task& self) {
+                for (int round = 0; round < rounds; ++round) {
+                    ring[static_cast<std::size_t>(i)]->await();
+                    self.compute(5_us);
+                    ring[static_cast<std::size_t>((i + 1) % n_tasks)]->signal();
+                }
+            });
+    }
+    cpu.create_task({.name = "isr", .priority = 9}, [&](r::Task& self) {
+        for (;;) {
+            irq.await();
+            self.compute(2_us);
+        }
+    });
+    sim.spawn("hw", [&] {
+        for (;;) {
+            k::wait(100_us);
+            irq.signal();
+        }
+    });
+    sim.spawn("starter", [&] { ring[0]->signal(); });
+
+    sim.run_until(Time::ms(static_cast<Time::rep>(rounds) * 2u));
+    return cpu.engine().phase_stats().dispatches;
+}
+
+void BM_Ring(benchmark::State& state, r::EngineKind kind, bool instrumented) {
+    const int n_tasks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        o::MetricsRegistry reg;
+        benchmark::DoNotOptimize(
+            run_ring(kind, n_tasks, 200, instrumented ? &reg : nullptr));
+    }
+}
+
+double median(std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+c::MetricSummary summarize(const std::string& name, std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    c::MetricSummary s;
+    s.name = name;
+    s.count = v.size();
+    s.min = v.front();
+    s.max = v.back();
+    double sum = 0;
+    for (const double x : v) sum += x;
+    s.mean = sum / static_cast<double>(v.size());
+    const auto pct = [&v](unsigned q) {
+        std::size_t rank = (v.size() * q + 99) / 100;
+        if (rank == 0) rank = 1;
+        return v[rank - 1];
+    };
+    s.p50 = pct(50);
+    s.p90 = pct(90);
+    s.p99 = pct(99);
+    return s;
+}
+
+std::vector<double> time_runs(r::EngineKind kind, bool instrumented, int reps) {
+    std::vector<double> ms;
+    ms.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        o::MetricsRegistry reg;
+        const auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(
+            run_ring(kind, 8, 200, instrumented ? &reg : nullptr));
+        const auto t1 = std::chrono::steady_clock::now();
+        ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return ms;
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Ring, procedural_bare, r::EngineKind::procedure_calls, false)
+    ->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Ring, procedural_collector, r::EngineKind::procedure_calls, true)
+    ->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Ring, rtos_thread_bare, r::EngineKind::rtos_thread, false)
+    ->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Ring, rtos_thread_collector, r::EngineKind::rtos_thread, true)
+    ->Arg(8)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Behavioural sanity: the collector must not change the simulation.
+    o::MetricsRegistry reg;
+    const std::uint64_t bare = run_ring(r::EngineKind::procedure_calls, 8, 200,
+                                        nullptr);
+    const std::uint64_t inst = run_ring(r::EngineKind::procedure_calls, 8, 200,
+                                        &reg);
+    if (bare != inst) {
+        std::cerr << "BUG: collector changed dispatch count (" << bare
+                  << " vs " << inst << ")\n";
+        return 1;
+    }
+
+    const int reps = 15;
+    const auto bare_ms = time_runs(r::EngineKind::procedure_calls, false, reps);
+    const auto coll_ms = time_runs(r::EngineKind::procedure_calls, true, reps);
+    const double delta_pct =
+        (median(coll_ms) / median(bare_ms) - 1.0) * 100.0;
+
+    std::cout << "\n=== observability hook overhead (procedural, 8 tasks, "
+              << reps << " reps) ===\n"
+              << "  bare       median " << median(bare_ms) << " ms\n"
+              << "  collector  median " << median(coll_ms) << " ms\n"
+              << "  delta      " << delta_pct << " %\n"
+              << "  (no-sink configurations pay one untaken branch per hook "
+                 "site; see docs/OBSERVABILITY.md)\n";
+
+    c::BenchEntry entry;
+    entry.name = "obs_hook_overhead";
+    entry.scenarios = static_cast<std::size_t>(reps);
+    entry.hardware_cores = std::thread::hardware_concurrency();
+    entry.workers = 1;
+    entry.serial_ms = median(bare_ms);
+    entry.parallel_ms = median(coll_ms);
+    entry.speedup = median(coll_ms) > 0 ? median(bare_ms) / median(coll_ms) : 0;
+    entry.digest = inst;
+    entry.digests_match = bare == inst;
+    entry.metrics.push_back(summarize("obs.bare_ms", bare_ms));
+    entry.metrics.push_back(summarize("obs.collector_ms", coll_ms));
+    entry.metrics.push_back(
+        summarize("obs.collector_delta_pct", {delta_pct}));
+
+    const char* path = std::getenv("RTSC_BENCH_OBS_JSON");
+    c::write_bench_entry(path != nullptr ? path : "BENCH_obs.json", entry);
+    std::cout << "wrote " << (path != nullptr ? path : "BENCH_obs.json")
+              << "\n";
+    return 0;
+}

@@ -14,6 +14,8 @@
 #include "analysis/response_time.hpp"
 #include "campaign_harness.hpp"
 #include "kernel/simulator.hpp"
+#include "obs/campaign.hpp"
+#include "obs/collector.hpp"
 #include "rtos/processor.hpp"
 #include "workload/taskset.hpp"
 
@@ -39,9 +41,16 @@ void run_into(c::ScenarioContext& ctx, const r::RtosOverheads& ov) {
     k::Simulator sim;
     r::Processor cpu("cpu");
     cpu.set_overheads(ov);
+    // Full metrics catalogue (scheduling latency, queue lengths, per-task
+    // responses) rides along into the campaign report, so BENCH_campaign.json
+    // carries p50/p90/p99 across the sweep, not just per-scenario maxima.
+    rtsc::obs::MetricsRegistry metrics;
+    rtsc::obs::MetricsCollector collector(metrics);
+    collector.attach(cpu);
     w::PeriodicTaskSet ts(cpu, the_set());
     sim.run_until(120_ms);
     const auto ps = cpu.engine().phase_stats();
+    rtsc::obs::export_metrics(metrics, ctx);
     const bool t3_completed = !ts.results()[2].jobs.empty();
     ctx.metric("r1_us", ts.results()[0].max_response.to_sec() * 1e6);
     ctx.metric("r2_us", ts.results()[1].max_response.to_sec() * 1e6);

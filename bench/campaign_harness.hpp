@@ -44,6 +44,10 @@ inline HarnessOutcome run_and_record(const std::string& bench_name,
     entry.speedup = parallel.wall_ms > 0 ? out.serial.wall_ms / parallel.wall_ms : 0;
     entry.digest = out.serial.digest();
     entry.digests_match = out.digests_match;
+    // Percentile aggregates of every metric the scenarios recorded
+    // (ScenarioContext::metric), so benches report p50/p90/p99, not just
+    // wall times.
+    entry.metrics = out.serial.aggregate_metrics();
 
     const char* path = std::getenv("RTSC_BENCH_JSON");
     c::write_bench_entry(path != nullptr ? path : "BENCH_campaign.json", entry);

@@ -10,6 +10,10 @@
 // Because every fault stream derives from the campaign seed, rerunning with
 // the same seed replays the identical timeline — change the seed below and
 // the fault pattern (but nothing else) changes with it.
+//
+// The seed-42 campaign run is additionally traced: crashes, watchdog
+// timeouts and deadline misses land as instant markers in
+// fault_tolerant_soc.perfetto.json (load it in ui.perfetto.dev).
 #include <iostream>
 
 #include "fault/deadline_handler.hpp"
@@ -17,9 +21,11 @@
 #include "fault/watchdog.hpp"
 #include "kernel/simulator.hpp"
 #include "mcse/message_queue.hpp"
+#include "obs/perfetto.hpp"
 #include "rtos/interrupt.hpp"
 #include "rtos/processor.hpp"
 #include "trace/constraints.hpp"
+#include "trace/recorder.hpp"
 
 namespace k = rtsc::kernel;
 namespace r = rtsc::rtos;
@@ -39,12 +45,13 @@ struct Outcome {
     bool deadlocked = false;
 };
 
-Outcome run(std::uint64_t seed, bool inject) {
+Outcome run(std::uint64_t seed, bool inject, tr::Recorder* rec = nullptr) {
     Outcome out;
     k::Simulator sim;
     sim.set_deadlock_detection(true);
     r::Processor cpu("ecu");
     cpu.set_overheads(r::RtosOverheads::uniform(2_us));
+    if (rec != nullptr) rec->attach(cpu);
 
     r::InterruptLine sensor("sensor");
     sensor.set_max_pending(4); // a real line has a bounded latch
@@ -102,10 +109,21 @@ Outcome run(std::uint64_t seed, bool inject) {
         plan.task_crashes.push_back(
             {&control, 2_ms, /*restart=*/true, /*restart_delay=*/100_us});
     }
+    if (rec != nullptr) {
+        watchdog.set_trace(rec);
+        handler.set_trace(rec);
+    }
     f::FaultInjector injector(sim, plan, seed);
+    if (rec != nullptr) injector.set_trace(rec);
     injector.arm();
 
     sim.run_until(8_ms);
+
+    // The recorder keeps pointers into the live model (tasks, processor,
+    // queue), so the Perfetto export must happen before run() tears it down.
+    if (rec != nullptr)
+        rtsc::obs::write_perfetto_file("fault_tolerant_soc.perfetto.json",
+                                       *rec);
 
     out.violations = monitor.violations().size();
     out.control_restarts = control.restarts();
@@ -135,8 +153,11 @@ void print(const char* title, const Outcome& o) {
 int main() {
     std::cout << "Fault-tolerant SoC under a seeded fault campaign\n\n";
     print("fault-free baseline", run(42, false));
-    const Outcome a = run(42, true);
+    tr::Recorder rec;
+    const Outcome a = run(42, true, &rec);
     print("campaign, seed 42", a);
+    std::cout << "wrote fault_tolerant_soc.perfetto.json (" << rec.markers().size()
+              << " fault/watchdog/deadline markers)\n\n";
     const Outcome b = run(42, true);
     std::cout << "replay with seed 42 is identical: "
               << (a.commands == b.commands && a.violations == b.violations &&

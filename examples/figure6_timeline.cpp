@@ -2,12 +2,13 @@
 // functions (priorities 5/3/2) under priority-based preemptive scheduling,
 // all RTOS overheads set to 5 us. Prints the TimeLine chart with the (a),
 // (b), (c) overhead measurements the paper annotates, and exports the trace
-// as CSV and VCD next to the binary.
+// as CSV, VCD and Perfetto JSON next to the binary.
 #include <fstream>
 #include <iostream>
 
 #include "kernel/simulator.hpp"
 #include "mcse/event.hpp"
+#include "obs/perfetto.hpp"
 #include "rtos/processor.hpp"
 #include "trace/csv.hpp"
 #include "trace/recorder.hpp"
@@ -78,6 +79,8 @@ int main() {
     tr::write_states_csv(csv, rec);
     std::ofstream vcd("figure6.vcd");
     tr::write_vcd(vcd, rec);
-    std::cout << "\nwrote figure6_states.csv and figure6.vcd\n";
+    rtsc::obs::write_perfetto_file("figure6.perfetto.json", rec);
+    std::cout << "\nwrote figure6_states.csv, figure6.vcd and "
+                 "figure6.perfetto.json (load in ui.perfetto.dev)\n";
     return 0;
 }

@@ -9,19 +9,58 @@ namespace rtsc::campaign {
 
 namespace {
 
+/// Minimal JSON string escape — bench/metric names are code-chosen, but a
+/// stray quote must not corrupt the line-based merge format.
+[[nodiscard]] std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' '; // control chars would break the one-line format
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+[[nodiscard]] std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
 [[nodiscard]] std::string format_entry(const BenchEntry& e) {
+    std::ostringstream os;
     char buf[512];
+    // "name" must stay the first field: entry_name() below keys the merge on
+    // the first {"name": " occurrence of the line.
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"scenarios\": %zu, "
                   "\"hardware_cores\": %u, \"workers\": %u, "
                   "\"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
                   "\"speedup\": %.2f, \"digest\": \"%016llx\", "
-                  "\"digests_match\": %s}",
-                  e.name.c_str(), e.scenarios, e.hardware_cores, e.workers,
-                  e.serial_ms, e.parallel_ms, e.speedup,
+                  "\"digests_match\": %s",
+                  escape(e.name).c_str(), e.scenarios, e.hardware_cores,
+                  e.workers, e.serial_ms, e.parallel_ms, e.speedup,
                   static_cast<unsigned long long>(e.digest),
                   e.digests_match ? "true" : "false");
-    return buf;
+    os << buf;
+    if (!e.metrics.empty()) {
+        os << ", \"metrics\": [";
+        for (std::size_t i = 0; i < e.metrics.size(); ++i) {
+            const MetricSummary& m = e.metrics[i];
+            os << (i != 0 ? ", " : "") << "{\"name\": \"" << escape(m.name)
+               << "\", \"count\": " << m.count << ", \"min\": " << num(m.min)
+               << ", \"max\": " << num(m.max) << ", \"mean\": " << num(m.mean)
+               << ", \"p50\": " << num(m.p50) << ", \"p90\": " << num(m.p90)
+               << ", \"p99\": " << num(m.p99) << "}";
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
 }
 
 /// The merge key of an entry line, or "" for non-entry lines.

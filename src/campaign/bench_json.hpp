@@ -6,6 +6,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp" // MetricSummary
 
 namespace rtsc::campaign {
 
@@ -19,6 +22,10 @@ struct BenchEntry {
     double speedup = 0;           ///< serial_ms / parallel_ms
     std::uint64_t digest = 0;     ///< aggregate-report digest (serial run)
     bool digests_match = false;   ///< parallel digest == serial digest
+    /// Cross-scenario metric aggregates (CampaignReport::aggregate_metrics),
+    /// emitted as a "metrics" array so benches report percentiles. Optional:
+    /// an empty vector keeps the entry in the legacy shape.
+    std::vector<MetricSummary> metrics;
 };
 
 /// Merge `entry` into the JSON file at `path`: an existing entry with the

@@ -1,8 +1,10 @@
 #include "campaign/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -82,6 +84,40 @@ std::uint64_t CampaignReport::digest() const {
         }
     }
     return h.value();
+}
+
+std::vector<MetricSummary> CampaignReport::aggregate_metrics() const {
+    // std::map gives the sorted-by-name output order for free.
+    std::map<std::string, std::vector<double>> samples;
+    for (const ScenarioResult& r : results)
+        for (const auto& [k, v] : r.metrics) samples[k].push_back(v);
+
+    std::vector<MetricSummary> out;
+    out.reserve(samples.size());
+    for (auto& [name, vals] : samples) {
+        std::sort(vals.begin(), vals.end());
+        MetricSummary s;
+        s.name = name;
+        s.count = vals.size();
+        s.min = vals.front();
+        s.max = vals.back();
+        double sum = 0;
+        for (const double v : vals) sum += v;
+        s.mean = sum / static_cast<double>(vals.size());
+        // Exact nearest-rank percentile: the smallest sample with at least
+        // q*count samples <= it. Integer rank arithmetic, no float ceil.
+        auto pct = [&vals](unsigned q) {
+            const std::size_t n = vals.size();
+            std::size_t rank = (n * q + 99) / 100; // ceil(n*q/100)
+            if (rank == 0) rank = 1;
+            return vals[rank - 1];
+        };
+        s.p50 = pct(50);
+        s.p90 = pct(90);
+        s.p99 = pct(99);
+        out.push_back(std::move(s));
+    }
+    return out;
 }
 
 std::string CampaignReport::to_string() const {

@@ -99,6 +99,20 @@ struct ScenarioResult {
     std::vector<std::pair<std::string, std::string>> notes;
 };
 
+/// Cross-scenario aggregate of one named metric (see
+/// CampaignReport::aggregate_metrics). Percentiles are exact nearest-rank
+/// values over the sorted per-scenario samples.
+struct MetricSummary {
+    std::string name;
+    std::size_t count = 0; ///< how many scenario results reported the metric
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+};
+
 /// Aggregate of a whole campaign, ordered by submission index.
 struct CampaignReport {
     std::uint64_t seed = 0;
@@ -114,6 +128,12 @@ struct CampaignReport {
     /// Equal digests across worker counts certify the aggregate is
     /// bit-identical to the serial order.
     [[nodiscard]] std::uint64_t digest() const;
+
+    /// Summarise every named metric across all scenario results (failed
+    /// scenarios contribute whatever they managed to record). Returned
+    /// sorted by name; deterministic — a pure function of the digested
+    /// metric values, so it is identical for any worker count.
+    [[nodiscard]] std::vector<MetricSummary> aggregate_metrics() const;
 
     /// Human-readable summary (one line per scenario + failure tally).
     [[nodiscard]] std::string to_string() const;

@@ -20,6 +20,9 @@
 namespace rtsc::kernel {
 class Process;
 }
+namespace rtsc::trace {
+class Recorder;
+}
 
 namespace rtsc::fault {
 
@@ -43,6 +46,11 @@ public:
     [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
     [[nodiscard]] std::uint64_t demotions() const noexcept { return demotions_; }
 
+    /// Record every handled miss as an instant marker ("deadline" category)
+    /// in `rec`. Pass nullptr to detach. The recorder must outlive the
+    /// handler.
+    void set_trace(trace::Recorder* rec) noexcept { trace_ = rec; }
+
 private:
     struct Entry {
         rtos::Task* task;
@@ -58,6 +66,7 @@ private:
     std::deque<Entry> pending_;
     kernel::Event wake_;
     kernel::Process* agent_ = nullptr;
+    trace::Recorder* trace_ = nullptr;
     std::uint64_t handled_ = 0;
     std::uint64_t unhandled_ = 0;
     std::uint64_t kills_ = 0;

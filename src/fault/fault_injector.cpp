@@ -8,6 +8,7 @@
 #include "rtos/interrupt.hpp"
 #include "rtos/processor.hpp"
 #include "rtos/task.hpp"
+#include "trace/recorder.hpp"
 
 namespace rtsc::fault {
 
@@ -89,6 +90,7 @@ void FaultInjector::arm_task_crash(const TaskCrash& e) {
                 k::Event& done = t->done_event();
                 t->kill();
                 ++counters_.tasks_crashed;
+                if (trace_ != nullptr) trace_->mark("fault", "crash:" + t->name());
                 // A killed Running task still pays save + sched during the
                 // unwind; restart only once the incarnation fully ended.
                 if (!t->body_finished()) k::wait(done);
@@ -96,6 +98,8 @@ void FaultInjector::arm_task_crash(const TaskCrash& e) {
             if (restart) {
                 t->processor().restart_task(*t, restart_delay);
                 ++counters_.tasks_restarted;
+                if (trace_ != nullptr)
+                    trace_->mark("fault", "restart:" + t->name());
             }
         });
     p.set_daemon(true);
@@ -183,6 +187,8 @@ void FaultInjector::arm_irq_spurious(const IrqSpurious& e, std::uint64_t salt) {
                 if (!until.is_zero() && sim_.now() > until) return;
                 line->raise_spurious();
                 ++counters_.irqs_spurious;
+                if (trace_ != nullptr)
+                    trace_->mark("fault", "irq_spurious:" + line->name());
             }
         });
     p.set_daemon(true);
@@ -193,9 +199,12 @@ void FaultInjector::arm_message_loss(const MessageLoss& e, std::uint64_t salt) {
     streams_.push_back(std::make_unique<std::mt19937_64>(make_stream(salt)));
     std::mt19937_64* rng = streams_.back().get();
     const double p = e.probability;
-    e.channel->set_loss_hook([this, rng, p]() -> bool {
+    auto* channel = e.channel;
+    e.channel->set_loss_hook([this, rng, p, channel]() -> bool {
         if (draw01(*rng) >= p) return false;
         ++counters_.messages_lost;
+        if (trace_ != nullptr)
+            trace_->mark("fault", "msg_loss:" + channel->name());
         return true;
     });
 }

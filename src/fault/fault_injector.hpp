@@ -22,6 +22,9 @@
 namespace rtsc::kernel {
 class Simulator;
 }
+namespace rtsc::trace {
+class Recorder;
+}
 
 namespace rtsc::fault {
 
@@ -50,6 +53,12 @@ public:
     [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
     [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
+    /// Record injected faults (crashes, restarts, spurious interrupts,
+    /// message losses) as instant markers ("fault" category) in `rec`. Call
+    /// before arm(); pass nullptr to detach. The recorder must outlive the
+    /// injector.
+    void set_trace(trace::Recorder* rec) noexcept { trace_ = rec; }
+
 private:
     /// One deterministic stream per plan entry, derived from the campaign
     /// seed and the entry's position so adding an entry never perturbs the
@@ -67,6 +76,7 @@ private:
     std::uint64_t seed_;
     bool armed_ = false;
     Counters counters_;
+    trace::Recorder* trace_ = nullptr;
     /// RNG streams referenced by the installed hooks; stable addresses.
     std::vector<std::unique_ptr<std::mt19937_64>> streams_;
 };

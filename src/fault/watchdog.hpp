@@ -21,6 +21,9 @@ class Process;
 namespace rtsc::rtos {
 class Task;
 }
+namespace rtsc::trace {
+class Recorder;
+}
 
 namespace rtsc::fault {
 
@@ -42,6 +45,10 @@ public:
     [[nodiscard]] kernel::Time last_beat() const noexcept { return last_beat_; }
     [[nodiscard]] const RecoveryPolicy& policy() const noexcept { return policy_; }
 
+    /// Record every timeout as an instant marker ("watchdog" category) in
+    /// `rec`. Pass nullptr to detach. The recorder must outlive the watchdog.
+    void set_trace(trace::Recorder* rec) noexcept { trace_ = rec; }
+
 private:
     void body();
     void fire();
@@ -53,6 +60,7 @@ private:
     kernel::Time last_beat_{};
     std::uint64_t timeouts_ = 0;
     kernel::Process* proc_ = nullptr;
+    trace::Recorder* trace_ = nullptr;
 };
 
 } // namespace rtsc::fault

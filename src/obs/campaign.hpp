@@ -1,0 +1,25 @@
+#pragma once
+// Bridge between the metrics registry and the campaign runner: a scenario
+// body fills a MetricsRegistry (usually via MetricsCollector), then exports
+// the flattened snapshot into its ScenarioContext so the campaign report —
+// and the BENCH_*.json "metrics" aggregates — carry the percentiles.
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "obs/metrics.hpp"
+
+namespace rtsc::obs {
+
+/// Record every snapshot sample of `reg` as a scenario metric, named
+/// `<prefix><sample name>`. The snapshot is name-sorted and a pure function
+/// of the recorded simulated-time data, so the resulting metric list (and
+/// with it the campaign digest) is identical for any worker count.
+inline void export_metrics(const MetricsRegistry& reg,
+                           campaign::ScenarioContext& ctx,
+                           const std::string& prefix = {}) {
+    for (const MetricSample& s : reg.snapshot())
+        ctx.metric(prefix + s.name, s.value);
+}
+
+} // namespace rtsc::obs

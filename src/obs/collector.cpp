@@ -1,0 +1,102 @@
+#include "obs/collector.hpp"
+
+#include "rtos/engine.hpp"
+
+namespace rtsc::obs {
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+
+MetricsCollector::~MetricsCollector() {
+    // The engine keeps a raw probe pointer; clear it so a collector with a
+    // shorter lifetime than the processor cannot dangle. (Task observers are
+    // only notified during simulation, which the collector must outlive
+    // anyway, matching trace::Recorder's contract.)
+    for (r::Processor* cpu : attached_)
+        if (cpu->engine().probe() == this) cpu->engine().set_probe(nullptr);
+}
+
+void MetricsCollector::attach(r::Processor& cpu) {
+    cpu.engine().set_probe(this);
+    cpu.add_observer(*this);
+    attached_.push_back(&cpu);
+    (void)cpu_metrics(cpu); // create the catalogue eagerly: stable snapshots
+                            // even for processors that never schedule
+}
+
+MetricsCollector::CpuMetrics& MetricsCollector::cpu_metrics(
+    const r::Processor& cpu) {
+    for (auto& m : cpus_)
+        if (m.cpu == &cpu) return m;
+    const std::string p = "cpu." + cpu.name() + ".";
+    cpus_.push_back({&cpu, &reg_.counter(p + "scheduler_runs"),
+                     &reg_.counter(p + "ctx_switches"),
+                     &reg_.counter(p + "preemptions"),
+                     &reg_.histogram(p + "ready_queue_len"),
+                     &reg_.histogram(p + "preempt_depth"),
+                     &reg_.histogram(p + "sched_latency_ps"),
+                     &reg_.histogram(p + "dispatch_latency_ps")});
+    return cpus_.back();
+}
+
+MetricsCollector::TaskMetrics& MetricsCollector::task_metrics(
+    const r::Task& t) {
+    for (auto& m : tasks_)
+        if (m.task == &t) return m;
+    const std::string p = "task." + t.name() + ".";
+    tasks_.push_back({&t, &reg_.counter(p + "activations"),
+                      &reg_.histogram(p + "response_ps")});
+    return tasks_.back();
+}
+
+void MetricsCollector::on_scheduler_run(const r::Processor& cpu,
+                                        std::size_t ready_len) {
+    CpuMetrics& m = cpu_metrics(cpu);
+    m.scheduler_runs->inc();
+    m.ready_queue_len->record(static_cast<std::uint64_t>(ready_len));
+}
+
+void MetricsCollector::on_dispatch(const r::Processor& cpu, const r::Task&,
+                                   k::Time sched_latency,
+                                   k::Time dispatch_latency) {
+    CpuMetrics& m = cpu_metrics(cpu);
+    m.ctx_switches->inc();
+    m.sched_latency->record(sched_latency);
+    m.dispatch_latency->record(dispatch_latency);
+}
+
+void MetricsCollector::on_preempt(const r::Processor& cpu, const r::Task&,
+                                  std::size_t depth) {
+    CpuMetrics& m = cpu_metrics(cpu);
+    m.preemptions->inc();
+    m.preempt_depth->record(static_cast<std::uint64_t>(depth));
+}
+
+void MetricsCollector::on_task_state(const r::Task& task, r::TaskState from,
+                                     r::TaskState to) {
+    if (from == to) return; // creation announcement
+    TaskMetrics& m = task_metrics(task);
+    const k::Time now = task.processor().simulator().now();
+    // Release: leaving a synchronization wait (or creation) for Ready starts
+    // a response episode — same rule as trace::ConstraintMonitor.
+    if (to == r::TaskState::ready &&
+        (from == r::TaskState::waiting || from == r::TaskState::created)) {
+        m.activations->inc();
+        m.active = true;
+        m.released = now;
+        return;
+    }
+    // Completion: the running task blocks again or terminates. A kill/crash
+    // leaves the episode open — an aborted activation has no response time.
+    if (m.active && from == r::TaskState::running &&
+        (to == r::TaskState::waiting || to == r::TaskState::terminated)) {
+        if (to == r::TaskState::terminated && (task.killed() || task.crashed())) {
+            m.active = false;
+            return;
+        }
+        m.active = false;
+        m.response->record(now - m.released);
+    }
+}
+
+} // namespace rtsc::obs

@@ -1,0 +1,86 @@
+#pragma once
+// MetricsCollector: the sink behind the kernel/engine instrumentation hooks.
+// Attach it to one or more Processors and it populates a MetricsRegistry
+// with the standard catalogue (docs/OBSERVABILITY.md):
+//
+//   cpu.<name>.scheduler_runs        counter   scheduling passes
+//   cpu.<name>.ctx_switches         counter   Ready -> Running dispatches
+//   cpu.<name>.preemptions          counter   involuntary Running -> Ready
+//   cpu.<name>.ready_queue_len      histogram queue length per scheduling pass
+//   cpu.<name>.preempt_depth        histogram preempted tasks in queue per preemption
+//   cpu.<name>.sched_latency_ps     histogram Ready -> Running wait, ps
+//   cpu.<name>.dispatch_latency_ps  histogram grant -> Running tail, ps
+//   task.<name>.response_ps         histogram activation -> completion, ps
+//   task.<name>.activations         counter   release count
+//
+// All values are simulated-time quantities: the registry contents are
+// engine-equivalent (procedural vs threaded) and bit-identical across runs.
+// When no collector is attached the hooks cost one untaken branch each.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "rtos/probe.hpp"
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::obs {
+
+class MetricsCollector final : public rtos::EngineProbe,
+                               public rtos::TaskObserver {
+public:
+    explicit MetricsCollector(MetricsRegistry& registry) : reg_(registry) {}
+
+    MetricsCollector(const MetricsCollector&) = delete;
+    MetricsCollector& operator=(const MetricsCollector&) = delete;
+    ~MetricsCollector() override;
+
+    /// Instrument `cpu`: installs this collector as the engine probe and as
+    /// a task observer (response times). Call before Simulator::run().
+    void attach(rtos::Processor& cpu);
+
+    [[nodiscard]] MetricsRegistry& registry() noexcept { return reg_; }
+
+    // EngineProbe
+    void on_scheduler_run(const rtos::Processor& cpu,
+                          std::size_t ready_len) override;
+    void on_dispatch(const rtos::Processor& cpu, const rtos::Task& t,
+                     kernel::Time sched_latency,
+                     kernel::Time dispatch_latency) override;
+    void on_preempt(const rtos::Processor& cpu, const rtos::Task& t,
+                    std::size_t depth) override;
+
+    // TaskObserver
+    void on_task_state(const rtos::Task& task, rtos::TaskState from,
+                       rtos::TaskState to) override;
+
+private:
+    struct CpuMetrics {
+        const rtos::Processor* cpu;
+        Counter* scheduler_runs;
+        Counter* ctx_switches;
+        Counter* preemptions;
+        Histogram* ready_queue_len;
+        Histogram* preempt_depth;
+        Histogram* sched_latency;
+        Histogram* dispatch_latency;
+    };
+    struct TaskMetrics {
+        const rtos::Task* task;
+        Counter* activations;
+        Histogram* response;
+        bool active = false;       ///< a response episode is open
+        kernel::Time released{};
+    };
+
+    [[nodiscard]] CpuMetrics& cpu_metrics(const rtos::Processor& cpu);
+    [[nodiscard]] TaskMetrics& task_metrics(const rtos::Task& t);
+
+    MetricsRegistry& reg_;
+    std::vector<CpuMetrics> cpus_;
+    std::vector<TaskMetrics> tasks_;
+    std::vector<rtos::Processor*> attached_;
+};
+
+} // namespace rtsc::obs

@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace rtsc::obs {
+
+void Histogram::record(std::uint64_t v) {
+    if (buckets_.empty()) buckets_.resize(kBuckets, 0);
+    ++buckets_[bucket_index(v)];
+    if (count_ == 0 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    sum_ += static_cast<double>(v);
+    ++count_;
+}
+
+double Histogram::quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-quantile sample, 1-based (nearest-rank with ceil).
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               q * static_cast<double>(count_) + 0.9999999999));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t c = buckets_[i];
+        if (c == 0) continue;
+        cum += c;
+        if (cum < rank) continue;
+        // Interpolate inside this bucket: the rank-th sample sits at
+        // position (rank - entered) of c samples spanning [lo, hi].
+        const double lo = static_cast<double>(bucket_lo(i));
+        const double hi = static_cast<double>(bucket_hi(i));
+        const double within =
+            static_cast<double>(rank - (cum - c)) / static_cast<double>(c);
+        const double est = lo + (hi - lo) * within;
+        return std::clamp(est, static_cast<double>(min_),
+                          static_cast<double>(max_));
+    }
+    return static_cast<double>(max_);
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it != counters_.end() ? &it->second : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it != gauges_.end() ? &it->second : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+    std::vector<MetricSample> out;
+    out.reserve(counters_.size() + 4 * gauges_.size() + 5 * histograms_.size());
+    for (const auto& [name, c] : counters_)
+        out.push_back({name, static_cast<double>(c.value())});
+    for (const auto& [name, g] : gauges_) {
+        out.push_back({name + ".last", g.last()});
+        out.push_back({name + ".min", g.min()});
+        out.push_back({name + ".max", g.max()});
+        out.push_back({name + ".mean", g.mean()});
+    }
+    for (const auto& [name, h] : histograms_) {
+        out.push_back({name + ".count", static_cast<double>(h.count())});
+        out.push_back({name + ".p50", h.p50()});
+        out.push_back({name + ".p90", h.p90()});
+        out.push_back({name + ".p99", h.p99()});
+        out.push_back({name + ".max", static_cast<double>(h.max())});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+} // namespace rtsc::obs

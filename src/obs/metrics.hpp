@@ -1,0 +1,165 @@
+#pragma once
+// Metrics registry — counters, gauges and log-bucketed histograms with
+// deterministic percentile estimation (p50/p90/p99/max).
+//
+// Everything recorded here derives from *simulated* time and simulated
+// system state, never host wall-clock, so a registry filled by the same
+// scenario is bit-identical across runs, worker counts and RTOS engine
+// implementations (tests/obs/test_metrics_equivalence.cpp pins the latter).
+//
+// Histograms use log-linear buckets (exact below 16, then 8 sub-buckets per
+// power of two, ~±6% relative resolution) so recording is O(1) with a small
+// fixed footprint regardless of sample count; quantiles interpolate inside
+// the hit bucket and clamp to the exact observed min/max.
+//
+// Usage:
+//   obs::MetricsRegistry reg;
+//   reg.counter("cpu.dispatches").inc();
+//   reg.histogram("cpu.sched_latency_ps").record(t.raw_ps());
+//   for (const auto& s : reg.snapshot()) ...  // sorted, flattened samples
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace rtsc::obs {
+
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+    [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+class Gauge {
+public:
+    void set(double v) noexcept {
+        last_ = v;
+        if (samples_ == 0 || v < min_) min_ = v;
+        if (samples_ == 0 || v > max_) max_ = v;
+        sum_ += v;
+        ++samples_;
+    }
+    [[nodiscard]] double last() const noexcept { return last_; }
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    [[nodiscard]] double mean() const noexcept {
+        return samples_ != 0 ? sum_ / static_cast<double>(samples_) : 0.0;
+    }
+    [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+private:
+    double last_ = 0, min_ = 0, max_ = 0, sum_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+class Histogram {
+public:
+    /// Values 0..15 get exact buckets; larger ones land in one of 8
+    /// sub-buckets per power of two. 496 buckets cover the full uint64 range.
+    static constexpr std::size_t kBuckets = 496;
+
+    [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+        if (v < 16) return static_cast<std::size_t>(v);
+        const int exp = 63 - countl_zero(v); // MSB position, >= 4
+        const auto sub = static_cast<std::size_t>((v >> (exp - 3)) & 0x7u);
+        return 16 + static_cast<std::size_t>(exp - 4) * 8 + sub;
+    }
+    [[nodiscard]] static constexpr std::uint64_t bucket_lo(std::size_t i) noexcept {
+        if (i < 16) return i;
+        const std::size_t exp = (i - 16) / 8 + 4;
+        const std::size_t sub = (i - 16) % 8;
+        return (std::uint64_t{1} << exp) | (std::uint64_t{sub} << (exp - 3));
+    }
+    [[nodiscard]] static constexpr std::uint64_t bucket_hi(std::size_t i) noexcept {
+        if (i < 16) return i;
+        const std::size_t exp = (i - 16) / 8 + 4;
+        return bucket_lo(i) + (std::uint64_t{1} << (exp - 3)) - 1;
+    }
+
+    void record(std::uint64_t v);
+    void record(kernel::Time t) { record(t.raw_ps()); }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] std::uint64_t min() const noexcept { return count_ != 0 ? min_ : 0; }
+    [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+    [[nodiscard]] double mean() const noexcept {
+        return count_ != 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /// Deterministic quantile estimate, q in [0,1]: linear interpolation
+    /// inside the bucket holding the rank, clamped to the observed min/max.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p90() const { return quantile(0.90); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
+
+private:
+    // constexpr-friendly countl_zero for uint64 (avoid <bit> dependency in
+    // the hot path signature; identical to std::countl_zero).
+    [[nodiscard]] static constexpr int countl_zero(std::uint64_t v) noexcept {
+        int n = 0;
+        if (v == 0) return 64;
+        while ((v & (std::uint64_t{1} << 63)) == 0) {
+            v <<= 1;
+            ++n;
+        }
+        return n;
+    }
+
+    std::vector<std::uint32_t> buckets_; ///< lazily sized to kBuckets
+    std::uint64_t count_ = 0;
+    std::uint64_t min_ = 0, max_ = 0;
+    double sum_ = 0;
+};
+
+/// One flattened snapshot entry ("cpu.sched_latency_ps.p99" -> value).
+struct MetricSample {
+    std::string name;
+    double value = 0;
+};
+
+class MetricsRegistry {
+public:
+    /// Find-or-create. References stay valid for the registry's lifetime.
+    [[nodiscard]] Counter& counter(const std::string& name) { return counters_[name]; }
+    [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    [[nodiscard]] Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+    /// Lookup without creation; nullptr when absent.
+    [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+    [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+    [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+    /// Flatten everything into name-sorted samples: counters as-is, gauges
+    /// as .last/.min/.max/.mean, histograms as .count/.p50/.p90/.p99/.max.
+    /// The output is deterministic: same recorded data => same samples.
+    [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+    void clear() {
+        counters_.clear();
+        gauges_.clear();
+        histograms_.clear();
+    }
+
+    [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept { return counters_; }
+    [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
+    [[nodiscard]] const std::map<std::string, Histogram>& histograms() const noexcept { return histograms_; }
+
+private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace rtsc::obs

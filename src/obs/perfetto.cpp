@@ -1,0 +1,214 @@
+#include "obs/perfetto.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "kernel/report.hpp"
+#include "trace/csv.hpp"
+#include "trace/timeline.hpp"
+
+namespace rtsc::obs {
+
+namespace k = rtsc::kernel;
+
+std::string json_escape(std::string_view s) {
+    static const char* hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(s.size());
+    for (const unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xf];
+                    out += hex[c & 0xf];
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/// Serialises one event per raw() call, handling the comma/newline plumbing.
+class EventStream {
+public:
+    EventStream(std::ostream& os, bool one_per_line)
+        : os_(os), nl_(one_per_line ? "\n" : "") {}
+
+    void begin() { os_ << "{\"traceEvents\": [" << nl_; }
+    void end() { os_ << nl_ << "]}\n"; }
+
+    void raw(const std::string& event) {
+        if (!first_) os_ << ',' << nl_;
+        first_ = false;
+        os_ << event;
+    }
+
+    void meta_process(int pid, std::string_view name) {
+        std::ostringstream e;
+        e << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"tid\": 0, \"args\": {\"name\": \"" << json_escape(name)
+          << "\"}}";
+        raw(e.str());
+    }
+
+    void meta_thread(int pid, int tid, std::string_view name) {
+        std::ostringstream e;
+        e << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+          << json_escape(name) << "\"}}";
+        raw(e.str());
+    }
+
+    /// Complete slice ("X"). `args_json` is a full {"k": v} object or empty.
+    void slice(int pid, int tid, k::Time at, k::Time dur, std::string_view cat,
+               std::string_view name, const std::string& args_json = {}) {
+        std::ostringstream e;
+        e << "{\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+          << json_escape(cat) << "\", \"ph\": \"X\", \"ts\": "
+          << trace::format_us(at) << ", \"dur\": " << trace::format_us(dur)
+          << ", \"pid\": " << pid << ", \"tid\": " << tid;
+        if (!args_json.empty()) e << ", \"args\": " << args_json;
+        e << '}';
+        raw(e.str());
+    }
+
+    /// Instant ("i") with scope `s` ("t" thread, "g" global).
+    void instant(int pid, int tid, k::Time at, char scope, std::string_view cat,
+                 std::string_view name, const std::string& args_json = {}) {
+        std::ostringstream e;
+        e << "{\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+          << json_escape(cat) << "\", \"ph\": \"i\", \"s\": \"" << scope
+          << "\", \"ts\": " << trace::format_us(at) << ", \"pid\": " << pid
+          << ", \"tid\": " << tid;
+        if (!args_json.empty()) e << ", \"args\": " << args_json;
+        e << '}';
+        raw(e.str());
+    }
+
+private:
+    std::ostream& os_;
+    const char* nl_;
+    bool first_ = true;
+};
+
+bool visible_state(rtos::TaskState s) {
+    return s != rtos::TaskState::created && s != rtos::TaskState::terminated;
+}
+
+} // namespace
+
+void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
+                         const PerfettoOptions& opts) {
+    EventStream ev(os, opts.one_event_per_line);
+    ev.begin();
+
+    const auto& cpus = rec.processors();
+    const int comm_pid = static_cast<int>(cpus.size()) + 1;
+    const int marker_pid = comm_pid + 1;
+
+    // --- metadata: stable pid/tid assignment ------------------------------
+    // pid i+1 = processor i; within it tid 0 = RTOS overhead track and
+    // tid j+1 = task j in creation order. The numbering depends only on the
+    // attach/creation order, so repeated exports of one model agree.
+    for (std::size_t pi = 0; pi < cpus.size(); ++pi) {
+        const int pid = static_cast<int>(pi) + 1;
+        ev.meta_process(pid, cpus[pi]->name());
+        ev.meta_thread(pid, 0, cpus[pi]->name() + ".rtos");
+        const auto& tasks = cpus[pi]->tasks();
+        for (std::size_t ti = 0; ti < tasks.size(); ++ti)
+            ev.meta_thread(pid, static_cast<int>(ti) + 1, tasks[ti]->name());
+    }
+    if (opts.include_comms && !rec.relations().empty()) {
+        ev.meta_process(comm_pid, "comm");
+        const auto& rels = rec.relations();
+        for (std::size_t ri = 0; ri < rels.size(); ++ri)
+            ev.meta_thread(comm_pid, static_cast<int>(ri) + 1,
+                           rels[ri]->name() + " (" +
+                               std::string(rels[ri]->type_name()) + ")");
+    }
+    if (opts.include_markers && !rec.markers().empty())
+        ev.meta_process(marker_pid, "events");
+
+    // --- task state slices ------------------------------------------------
+    // Segments from one task never overlap (they partition the trace), so
+    // every (pid, tid) track holds strictly sequential slices.
+    const trace::Timeline tl(rec);
+    for (std::size_t pi = 0; pi < cpus.size(); ++pi) {
+        const int pid = static_cast<int>(pi) + 1;
+        const auto& tasks = cpus[pi]->tasks();
+        for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+            for (const auto& seg : tl.segments(*tasks[ti])) {
+                if (!visible_state(seg.state) || seg.end <= seg.begin)
+                    continue;
+                ev.slice(pid, static_cast<int>(ti) + 1, seg.begin,
+                         seg.end - seg.begin, "task_state",
+                         rtos::to_string(seg.state));
+            }
+        }
+    }
+
+    // --- RTOS overhead slices (tid 0 of each processor) -------------------
+    for (const auto& o : rec.overheads()) {
+        if (o.duration.is_zero()) continue;
+        int pid = 0;
+        for (std::size_t pi = 0; pi < cpus.size(); ++pi)
+            if (cpus[pi] == o.cpu) pid = static_cast<int>(pi) + 1;
+        if (pid == 0) continue; // overhead of an unattached processor
+        std::string args;
+        if (o.about != nullptr)
+            args = "{\"task\": \"" + json_escape(o.about->name()) + "\"}";
+        ev.slice(pid, 0, o.at, o.duration, "rtos", rtos::to_string(o.kind),
+                 args);
+    }
+
+    // --- communication accesses as thread instants ------------------------
+    if (opts.include_comms) {
+        const auto& rels = rec.relations();
+        for (const auto& c : rec.comms()) {
+            int tid = 0;
+            for (std::size_t ri = 0; ri < rels.size(); ++ri)
+                if (rels[ri] == c.relation) tid = static_cast<int>(ri) + 1;
+            if (tid == 0) continue;
+            std::string args = "{\"task\": \"";
+            args += c.task != nullptr ? json_escape(c.task->name()) : "<hw>";
+            args += c.blocked ? "\", \"blocked\": true}" : "\", \"blocked\": false}";
+            ev.instant(comm_pid, tid, c.at, 't', "comm",
+                       std::string(mcse::to_string(c.kind)) +
+                           (c.blocked ? " [blocked]" : ""),
+                       args);
+        }
+    }
+
+    // --- fault / watchdog / deadline markers as global instants -----------
+    if (opts.include_markers) {
+        for (const auto& m : rec.markers())
+            ev.instant(marker_pid, 1, m.at, 'g', m.category, m.name);
+    }
+
+    ev.end();
+}
+
+void write_perfetto_file(const std::string& path, const trace::Recorder& rec,
+                         const PerfettoOptions& opts) {
+    std::ofstream os(path);
+    if (!os)
+        throw k::SimulationError("cannot open perfetto output file: " + path);
+    write_perfetto_json(os, rec, opts);
+    os.flush();
+    if (!os)
+        throw k::SimulationError("failed writing perfetto output file: " + path);
+}
+
+} // namespace rtsc::obs

@@ -1,0 +1,59 @@
+#pragma once
+// Perfetto / Chrome trace-event exporter: renders a trace::Recorder stream
+// as a JSON object ({"traceEvents": [...]}) loadable by ui.perfetto.dev and
+// chrome://tracing.
+//
+// Track layout:
+//   pid 1..P        one "process" per attached Processor (process_name)
+//     tid 0           RTOS overhead slices ("X", name = overhead kind)
+//     tid 1..N        one thread per task (thread_name); complete slices
+//                     ("X") for ready / running / waiting / waiting_resource
+//                     periods, built from Timeline::segments — created and
+//                     terminated stretches are blank, zero-length segments
+//                     are dropped
+//   pid P+1         "comm" process: one thread per attached Relation,
+//                     thread instants ("i", scope "t") per access
+//   pid P+2         "events" process: fault / watchdog / deadline markers
+//                     (Recorder::mark) as global instants ("i", scope "g")
+//
+// Timestamps are exact: ts/dur are emitted in microseconds with up to six
+// fractional digits (picosecond resolution, the kernel's native unit) via
+// trace::format_us — never through a lossy double round-trip. Names pass
+// through JSON string escaping, so hostile task/relation names stay valid.
+//
+// The output is deterministic: identical recorder content yields
+// byte-identical JSON.
+//
+// Lifetime: the Recorder stores pointers into the model (tasks, processors,
+// relations). Export while those objects are still alive — i.e. before the
+// Processor/Simulator that produced the trace is destroyed.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "trace/recorder.hpp"
+
+namespace rtsc::obs {
+
+struct PerfettoOptions {
+    bool include_comms = true;
+    bool include_markers = true;
+    /// Pretty-print one event per line (slightly larger, diff-friendly).
+    bool one_event_per_line = true;
+};
+
+/// Escape `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes). Control characters become \u00XX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Write the whole recorder stream as Chrome trace-event JSON.
+void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
+                         const PerfettoOptions& opts = {});
+
+/// Convenience: export to a file. Throws kernel::SimulationError on I/O
+/// failure.
+void write_perfetto_file(const std::string& path, const trace::Recorder& rec,
+                         const PerfettoOptions& opts = {});
+
+} // namespace rtsc::obs

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "kernel/simulator.hpp"
+#include "rtos/probe.hpp"
 #include "rtos/processor.hpp"
 #include "rtos/task.hpp"
 
@@ -135,12 +136,18 @@ Task* SchedulerEngine::select_and_grant() {
     // load; arrivals in between only join the queue.
     set_phase(Phase::overhead);
     next->granted_ = true;
+    next->granted_at_ = processor_.simulator().now();
     next->ev_run_.notify();
     return next;
 }
 
-void SchedulerEngine::schedule_pass(const Task* about) {
+void SchedulerEngine::note_scheduler_run() {
     ++stats_.scheduler_runs;
+    if (probe_) probe_->on_scheduler_run(processor_, ready_.size());
+}
+
+void SchedulerEngine::schedule_pass(const Task* about) {
+    note_scheduler_run();
     charge(OverheadKind::scheduling, about);
     select_and_grant();
 }
@@ -158,6 +165,12 @@ void SchedulerEngine::leave_running(Task& t, TaskState to, PreemptReason reason)
         // A preempted task resumes before equal-rank later arrivals; slice
         // rotation and yield go to the back of the queue.
         push_ready(t, /*front=*/reason == PreemptReason::higher_priority);
+        if (probe_ && t.entered_ready_preempted_) {
+            std::size_t depth = 0;
+            for (const Task* r : ready_)
+                if (r->entered_ready_preempted_) ++depth;
+            probe_->on_preempt(processor_, t, depth);
+        }
     }
     t.set_state(to);
 }
@@ -165,6 +178,11 @@ void SchedulerEngine::leave_running(Task& t, TaskState to, PreemptReason reason)
 void SchedulerEngine::enter_running(Task& t) {
     running_ = &t;
     ++stats_.dispatches;
+    if (probe_) {
+        const k::Time now = processor_.simulator().now();
+        probe_->on_dispatch(processor_, t, now - t.state_since_,
+                            now - t.granted_at_);
+    }
     set_phase(Phase::running);
     t.set_state(TaskState::running);
     arm_slice(t);

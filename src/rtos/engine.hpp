@@ -32,6 +32,8 @@
 
 namespace rtsc::rtos {
 
+class EngineProbe;
+
 class SchedulerEngine {
 public:
     /// What the processor is doing right now.
@@ -104,6 +106,12 @@ public:
     /// Accumulators are folded up to the current instant on read.
     [[nodiscard]] PhaseStats phase_stats() const;
 
+    /// Install (or clear, with nullptr) the instrumentation probe. At most
+    /// one probe per engine; every hook site costs one branch when none is
+    /// registered (see rtos/probe.hpp).
+    void set_probe(EngineProbe* p) noexcept { probe_ = p; }
+    [[nodiscard]] EngineProbe* probe() const noexcept { return probe_; }
+
 protected:
     // -- locus hooks: where the RTOS algorithm executes differs per engine --
 
@@ -173,7 +181,10 @@ protected:
     void arm_slice(Task& t);
     void cancel_slice(Task& t);
 
-    void bump_scheduler_runs() noexcept { ++stats_.scheduler_runs; }
+    /// Count a scheduling pass and fire the probe (both engines call this
+    /// for the inline Fig. 6 case (c) charge; schedule_pass calls it too).
+    void note_scheduler_run();
+    void bump_scheduler_runs() { note_scheduler_run(); }
 
     // Task-handshake accessors for derived engines (base-class friendship).
     static void set_kicked(Task& t) noexcept;
@@ -195,6 +206,7 @@ protected:
     /// kicked branch rechecks killed_ afterwards.
     Task* pass_runner_ = nullptr;
     PhaseStats stats_;
+    EngineProbe* probe_ = nullptr; ///< optional instrumentation, see set_probe
 };
 
 } // namespace rtsc::rtos

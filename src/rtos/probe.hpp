@@ -1,0 +1,51 @@
+#pragma once
+// EngineProbe: low-overhead instrumentation hooks fired by the scheduler
+// engines at the points the observability layer (src/obs/) measures. The
+// probe is an optional raw pointer on the SchedulerEngine; every call site
+// is guarded by a single `if (probe_)` branch, so an uninstrumented
+// simulation pays one predicted-not-taken branch per event and nothing else
+// (verified by bench_obs_overhead, recorded in BENCH_obs.json).
+//
+// All durations are *simulated* time — never host wall-clock — so probe
+// readings are deterministic and identical across the procedural and the
+// threaded engine (pinned by tests/obs/test_metrics_equivalence.cpp).
+
+#include <cstddef>
+
+#include "kernel/time.hpp"
+#include "rtos/fwd.hpp"
+
+namespace rtsc::rtos {
+
+class EngineProbe {
+public:
+    virtual ~EngineProbe() = default;
+
+    /// A scheduling pass ran (schedule_pass or the inline Fig. 6 case (c)
+    /// charge). `ready_len` samples the ReadyTaskQueue length at the start
+    /// of the pass.
+    virtual void on_scheduler_run(const Processor& cpu, std::size_t ready_len) {
+        (void)cpu; (void)ready_len;
+    }
+
+    /// A task entered Running. `sched_latency` is the time it spent in the
+    /// Ready state waiting for the CPU (ready -> running); `dispatch_latency`
+    /// is the tail from the scheduler granting it the CPU to it actually
+    /// running (the context-load portion).
+    virtual void on_dispatch(const Processor& cpu, const Task& t,
+                             kernel::Time sched_latency,
+                             kernel::Time dispatch_latency) {
+        (void)cpu; (void)t; (void)sched_latency; (void)dispatch_latency;
+    }
+
+    /// A running task was preempted (higher-priority arrival or slice
+    /// expiry). `depth` counts the tasks sitting in the ready queue that got
+    /// there through preemption, this one included — the current preemption
+    /// nesting depth.
+    virtual void on_preempt(const Processor& cpu, const Task& t,
+                            std::size_t depth) {
+        (void)cpu; (void)t; (void)depth;
+    }
+};
+
+} // namespace rtsc::rtos

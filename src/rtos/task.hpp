@@ -217,6 +217,7 @@ private:
     kernel::Event ev_preempt_;    ///< TaskPreempt: preemption + slice timer
     kernel::Event ev_ack_;        ///< threaded engine: synchronous-call ack
     bool granted_ = false;        ///< selected by the scheduler, may load+run
+    kernel::Time granted_at_{};   ///< when granted_ was last set (probe latency)
     bool kicked_ = false;         ///< must execute a scheduling pass (procedural)
     bool preempt_pending_ = false;
     PreemptReason preempt_reason_ = PreemptReason::none;

@@ -1,25 +1,58 @@
 #include "trace/csv.hpp"
 
+#include <cstdio>
 #include <ostream>
 
 namespace rtsc::trace {
+
+std::string csv_field(std::string_view s) {
+    if (s.find_first_of(",\"\r\n") == std::string_view::npos)
+        return std::string(s);
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string format_us(kernel::Time t) {
+    const kernel::Time::rep ps = t.raw_ps();
+    const kernel::Time::rep whole = ps / 1'000'000u;
+    kernel::Time::rep frac = ps % 1'000'000u;
+    char buf[48];
+    if (frac == 0) {
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(whole));
+        return buf;
+    }
+    std::snprintf(buf, sizeof buf, "%llu.%06llu",
+                  static_cast<unsigned long long>(whole),
+                  static_cast<unsigned long long>(frac));
+    std::string out = buf;
+    while (out.back() == '0') out.pop_back();
+    return out;
+}
 
 void write_states_csv(std::ostream& os, const Recorder& rec) {
     os << "time_us,task,processor,from,to\n";
     for (const auto& s : rec.states()) {
         if (s.from == s.to) continue;
-        os << s.at.to_us() << ',' << s.task->name() << ','
-           << s.task->processor().name() << ',' << rtos::to_string(s.from) << ','
-           << rtos::to_string(s.to) << '\n';
+        os << format_us(s.at) << ',' << csv_field(s.task->name()) << ','
+           << csv_field(s.task->processor().name()) << ','
+           << rtos::to_string(s.from) << ',' << rtos::to_string(s.to) << '\n';
     }
 }
 
 void write_comms_csv(std::ostream& os, const Recorder& rec) {
     os << "time_us,relation,type,task,kind,blocked\n";
     for (const auto& c : rec.comms()) {
-        os << c.at.to_us() << ',' << c.relation->name() << ','
+        os << format_us(c.at) << ',' << csv_field(c.relation->name()) << ','
            << c.relation->type_name() << ','
-           << (c.task != nullptr ? c.task->name() : "<hw>") << ','
+           << (c.task != nullptr ? csv_field(c.task->name()) : "<hw>") << ','
            << mcse::to_string(c.kind) << ',' << (c.blocked ? 1 : 0) << '\n';
     }
 }
@@ -27,9 +60,9 @@ void write_comms_csv(std::ostream& os, const Recorder& rec) {
 void write_overheads_csv(std::ostream& os, const Recorder& rec) {
     os << "time_us,duration_us,processor,kind,about_task\n";
     for (const auto& o : rec.overheads()) {
-        os << o.at.to_us() << ',' << o.duration.to_us() << ',' << o.cpu->name()
-           << ',' << rtos::to_string(o.kind) << ','
-           << (o.about != nullptr ? o.about->name() : "") << '\n';
+        os << format_us(o.at) << ',' << format_us(o.duration) << ','
+           << csv_field(o.cpu->name()) << ',' << rtos::to_string(o.kind) << ','
+           << (o.about != nullptr ? csv_field(o.about->name()) : "") << '\n';
     }
 }
 

@@ -1,11 +1,27 @@
 #pragma once
 // CSV export of trace records for external plotting tools.
+//
+// Field quoting follows RFC 4180: a field containing a comma, a double quote
+// or a line break is wrapped in double quotes with embedded quotes doubled,
+// so hostile task/relation names cannot corrupt rows. Timestamps are exact:
+// the full picosecond value rendered as fractional microseconds (no
+// precision loss — sub-µs events stay distinct).
 
 #include <iosfwd>
+#include <string>
+#include <string_view>
 
 #include "trace/recorder.hpp"
 
 namespace rtsc::trace {
+
+/// RFC-4180 escape: returns `s` unchanged, or quoted with inner quotes
+/// doubled when it contains a comma, quote, CR or LF.
+[[nodiscard]] std::string csv_field(std::string_view s);
+
+/// Exact decimal rendering of `t` in microseconds ("12.000001" for
+/// 12 us + 1 ps; trailing zeros trimmed, "12" when integral).
+[[nodiscard]] std::string format_us(kernel::Time t);
 
 /// One row per task state transition:
 ///   time_us,task,processor,from,to

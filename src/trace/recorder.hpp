@@ -42,6 +42,14 @@ public:
         mcse::AccessKind kind;
         bool blocked;
     };
+    /// Point event outside the task/comm model: fault injections, watchdog
+    /// timeouts, deadline misses. Rendered as instant markers by the
+    /// Perfetto exporter (src/obs/perfetto.hpp).
+    struct MarkerRecord {
+        kernel::Time at;
+        std::string category; ///< e.g. "fault", "watchdog", "deadline"
+        std::string name;     ///< e.g. "crash:control"
+    };
 
     /// Observe a processor (all of its tasks, present and future).
     void attach(rtos::Processor& cpu) {
@@ -84,6 +92,17 @@ public:
     [[nodiscard]] const std::vector<CommRecord>& comms() const noexcept {
         return comms_;
     }
+    [[nodiscard]] const std::vector<MarkerRecord>& markers() const noexcept {
+        return markers_;
+    }
+
+    /// Record an instant marker at the current simulated time. Callable from
+    /// any simulation context; the fault layer uses this (Watchdog,
+    /// DeadlineMissHandler, FaultInjector with set_trace(&rec)).
+    void mark(std::string category, std::string name) {
+        markers_.push_back({kernel::Simulator::current().now(),
+                            std::move(category), std::move(name)});
+    }
     [[nodiscard]] const std::vector<rtos::Processor*>& processors() const noexcept {
         return processors_;
     }
@@ -103,12 +122,14 @@ public:
         states_.clear();
         overheads_.clear();
         comms_.clear();
+        markers_.clear();
     }
 
 private:
     std::vector<StateRecord> states_;
     std::vector<OverheadRecord> overheads_;
     std::vector<CommRecord> comms_;
+    std::vector<MarkerRecord> markers_;
     std::vector<rtos::Processor*> processors_;
     std::vector<mcse::Relation*> relations_;
 };

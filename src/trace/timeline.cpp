@@ -26,6 +26,7 @@ kernel::Time Timeline::trace_end() const {
     for (const auto& o : rec_.overheads())
         end = std::max(end, o.at + o.duration);
     if (!rec_.comms().empty()) end = std::max(end, rec_.comms().back().at);
+    for (const auto& m : rec_.markers()) end = std::max(end, m.at);
     return end;
 }
 
@@ -47,7 +48,13 @@ std::vector<Timeline::Segment> Timeline::segments(const rtos::Task& task) const 
         prev_at = s.at;
         prev_state = s.to;
     }
-    if (seen) out.push_back({prev_at, k::Time::max(), prev_state});
+    if (seen) {
+        // Close the final segment at the end of the trace, not Time::max():
+        // an open-ended segment made state_at() report a stale state for any
+        // time after the last record (and inflated duration math downstream).
+        const k::Time end = std::max(prev_at, trace_end());
+        out.push_back({prev_at, end, prev_state});
+    }
     return out;
 }
 
@@ -60,6 +67,11 @@ std::vector<Timeline::Segment> Timeline::segments(const std::string& task_name) 
 rtos::TaskState Timeline::state_at(const std::string& task_name,
                                    kernel::Time t) const {
     const auto segs = segments(task_name);
+    if (segs.empty()) return rtos::TaskState::created;
+    // Clamp queries past the trace end to the final recorded state instead
+    // of falling through (the trace simply stops there; nothing is known
+    // beyond it, and the last observation is the best answer).
+    if (t >= segs.back().end) return segs.back().state;
     for (const auto& s : segs)
         if (s.begin <= t && t < s.end) return s.state;
     return rtos::TaskState::created;
@@ -68,12 +80,14 @@ rtos::TaskState Timeline::state_at(const std::string& task_name,
 void Timeline::render(std::ostream& os, const Options& opts) const {
     const k::Time t0 = opts.from;
     const k::Time t1 = opts.to.is_zero() ? trace_end() : opts.to;
-    if (t1 <= t0) {
+    const std::size_t cols = std::max<std::size_t>(opts.columns, 10);
+    const double span = static_cast<double>((t1 - t0).raw_ps());
+    // Degenerate window (from == to, or from past the trace end with to
+    // defaulted): span would be 0 or wrapped — never divide by it.
+    if (t1 <= t0 || span <= 0.0) {
         os << "(empty timeline)\n";
         return;
     }
-    const std::size_t cols = std::max<std::size_t>(opts.columns, 10);
-    const double span = static_cast<double>((t1 - t0).raw_ps());
     auto col_of = [&](k::Time t) -> std::size_t {
         if (t <= t0) return 0;
         const double frac = static_cast<double>((t - t0).raw_ps()) / span;

@@ -36,10 +36,12 @@ public:
         std::size_t max_access_rows = 40;
     };
 
-    /// Contiguous period one task spent in one state.
+    /// Contiguous period one task spent in one state. The final segment of a
+    /// task is closed at the end of the trace (the latest record the
+    /// recorder holds), never at Time::max().
     struct Segment {
         kernel::Time begin;
-        kernel::Time end; ///< Time::max() when still open at trace end
+        kernel::Time end;
         rtos::TaskState state;
         bool operator==(const Segment&) const = default;
     };
@@ -48,7 +50,8 @@ public:
     [[nodiscard]] std::vector<Segment> segments(const rtos::Task& task) const;
     [[nodiscard]] std::vector<Segment> segments(const std::string& task_name) const;
 
-    /// The segment covering time t for the task (state created if none).
+    /// The state of the task at time t. Queries past the trace end clamp to
+    /// the last recorded state; an unknown task reports `created`.
     [[nodiscard]] rtos::TaskState state_at(const std::string& task_name,
                                            kernel::Time t) const;
 

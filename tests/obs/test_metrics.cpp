@@ -1,0 +1,159 @@
+// Metrics registry unit tests: histogram bucket math, deterministic
+// quantiles, counter/gauge behaviour and the flattened snapshot.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "kernel/time.hpp"
+#include "obs/metrics.hpp"
+
+namespace o = rtsc::obs;
+using o::Histogram;
+
+TEST(HistogramBuckets, ExactBelowSixteen) {
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(Histogram::bucket_index(v), v);
+        EXPECT_EQ(Histogram::bucket_lo(v), v);
+        EXPECT_EQ(Histogram::bucket_hi(v), v);
+    }
+}
+
+TEST(HistogramBuckets, LoHiBracketEveryValue) {
+    // Sweep the neighbourhood of every power of two across the u64 range.
+    for (int exp = 4; exp < 64; ++exp) {
+        const std::uint64_t base = std::uint64_t{1} << exp;
+        const std::uint64_t top =
+            exp < 63 ? base * 2 - 1 : std::numeric_limits<std::uint64_t>::max();
+        for (const std::uint64_t v :
+             {base - 1, base, base + 1, base + base / 3, base + base / 2, top}) {
+            const std::size_t i = Histogram::bucket_index(v);
+            ASSERT_LT(i, Histogram::kBuckets) << v;
+            EXPECT_LE(Histogram::bucket_lo(i), v) << v;
+            EXPECT_GE(Histogram::bucket_hi(i), v) << v;
+        }
+    }
+}
+
+TEST(HistogramBuckets, IndexIsMonotonic) {
+    std::size_t prev = 0;
+    std::uint64_t v = 0;
+    for (;;) {
+        const std::size_t i = Histogram::bucket_index(v);
+        EXPECT_GE(i, prev) << v;
+        prev = i;
+        if (v > (std::numeric_limits<std::uint64_t>::max() >> 1)) break;
+        v = v * 2 + 1;
+    }
+}
+
+TEST(HistogramQuantiles, ExactForSmallValues) {
+    Histogram h;
+    for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 16u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 15u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+    // Values below 16 land in exact single-value buckets: nearest-rank
+    // quantiles are exact.
+    EXPECT_DOUBLE_EQ(h.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(h.p90(), 14.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 15.0);
+}
+
+TEST(HistogramQuantiles, LargeValuesWithinBucketResolution) {
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v * 1000);
+    // ~±6% relative bucket resolution.
+    EXPECT_NEAR(h.p50(), 500'000.0, 0.07 * 500'000);
+    EXPECT_NEAR(h.p90(), 900'000.0, 0.07 * 900'000);
+    EXPECT_NEAR(h.p99(), 990'000.0, 0.07 * 990'000);
+    EXPECT_EQ(h.max(), 1'000'000u);
+}
+
+TEST(HistogramQuantiles, ClampedToObservedRange) {
+    Histogram h;
+    h.record(100);
+    h.record(100);
+    EXPECT_DOUBLE_EQ(h.p50(), 100.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+    Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_EQ(empty.min(), 0u);
+}
+
+TEST(HistogramQuantiles, DeterministicAcrossRecordOrder) {
+    Histogram a, b;
+    for (std::uint64_t v = 1; v <= 500; ++v) a.record(v * 37);
+    for (std::uint64_t v = 500; v >= 1; --v) b.record(v * 37);
+    EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+    EXPECT_DOUBLE_EQ(a.p90(), b.p90());
+    EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+    EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(HistogramTest, RecordsKernelTimeAsPicoseconds) {
+    namespace k = rtsc::kernel;
+    Histogram h;
+    h.record(k::Time::us(3));
+    EXPECT_EQ(h.max(), 3'000'000u);
+}
+
+TEST(CounterGaugeTest, Basics) {
+    o::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    o::Gauge g;
+    EXPECT_DOUBLE_EQ(g.mean(), 0.0);
+    g.set(4);
+    g.set(-2);
+    g.set(10);
+    EXPECT_DOUBLE_EQ(g.last(), 10.0);
+    EXPECT_DOUBLE_EQ(g.min(), -2.0);
+    EXPECT_DOUBLE_EQ(g.max(), 10.0);
+    EXPECT_DOUBLE_EQ(g.mean(), 4.0);
+    EXPECT_EQ(g.samples(), 3u);
+}
+
+TEST(RegistryTest, FindOrCreateAndSnapshot) {
+    o::MetricsRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    EXPECT_EQ(reg.find_counter("c"), nullptr);
+    EXPECT_EQ(reg.find_gauge("g"), nullptr);
+    EXPECT_EQ(reg.find_histogram("h"), nullptr);
+
+    reg.counter("c").inc(3);
+    reg.gauge("g").set(1.5);
+    reg.histogram("h").record(7);
+    EXPECT_FALSE(reg.empty());
+    ASSERT_NE(reg.find_counter("c"), nullptr);
+    EXPECT_EQ(reg.find_counter("c")->value(), 3u);
+    // Find-or-create returns the same object.
+    reg.counter("c").inc();
+    EXPECT_EQ(reg.find_counter("c")->value(), 4u);
+
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u + 4u + 5u);
+    // Sorted by name.
+    for (std::size_t i = 1; i < snap.size(); ++i)
+        EXPECT_LT(snap[i - 1].name, snap[i].name);
+    auto value_of = [&snap](const std::string& name) -> double {
+        for (const auto& s : snap)
+            if (s.name == name) return s.value;
+        ADD_FAILURE() << "missing sample " << name;
+        return -1;
+    };
+    EXPECT_DOUBLE_EQ(value_of("c"), 4.0);
+    EXPECT_DOUBLE_EQ(value_of("g.last"), 1.5);
+    EXPECT_DOUBLE_EQ(value_of("h.count"), 1.0);
+    EXPECT_DOUBLE_EQ(value_of("h.p50"), 7.0);
+    EXPECT_DOUBLE_EQ(value_of("h.max"), 7.0);
+
+    reg.clear();
+    EXPECT_TRUE(reg.empty());
+    EXPECT_TRUE(reg.snapshot().empty());
+}

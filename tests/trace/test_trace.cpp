@@ -73,12 +73,19 @@ TEST(TimelineTest, SegmentsAreContiguousAndOrdered) {
     Scenario s;
     sim.run();
     tr::Timeline tl(s.rec);
+    // The trace ends at the last record; final segments close there, never
+    // at Time::max() (which used to leak into duration math downstream).
+    Time trace_end{};
+    for (const auto& st : s.rec.states()) trace_end = std::max(trace_end, st.at);
+    for (const auto& o : s.rec.overheads())
+        trace_end = std::max(trace_end, o.at + o.duration);
     for (const char* name : {"H", "L"}) {
         const auto segs = tl.segments(name);
         ASSERT_FALSE(segs.empty()) << name;
         for (std::size_t i = 1; i < segs.size(); ++i)
             EXPECT_EQ(segs[i].begin, segs[i - 1].end) << name;
-        EXPECT_EQ(segs.back().end, Time::max());
+        EXPECT_LT(segs.back().end, Time::max());
+        EXPECT_EQ(segs.back().end, trace_end);
         EXPECT_EQ(segs.back().state, r::TaskState::terminated);
     }
     // L was preempted at 50 and resumed at 100 (save/sched + H 20us + save/
@@ -113,6 +120,64 @@ TEST(TimelineTest, EmptyWindowHandled) {
     EXPECT_NE(os.str().find("empty"), std::string::npos);
 }
 
+TEST(TimelineTest, DegenerateWindowsNeverDivideByZero) {
+    k::Simulator sim;
+    Scenario s;
+    sim.run();
+    // from == to at a non-zero instant, and from beyond the trace end with
+    // to defaulted (t1 resolves to the trace end, *before* t0): both spans
+    // are degenerate and must not reach the span division.
+    for (const tr::Timeline::Options opts :
+         {tr::Timeline::Options{.from = 50_us, .to = 50_us},
+          tr::Timeline::Options{.from = 10_sec}}) {
+        std::ostringstream os;
+        tr::Timeline(s.rec).render(os, opts);
+        EXPECT_NE(os.str().find("empty"), std::string::npos);
+    }
+    // An empty recorder renders the same way (trace end == 0 == from).
+    tr::Recorder empty;
+    std::ostringstream os;
+    tr::Timeline(empty).render(os);
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+/// Both engines: state_at past the trace end clamps to the last recorded
+/// state instead of reporting a stale mid-trace one.
+class TimelineEngineTest : public ::testing::TestWithParam<r::EngineKind> {};
+
+TEST_P(TimelineEngineTest, StateAtClampsPastTraceEnd) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    cpu.set_overheads(r::RtosOverheads::uniform(5_us));
+    tr::Recorder rec;
+    rec.attach(cpu);
+    cpu.create_task({.name = "T", .priority = 1},
+                    [](r::Task& self) { self.compute(30_us); });
+    sim.run();
+
+    tr::Timeline tl(rec);
+    const auto segs = tl.segments("T");
+    ASSERT_FALSE(segs.empty());
+    const Time end = segs.back().end;
+    EXPECT_LT(end, Time::max());
+    EXPECT_EQ(tl.state_at("T", end), r::TaskState::terminated);
+    EXPECT_EQ(tl.state_at("T", end + 1_sec), r::TaskState::terminated);
+    EXPECT_EQ(tl.state_at("T", Time::max()), r::TaskState::terminated);
+    // Mid-trace queries still hit the enclosing segment (task is computing
+    // well past the initial scheduling + context-load overheads).
+    EXPECT_EQ(tl.state_at("T", 20_us), r::TaskState::running);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, TimelineEngineTest,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "rtos_thread";
+                         });
+
 TEST(CsvTest, StateRowsWellFormed) {
     k::Simulator sim;
     Scenario s;
@@ -129,6 +194,104 @@ TEST(CsvTest, StateRowsWellFormed) {
         EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4) << line;
     }
     EXPECT_GE(rows, 8u);
+}
+
+TEST(CsvTest, FieldQuotingFollowsRfc4180) {
+    // Unremarkable fields pass through untouched...
+    EXPECT_EQ(tr::csv_field("decoder"), "decoder");
+    EXPECT_EQ(tr::csv_field("a b"), "a b");
+    // ...fields with separators/quotes/newlines are quoted, inner quotes
+    // doubled.
+    EXPECT_EQ(tr::csv_field("a,b"), "\"a,b\"");
+    EXPECT_EQ(tr::csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(tr::csv_field("two\nlines"), "\"two\nlines\"");
+    EXPECT_EQ(tr::csv_field("cr\rlf"), "\"cr\rlf\"");
+    EXPECT_EQ(tr::csv_field(""), "");
+}
+
+TEST(CsvTest, HostileTaskNamesStayOneFieldPerColumn) {
+    // Regression: writers emitted names verbatim, so "dec,oder" injected an
+    // extra CSV column and '"' unbalanced the row.
+    k::Simulator sim;
+    r::Processor cpu("cpu,0");
+    cpu.create_task({.name = "dec,oder", .priority = 2},
+                    [](r::Task& self) { self.compute(10_us); });
+    cpu.create_task({.name = "say \"hi\"", .priority = 1},
+                    [](r::Task& self) { self.compute(5_us); });
+    tr::Recorder rec;
+    rec.attach(cpu);
+    sim.run();
+
+    std::ostringstream os;
+    tr::write_states_csv(os, rec);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("\"dec,oder\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(csv.find("\"cpu,0\""), std::string::npos);
+
+    // Every row still parses to exactly 5 fields under RFC-4180 rules.
+    std::istringstream in(csv);
+    std::string line;
+    std::getline(in, line); // header
+    while (std::getline(in, line)) {
+        int fields = 1;
+        bool quoted = false;
+        for (const char c : line) {
+            if (c == '"') quoted = !quoted;
+            if (c == ',' && !quoted) ++fields;
+        }
+        EXPECT_FALSE(quoted) << line;
+        EXPECT_EQ(fields, 5) << line;
+    }
+
+    std::ostringstream ovh;
+    tr::write_overheads_csv(ovh, rec);
+    EXPECT_NE(ovh.str().find("\"dec,oder\""), std::string::npos);
+}
+
+TEST(CsvTest, TimestampsKeepSubMicrosecondPrecision) {
+    // Regression: times went through Time::to_us() and were printed with
+    // default stream precision, collapsing distinct ps instants onto one
+    // value. format_us emits the exact decimal instead.
+    EXPECT_EQ(tr::format_us(Time::ps(0)), "0");
+    EXPECT_EQ(tr::format_us(Time::ps(1)), "0.000001");
+    EXPECT_EQ(tr::format_us(Time::ps(1'500'000)), "1.5");
+    EXPECT_EQ(tr::format_us(Time::ps(123'456'789)), "123.456789");
+    EXPECT_EQ(tr::format_us(Time::us(42)), "42");
+    EXPECT_EQ(tr::format_us(Time::ps(1'000'001)), "1.000001");
+
+    // End-to-end: two transitions 500 ns apart stay distinct in the CSV.
+    k::Simulator sim;
+    r::Processor cpu("cpu");
+    cpu.create_task({.name = "T", .priority = 1}, [](r::Task& self) {
+        self.compute(Time::ns(1500));
+    });
+    tr::Recorder rec;
+    rec.attach(cpu);
+    sim.run();
+    std::ostringstream os;
+    tr::write_states_csv(os, rec);
+    EXPECT_NE(os.str().find("1.5,T,"), std::string::npos);
+}
+
+TEST(RecorderTest, MarkersCaptureInstantEvents) {
+    k::Simulator sim;
+    tr::Recorder rec;
+    sim.spawn("marker_source", [&rec] {
+        k::wait(10_us);
+        rec.mark("fault", "crash:ctl");
+        k::wait(5_us);
+        rec.mark("watchdog", "timeout:ctl");
+    });
+    sim.run();
+    ASSERT_EQ(rec.markers().size(), 2u);
+    EXPECT_EQ(rec.markers()[0].at, 10_us);
+    EXPECT_EQ(rec.markers()[0].category, "fault");
+    EXPECT_EQ(rec.markers()[0].name, "crash:ctl");
+    EXPECT_EQ(rec.markers()[1].at, 15_us);
+    EXPECT_EQ(rec.markers()[1].category, "watchdog");
+    rec.clear();
+    EXPECT_TRUE(rec.markers().empty());
 }
 
 TEST(CsvTest, CommAndOverheadRows) {

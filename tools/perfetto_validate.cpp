@@ -1,0 +1,151 @@
+// perfetto_validate — offline checker for the Chrome trace-event JSON this
+// repo exports (obs::write_perfetto_json). Used by CI against the example
+// scenarios.
+//
+// Checks:
+//   - the file parses as strict JSON (obs/json.hpp)
+//   - top level is {"traceEvents": [...]}
+//   - every event is an object with string "name"/"ph" and numeric "pid"
+//   - "X" events carry numeric ts and dur > 0, and per (pid, tid) track the
+//     slices are monotonic and non-overlapping
+//   - "i" events carry a valid scope ("t"/"g"/"p")
+//
+// Usage: perfetto_validate FILE [--require CATEGORY]...
+//   --require CATEGORY   fail unless at least one event has "cat" CATEGORY
+//                        (CI uses this to pin fault markers in the export)
+//
+// Exits 0 on success; prints the first problem and exits 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace j = rtsc::obs::json;
+
+namespace {
+
+int fail(const std::string& msg) {
+    std::fprintf(stderr, "perfetto_validate: %s\n", msg.c_str());
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string path;
+    std::vector<std::string> required;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--require") {
+            if (i + 1 >= argc) return fail("--require needs an argument");
+            required.emplace_back(argv[++i]);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return fail("unexpected argument: " + arg);
+        }
+    }
+    if (path.empty())
+        return fail("usage: perfetto_validate FILE [--require CATEGORY]...");
+
+    std::ifstream in(path);
+    if (!in) return fail("cannot open " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    j::ValuePtr root;
+    try {
+        root = j::parse(ss.str());
+    } catch (const j::ParseError& e) {
+        return fail(path + ": invalid JSON: " + e.what());
+    }
+
+    if (!root->is_object()) return fail("top level is not an object");
+    const j::Value* events = root->get("traceEvents");
+    if (events == nullptr || !events->is_array())
+        return fail("missing traceEvents array");
+    if (events->arr.empty()) return fail("traceEvents is empty");
+
+    std::map<std::pair<long long, long long>, double> track_end;
+    std::set<std::string> categories;
+    std::size_t slices = 0, instants = 0, meta = 0;
+
+    for (std::size_t i = 0; i < events->arr.size(); ++i) {
+        const j::Value& ev = *events->arr[i];
+        const std::string where = "event #" + std::to_string(i);
+        if (!ev.is_object()) return fail(where + " is not an object");
+
+        const j::Value* name = ev.get("name");
+        if (name == nullptr || !name->is_string())
+            return fail(where + ": missing string \"name\"");
+        const j::Value* ph = ev.get("ph");
+        if (ph == nullptr || !ph->is_string())
+            return fail(where + ": missing string \"ph\"");
+        const j::Value* pid = ev.get("pid");
+        if (pid == nullptr || !pid->is_number())
+            return fail(where + ": missing numeric \"pid\"");
+        if (const j::Value* cat = ev.get("cat");
+            cat != nullptr && cat->is_string())
+            categories.insert(cat->str);
+
+        if (ph->str == "M") {
+            ++meta;
+            continue;
+        }
+        const j::Value* ts = ev.get("ts");
+        if (ts == nullptr || !ts->is_number())
+            return fail(where + ": missing numeric \"ts\"");
+        if (ts->num < 0) return fail(where + ": negative ts");
+
+        if (ph->str == "X") {
+            ++slices;
+            const j::Value* dur = ev.get("dur");
+            if (dur == nullptr || !dur->is_number())
+                return fail(where + ": X event without numeric \"dur\"");
+            if (dur->num <= 0) return fail(where + ": non-positive dur");
+            const j::Value* tid = ev.get("tid");
+            if (tid == nullptr || !tid->is_number())
+                return fail(where + ": X event without numeric \"tid\"");
+            const auto key = std::make_pair(
+                static_cast<long long>(pid->num),
+                static_cast<long long>(tid->num));
+            const auto it = track_end.find(key);
+            // 1e-9 us = 1 femtosecond: purely a float-comparison epsilon,
+            // the exporter emits exact decimals.
+            if (it != track_end.end() && ts->num < it->second - 1e-9)
+                return fail(where + ": slice overlaps previous one on track pid=" +
+                            std::to_string(key.first) +
+                            " tid=" + std::to_string(key.second));
+            const double end = ts->num + dur->num;
+            track_end[key] =
+                it != track_end.end() ? std::max(it->second, end) : end;
+        } else if (ph->str == "i" || ph->str == "I") {
+            ++instants;
+            const j::Value* scope = ev.get("s");
+            if (scope != nullptr &&
+                (!scope->is_string() ||
+                 (scope->str != "t" && scope->str != "g" && scope->str != "p")))
+                return fail(where + ": bad instant scope");
+        }
+        // Other phases (B/E, counters, ...) are legal trace-event types;
+        // this exporter does not emit them, but do not reject a future one.
+    }
+
+    for (const std::string& cat : required)
+        if (categories.find(cat) == categories.end())
+            return fail("required category \"" + cat +
+                        "\" absent from the trace");
+
+    std::printf(
+        "perfetto_validate: %s OK (%zu slices on %zu tracks, %zu instants, "
+        "%zu metadata)\n",
+        path.c_str(), slices, track_end.size(), instants, meta);
+    return 0;
+}
