@@ -1,0 +1,217 @@
+#include "fuzz/generate.hpp"
+
+namespace rtsc::fuzz {
+
+namespace {
+
+/// Durations drawn log-uniformly across ns..100us so short and long
+/// operations both appear (a pure uniform draw would almost never produce a
+/// sub-microsecond value next to a 100 us one).
+std::uint64_t draw_duration(Rng& rng) {
+    switch (rng.below(4)) {
+        case 0: return rng.range(1, 999) * 1'000;            // 1-999 ns
+        case 1: return rng.range(1, 99) * 1'000'000;         // 1-99 us
+        case 2: return rng.range(1, 9) * 10'000'000;         // 10-90 us round
+        default: return rng.below(10) == 0 ? 0               // occasional zero
+                                           : rng.range(1, 400) * 250'000;
+    }
+}
+
+std::uint64_t draw_timeout(Rng& rng) {
+    // Timeouts biased short so deadline races with deliveries actually occur;
+    // ~10% zero-timeout polls.
+    if (rng.chance(10)) return 0;
+    return rng.range(1, 60) * 1'000'000; // 1-60 us
+}
+
+OpSpec draw_op(Rng& rng, const ModelSpec& spec, const GenKnobs& knobs,
+               unsigned depth);
+
+std::vector<OpSpec> draw_body(Rng& rng, const ModelSpec& spec,
+                              const GenKnobs& knobs, unsigned depth) {
+    std::vector<OpSpec> body;
+    const auto n = rng.range(1, knobs.max_body_ops);
+    body.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        body.push_back(draw_op(rng, spec, knobs, depth));
+    return body;
+}
+
+OpSpec draw_op(Rng& rng, const ModelSpec& spec, const GenKnobs& knobs,
+               unsigned depth) {
+    OpSpec op;
+    // Weight table: computes dominate (they create the preemption substrate),
+    // every relation class appears when the spec has instances of it.
+    struct Choice {
+        OpKind kind;
+        unsigned weight;
+        bool available;
+    };
+    const bool sems = !spec.sems.empty();
+    const bool queues = !spec.queues.empty();
+    const bool events = !spec.events.empty();
+    const bool svars = !spec.svars.empty();
+    const Choice table[] = {
+        {OpKind::compute, 30, true},
+        {OpKind::sleep, 8, true},
+        {OpKind::yield, 4, true},
+        {OpKind::critical, 6, depth + 1 < knobs.max_depth},
+        {OpKind::sem_acquire, 5, sems},
+        {OpKind::sem_acquire_for, 6, sems},
+        {OpKind::sem_try_acquire, 3, sems},
+        {OpKind::sem_release, 8, sems},
+        {OpKind::q_write, 6, queues},
+        {OpKind::q_try_write, 3, queues},
+        {OpKind::q_read, 3, queues},
+        {OpKind::q_read_for, 6, queues},
+        {OpKind::q_try_read, 3, queues},
+        {OpKind::ev_signal, 6, events},
+        {OpKind::ev_await, 2, events},
+        {OpKind::ev_await_for, 5, events},
+        {OpKind::sv_read, 4, svars},
+        {OpKind::sv_write, 4, svars},
+    };
+    unsigned total = 0;
+    for (const Choice& c : table)
+        if (c.available) total += c.weight;
+    auto pick = rng.below(total);
+    for (const Choice& c : table) {
+        if (!c.available) continue;
+        if (pick < c.weight) {
+            op.kind = c.kind;
+            break;
+        }
+        pick -= c.weight;
+    }
+
+    op.target = static_cast<std::uint32_t>(rng.below(8));
+    op.dur_ps = draw_duration(rng);
+    op.timeout_ps = draw_timeout(rng);
+    op.repeat = rng.chance(15) ? static_cast<std::uint32_t>(rng.range(2, 3)) : 1;
+    if (op.kind == OpKind::critical)
+        op.body = draw_body(rng, spec, knobs, depth + 1);
+    return op;
+}
+
+} // namespace
+
+ModelSpec generate(std::uint64_t seed, const GenKnobs& knobs) {
+    Rng rng(seed);
+    ModelSpec spec;
+    spec.seed = seed;
+    // ~1/3 of models get a hard horizon (run_until), the rest run to
+    // quiescence — both termination modes must agree across engines.
+    spec.horizon_ps =
+        rng.chance(33) ? rng.range(knobs.max_horizon_ps / 4, knobs.max_horizon_ps)
+                       : 0;
+
+    const auto n_cpus = rng.range(1, knobs.max_cpus);
+    for (std::uint64_t i = 0; i < n_cpus; ++i) {
+        CpuSpec c;
+        switch (rng.below(4)) {
+            case 0: c.policy = PolicyKind::fifo; break;
+            case 1: c.policy = PolicyKind::priority_preemptive; break;
+            case 2:
+                c.policy = PolicyKind::round_robin;
+                c.quantum_ps = rng.range(2, 40) * 1'000'000; // 2-40 us
+                break;
+            default: c.policy = PolicyKind::edf; break;
+        }
+        c.preemptive = !rng.chance(15);
+        if (rng.chance(60)) {
+            c.sched_ps = rng.range(0, 3) * 500'000;  // 0-1.5 us
+            c.load_ps = rng.range(0, 2) * 250'000;
+            c.save_ps = rng.range(0, 2) * 250'000;
+            c.formula_overheads = c.sched_ps != 0 && rng.chance(25);
+        }
+        spec.cpus.push_back(c);
+    }
+
+    const auto n_sems = rng.below(knobs.max_sems + 1);
+    for (std::uint64_t i = 0; i < n_sems; ++i)
+        spec.sems.push_back({rng.below(3), rng.chance(50)});
+    const auto n_queues = rng.below(knobs.max_queues + 1);
+    for (std::uint64_t i = 0; i < n_queues; ++i)
+        spec.queues.push_back({static_cast<std::uint32_t>(
+            rng.chance(25) ? 0 : rng.range(1, 3))});
+    const auto n_events = rng.below(knobs.max_events + 1);
+    for (std::uint64_t i = 0; i < n_events; ++i)
+        spec.events.push_back({static_cast<std::uint8_t>(rng.below(3))});
+    const auto n_svars = rng.below(knobs.max_svars + 1);
+    for (std::uint64_t i = 0; i < n_svars; ++i)
+        spec.svars.push_back({static_cast<std::uint8_t>(rng.below(3)),
+                              rng.chance(50) ? rng.range(1, 5) * 500'000 : 0});
+
+    const auto n_irqs = rng.below(knobs.max_irqs + 1);
+    for (std::uint64_t i = 0; i < n_irqs; ++i) {
+        IrqSpec irq;
+        irq.cpu = static_cast<std::uint32_t>(rng.below(n_cpus));
+        irq.isr_priority = static_cast<int>(rng.range(8, 15));
+        irq.period_ps = rng.range(20, 200) * 1'000'000;  // 20-200 us
+        irq.jitter_ps = rng.chance(50) ? rng.range(1, 10) * 1'000'000 : 0;
+        irq.until_ps = rng.range(200, 1500) * 1'000'000; // 0.2-1.5 ms
+        irq.cost_ps = rng.range(1, 8) * 1'000'000;
+        irq.max_pending = rng.chance(25) ? static_cast<std::uint32_t>(rng.range(1, 3)) : 0;
+        spec.irqs.push_back(irq);
+    }
+
+    const auto n_tasks = rng.range(2, knobs.max_tasks);
+    for (std::uint64_t i = 0; i < n_tasks; ++i) {
+        TaskSpec t;
+        t.name = "T";
+        t.name += std::to_string(i);
+        t.cpu = static_cast<std::uint32_t>(rng.below(n_cpus));
+        t.priority = static_cast<int>(rng.range(1, 7));
+        t.start_ps = rng.chance(60) ? rng.range(0, 100) * 1'000'000 : 0;
+        if (rng.chance(45)) { // periodic
+            t.period_ps = rng.range(50, 400) * 1'000'000; // 50-400 us
+            t.activations = static_cast<std::uint32_t>(
+                rng.range(1, knobs.max_activations));
+            if (rng.chance(50)) t.deadline_ps = t.period_ps;
+        } else if (!spec.events.empty() && rng.chance(30)) {
+            // Sporadic: each activation waits for an event another task (or
+            // nobody) signals.
+            t.trigger_event = static_cast<std::uint32_t>(
+                1 + rng.below(spec.events.size()));
+            t.activations = static_cast<std::uint32_t>(
+                rng.range(1, knobs.max_activations));
+        }
+        t.body = draw_body(rng, spec, knobs, 0);
+        spec.tasks.push_back(std::move(t));
+    }
+
+    if (knobs.allow_faults && rng.chance(35)) {
+        FaultSpec& f = spec.faults;
+        if (rng.chance(50))
+            f.jitter.push_back({static_cast<std::uint32_t>(rng.below(n_tasks)),
+                                rng.range(25, 100) / 100.0,
+                                rng.range(50, 100) / 100.0,
+                                rng.range(100, 250) / 100.0});
+        if (rng.chance(40)) {
+            const bool restart = rng.chance(50);
+            f.crashes.push_back({static_cast<std::uint32_t>(rng.below(n_tasks)),
+                                 rng.range(20, 500) * 1'000'000, restart,
+                                 restart ? rng.range(1, 50) * 1'000'000 : 0});
+        }
+        if (!spec.irqs.empty()) {
+            if (rng.chance(35))
+                f.drops.push_back({static_cast<std::uint32_t>(rng.below(spec.irqs.size())),
+                                   rng.range(10, 60) / 100.0});
+            if (rng.chance(25))
+                f.bursts.push_back({static_cast<std::uint32_t>(rng.below(spec.irqs.size())),
+                                    rng.range(10, 50) / 100.0, 1,
+                                    static_cast<std::uint32_t>(rng.range(1, 2))});
+            if (rng.chance(25))
+                f.spurious.push_back({static_cast<std::uint32_t>(rng.below(spec.irqs.size())),
+                                      rng.range(30, 150) * 1'000'000,
+                                      rng.range(0, 10) * 1'000'000,
+                                      rng.range(100, 800) * 1'000'000});
+        }
+        if (!spec.queues.empty() && rng.chance(35))
+            f.losses.push_back({static_cast<std::uint32_t>(rng.below(spec.queues.size())),
+                                rng.range(10, 50) / 100.0});
+    }
+    return spec;
+}
+
+} // namespace rtsc::fuzz

@@ -1,0 +1,67 @@
+#pragma once
+// Seeded random-model generator for the differential engine fuzzer.
+//
+// generate(seed) maps a 64-bit seed to a ModelSpec deterministically and
+// platform-independently: the PRNG is SplitMix64 (the same stream the
+// campaign runner derives scenario seeds from) and all range reductions are
+// explicit integer arithmetic — no std::uniform_*_distribution, whose
+// mapping is implementation-defined.
+//
+// The knobs bound the model size so a CI campaign of hundreds of seeds
+// stays cheap; every feature class (policies, wake orders, bounded and
+// unbounded queues, event memory policies, shared-variable protections,
+// interrupt lines, formula overheads, fault plans) appears with a
+// probability high enough that a few dozen seeds cover it.
+
+#include <cstdint>
+
+#include "fuzz/spec.hpp"
+
+namespace rtsc::fuzz {
+
+struct GenKnobs {
+    std::uint32_t max_cpus = 2;
+    std::uint32_t max_tasks = 5;
+    std::uint32_t max_body_ops = 5;   ///< ops per body level
+    std::uint32_t max_depth = 2;      ///< critical-region nesting
+    std::uint32_t max_sems = 2;
+    std::uint32_t max_queues = 2;
+    std::uint32_t max_events = 2;
+    std::uint32_t max_svars = 2;
+    std::uint32_t max_irqs = 2;
+    std::uint32_t max_activations = 3;
+    bool allow_faults = true;
+    std::uint64_t max_horizon_ps = 2'000'000'000; ///< 2 ms
+};
+
+[[nodiscard]] ModelSpec generate(std::uint64_t seed, const GenKnobs& knobs = {});
+
+/// The deterministic PRNG the generator draws from; exposed so tests can
+/// pin its stream.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /// Next raw 64-bit draw (SplitMix64).
+    std::uint64_t next() noexcept {
+        std::uint64_t x = (state_ += 0x9e3779b97f4a7c15ull);
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+    /// Uniform in [0, n); n == 0 returns 0.
+    std::uint64_t below(std::uint64_t n) noexcept {
+        return n == 0 ? 0 : next() % n;
+    }
+    /// Uniform in [lo, hi] inclusive.
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+        return lo + below(hi - lo + 1);
+    }
+    /// True with probability percent/100.
+    bool chance(unsigned percent) noexcept { return below(100) < percent; }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace rtsc::fuzz

@@ -1,0 +1,440 @@
+#include "fuzz/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fuzz/generate.hpp" // Rng (IRQ stimulus jitter)
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "mcse/message_queue.hpp"
+#include "mcse/semaphore.hpp"
+#include "mcse/shared_variable.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
+#include "rtos/interrupt.hpp"
+#include "rtos/overhead.hpp"
+#include "rtos/policy.hpp"
+#include "rtos/task.hpp"
+#include "trace/recorder.hpp"
+
+namespace rtsc::fuzz {
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) noexcept {
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    // Fold in a terminator so concatenations can't collide ("ab"+"c" vs
+    // "a"+"bc").
+    h ^= 0xffu;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+namespace {
+
+std::unique_ptr<r::SchedulingPolicy> make_policy(const CpuSpec& c) {
+    switch (c.policy) {
+        case PolicyKind::fifo: return std::make_unique<r::FifoPolicy>();
+        case PolicyKind::priority_preemptive:
+            return std::make_unique<r::PriorityPreemptivePolicy>();
+        case PolicyKind::round_robin:
+            return std::make_unique<r::RoundRobinPolicy>(k::Time::ps(
+                c.quantum_ps != 0 ? c.quantum_ps : 10'000'000));
+        case PolicyKind::edf: return std::make_unique<r::EdfPolicy>();
+    }
+    return std::make_unique<r::PriorityPreemptivePolicy>();
+}
+
+r::OverheadModel make_overhead(std::uint64_t fixed_ps, bool formula) {
+    if (!formula || fixed_ps == 0) return {k::Time::ps(fixed_ps)};
+    // State-dependent variant: base cost plus a per-ready-task term (§3.2
+    // "a formula computed during the simulation according to the current
+    // state of the system").
+    const std::uint64_t per_task = fixed_ps / 4;
+    return r::OverheadModel::formula(
+        [fixed_ps, per_task](const r::SystemState& s) {
+            return k::Time::ps(fixed_ps + per_task * s.ready_tasks);
+        });
+}
+
+/// Everything the op interpreter touches; lives on run_model's stack.
+struct Model {
+    std::deque<r::Processor> cpus;
+    std::deque<m::Semaphore> sems;
+    std::deque<m::MessageQueue<int>> queues;
+    std::deque<m::Event> events;
+    std::deque<m::SharedVariable<int>> svars;
+    std::deque<r::InterruptLine> irqs;
+    std::vector<r::Task*> tasks;
+    int payload = 0; ///< deterministic message payload counter
+};
+
+template <typename Deque>
+auto* pick(Deque& d, std::uint32_t idx) {
+    return d.empty() ? nullptr : &d[idx % d.size()];
+}
+
+void run_ops(r::Task& self, const std::vector<OpSpec>& ops, Model& mdl) {
+    for (const OpSpec& op : ops) {
+        for (std::uint32_t rep = 0; rep < op.repeat; ++rep) {
+            const k::Time dur = k::Time::ps(op.dur_ps);
+            const k::Time timeout = k::Time::ps(op.timeout_ps);
+            switch (op.kind) {
+                case OpKind::compute: self.compute(dur); break;
+                case OpKind::sleep: self.sleep_for(dur); break;
+                case OpKind::yield: self.yield_cpu(); break;
+                case OpKind::critical: {
+                    r::Processor::PreemptionGuard lock(self.processor());
+                    run_ops(self, op.body, mdl);
+                    break;
+                }
+                case OpKind::sem_acquire:
+                    if (auto* s = pick(mdl.sems, op.target)) s->acquire();
+                    break;
+                case OpKind::sem_acquire_for:
+                    if (auto* s = pick(mdl.sems, op.target))
+                        (void)s->acquire_for(timeout);
+                    break;
+                case OpKind::sem_try_acquire:
+                    if (auto* s = pick(mdl.sems, op.target)) (void)s->try_acquire();
+                    break;
+                case OpKind::sem_release:
+                    if (auto* s = pick(mdl.sems, op.target)) s->release();
+                    break;
+                case OpKind::q_write:
+                    if (auto* q = pick(mdl.queues, op.target)) q->write(++mdl.payload);
+                    break;
+                case OpKind::q_try_write:
+                    if (auto* q = pick(mdl.queues, op.target))
+                        (void)q->try_write(++mdl.payload);
+                    break;
+                case OpKind::q_read:
+                    if (auto* q = pick(mdl.queues, op.target)) (void)q->read();
+                    break;
+                case OpKind::q_read_for:
+                    if (auto* q = pick(mdl.queues, op.target)) {
+                        int out = 0;
+                        (void)q->read_for(out, timeout);
+                    }
+                    break;
+                case OpKind::q_try_read:
+                    if (auto* q = pick(mdl.queues, op.target)) {
+                        int out = 0;
+                        (void)q->try_read(out);
+                    }
+                    break;
+                case OpKind::ev_signal:
+                    if (auto* e = pick(mdl.events, op.target)) e->signal();
+                    break;
+                case OpKind::ev_await:
+                    if (auto* e = pick(mdl.events, op.target)) e->await();
+                    break;
+                case OpKind::ev_await_for:
+                    if (auto* e = pick(mdl.events, op.target))
+                        (void)e->await_for(timeout);
+                    break;
+                case OpKind::sv_read:
+                    if (auto* v = pick(mdl.svars, op.target)) (void)v->read(dur);
+                    break;
+                case OpKind::sv_write:
+                    if (auto* v = pick(mdl.svars, op.target))
+                        v->write(++mdl.payload, dur);
+                    break;
+            }
+        }
+    }
+}
+
+std::string fmt_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+RunResult run_model(const ModelSpec& spec, r::EngineKind kind) {
+    RunResult out;
+    try {
+        k::Simulator sim;
+        Model mdl;
+        trace::Recorder rec;
+        obs::MetricsRegistry reg;
+        obs::MetricsCollector coll(reg);
+
+        if (spec.cpus.empty())
+            throw std::runtime_error("fuzz model: no processors");
+
+        for (std::size_t i = 0; i < spec.cpus.size(); ++i) {
+            const CpuSpec& c = spec.cpus[i];
+            auto& cpu = mdl.cpus.emplace_back("cpu" + std::to_string(i),
+                                              make_policy(c), kind);
+            cpu.set_preemptive(c.preemptive);
+            cpu.set_overheads(
+                {make_overhead(c.sched_ps, c.formula_overheads),
+                 make_overhead(c.load_ps, c.formula_overheads),
+                 make_overhead(c.save_ps, c.formula_overheads)});
+            rec.attach(cpu);
+            coll.attach(cpu);
+        }
+
+        for (std::size_t i = 0; i < spec.sems.size(); ++i) {
+            auto& s = mdl.sems.emplace_back(
+                "sem" + std::to_string(i), spec.sems[i].initial,
+                spec.sems[i].priority_order ? m::WakeOrder::priority
+                                            : m::WakeOrder::fifo);
+            rec.attach(s);
+        }
+        for (std::size_t i = 0; i < spec.queues.size(); ++i) {
+            auto& q = mdl.queues.emplace_back("queue" + std::to_string(i),
+                                              spec.queues[i].capacity);
+            rec.attach(q);
+        }
+        for (std::size_t i = 0; i < spec.events.size(); ++i) {
+            auto& e = mdl.events.emplace_back(
+                "event" + std::to_string(i),
+                static_cast<m::EventPolicy>(spec.events[i].policy % 3));
+            rec.attach(e);
+        }
+        for (std::size_t i = 0; i < spec.svars.size(); ++i) {
+            auto& v = mdl.svars.emplace_back(
+                "sv" + std::to_string(i), 0,
+                static_cast<m::Protection>(spec.svars[i].protection % 3));
+            rec.attach(v);
+        }
+
+        for (std::size_t i = 0; i < spec.irqs.size(); ++i) {
+            const IrqSpec& is = spec.irqs[i];
+            auto& line = mdl.irqs.emplace_back("irq" + std::to_string(i));
+            if (is.max_pending != 0) line.set_max_pending(is.max_pending);
+            r::Processor& cpu = mdl.cpus[is.cpu % mdl.cpus.size()];
+            line.attach_isr(cpu, is.isr_priority, nullptr,
+                            k::Time::ps(is.cost_ps));
+            if (is.period_ps != 0) {
+                // Deterministic stimulus generator: jitter drawn from a
+                // stream seeded only by (spec seed, line index), so both
+                // engines see the identical raise times.
+                r::InterruptLine* lp = &line;
+                const std::uint64_t gseed = spec.seed ^ (0x1234u + i);
+                sim.spawn("irq_gen" + std::to_string(i), [lp, is, gseed]() {
+                    Rng rng(gseed);
+                    while (true) {
+                        const std::uint64_t jitter =
+                            is.jitter_ps != 0 ? rng.below(is.jitter_ps + 1) : 0;
+                        const std::uint64_t delay = is.period_ps + jitter;
+                        const std::uint64_t now =
+                            k::Simulator::current().now().raw_ps();
+                        if (now + delay > is.until_ps) break;
+                        k::wait(k::Time::ps(delay));
+                        lp->raise();
+                    }
+                });
+            }
+        }
+
+        const ModelSpec* sp = &spec;
+        Model* mp = &mdl;
+        for (const TaskSpec& t : spec.tasks) {
+            r::Processor& cpu = mdl.cpus[t.cpu % mdl.cpus.size()];
+            const TaskSpec* tp = &t;
+            r::Task& task = cpu.create_task(
+                {.name = t.name,
+                 .priority = t.priority,
+                 .start_time = k::Time::ps(t.start_ps)},
+                [tp, sp, mp](r::Task& self) {
+                    const std::uint32_t n =
+                        tp->activations != 0 ? tp->activations : 1;
+                    for (std::uint32_t a = 0; a < n; ++a) {
+                        if (a != 0 && tp->period_ps != 0) {
+                            const k::Time release = k::Time::ps(
+                                tp->start_ps + a * tp->period_ps);
+                            if (release > self.processor().simulator().now())
+                                self.sleep_until(release);
+                        }
+                        if (tp->trigger_event != 0 && !mp->events.empty())
+                            mp->events[(tp->trigger_event - 1) %
+                                       mp->events.size()]
+                                .await();
+                        if (tp->deadline_ps != 0)
+                            self.set_absolute_deadline(
+                                self.processor().simulator().now() +
+                                k::Time::ps(tp->deadline_ps));
+                        run_ops(self, tp->body, *mp);
+                    }
+                    (void)sp;
+                });
+            mdl.tasks.push_back(&task);
+        }
+
+        // Fault plan: resolve spec indices to live objects. Entries whose
+        // referent class is absent are dropped (the shrinker relies on this).
+        fault::FaultPlan plan;
+        const FaultSpec& f = spec.faults;
+        for (const auto& e : f.jitter)
+            if (!mdl.tasks.empty())
+                plan.exec_jitter.push_back(
+                    {mdl.tasks[e.task % mdl.tasks.size()], e.probability,
+                     e.scale_min, e.scale_max});
+        for (const auto& e : f.crashes)
+            if (!mdl.tasks.empty())
+                plan.task_crashes.push_back(
+                    {mdl.tasks[e.task % mdl.tasks.size()], k::Time::ps(e.at_ps),
+                     e.restart, k::Time::ps(e.delay_ps)});
+        for (const auto& e : f.drops)
+            if (auto* l = pick(mdl.irqs, e.irq))
+                plan.irq_drops.push_back({l, e.probability});
+        for (const auto& e : f.bursts)
+            if (auto* l = pick(mdl.irqs, e.irq))
+                plan.irq_bursts.push_back(
+                    {l, e.probability, e.extra_min, e.extra_max});
+        for (const auto& e : f.spurious)
+            if (auto* l = pick(mdl.irqs, e.irq))
+                plan.irq_spurious.push_back({l, k::Time::ps(e.period_ps),
+                                             k::Time::ps(e.jitter_ps),
+                                             k::Time::ps(e.until_ps)});
+        for (const auto& e : f.losses)
+            if (auto* q = pick(mdl.queues, e.queue))
+                plan.message_losses.push_back({q, e.probability});
+
+        std::unique_ptr<fault::FaultInjector> injector;
+        if (!plan.empty()) {
+            injector = std::make_unique<fault::FaultInjector>(sim, std::move(plan),
+                                                              spec.seed);
+            injector->set_trace(&rec);
+            injector->arm();
+        }
+
+        if (spec.horizon_ps != 0)
+            sim.run_until(k::Time::ps(spec.horizon_ps));
+        else
+            sim.run();
+
+        // ---- canonicalize ----
+        // Records are kept in time order, but *within* one simulated instant
+        // the callback interleaving across processors (and between a CPU and
+        // the fault layer) depends on kernel process activation order, which
+        // legitimately differs between the engines (§4: the threaded model
+        // inserts extra RTOS-thread activations). The simulated-time
+        // observable is the per-instant multiset of records, so rows with
+        // equal timestamps are ordered lexicographically.
+        std::vector<std::pair<std::uint64_t, std::string>> rows;
+        auto flush_sorted = [&rows](std::vector<std::string>& dst) {
+            std::stable_sort(rows.begin(), rows.end());
+            dst.reserve(rows.size());
+            for (auto& [at, text] : rows)
+                dst.push_back(std::to_string(at) + " " + text);
+            rows.clear();
+        };
+        for (const auto& s : rec.states())
+            rows.emplace_back(s.at.raw_ps(),
+                              s.task->name() + " " + r::to_string(s.from) +
+                                  "->" + r::to_string(s.to));
+        flush_sorted(out.states);
+        for (const auto& o : rec.overheads())
+            rows.emplace_back(
+                o.at.raw_ps(),
+                std::string(r::to_string(o.kind)) + " dur=" +
+                    std::to_string(o.duration.raw_ps()) + " cpu=" +
+                    o.cpu->name() + " about=" +
+                    (o.about != nullptr ? o.about->name() : "-"));
+        flush_sorted(out.overheads);
+        for (const auto& c : rec.comms())
+            rows.emplace_back(c.at.raw_ps(),
+                              c.relation->name() + " " +
+                                  (c.task != nullptr ? c.task->name() : "hw") +
+                                  " " + m::to_string(c.kind) +
+                                  (c.blocked ? " blocked" : ""));
+        flush_sorted(out.comms);
+        for (const auto& mk : rec.markers())
+            rows.emplace_back(mk.at.raw_ps(), mk.category + " " + mk.name);
+        flush_sorted(out.markers);
+        for (const auto& sample : reg.snapshot())
+            out.metrics.push_back(sample.name + "=" + fmt_double(sample.value));
+        out.end_ps = sim.now().raw_ps();
+        out.kernel_activations = sim.process_activations();
+        out.delta_cycles = sim.delta_count();
+    } catch (const std::exception& e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+
+    std::uint64_t h = kFnvOffset;
+    for (const auto* stream :
+         {&out.states, &out.overheads, &out.comms, &out.markers, &out.metrics})
+        for (const std::string& row : *stream) h = fnv1a(h, row);
+    h = fnv1a(h, std::to_string(out.end_ps));
+    h = fnv1a(h, out.error);
+    out.digest = h;
+    return out;
+}
+
+namespace {
+
+bool diff_stream(const char* name, const std::vector<std::string>& a,
+                 const std::vector<std::string>& b, Divergence& d) {
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i]) {
+            d = {true, name, i, a[i], b[i]};
+            return true;
+        }
+    }
+    if (a.size() != b.size()) {
+        d = {true, name, n, n < a.size() ? a[n] : "<missing>",
+             n < b.size() ? b[n] : "<missing>"};
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string Divergence::to_string() const {
+    if (!diverged) return "equivalent";
+    return "diverged in " + stream + " at record " + std::to_string(index) +
+           "\n  procedural: " + lhs + "\n  threaded:   " + rhs;
+}
+
+Divergence compare(const RunResult& procedural, const RunResult& threaded) {
+    Divergence d;
+    if (procedural.error != threaded.error) {
+        d = {true, "error", 0, procedural.error, threaded.error};
+        return d;
+    }
+    if (diff_stream("states", procedural.states, threaded.states, d)) return d;
+    if (diff_stream("overheads", procedural.overheads, threaded.overheads, d))
+        return d;
+    if (diff_stream("comms", procedural.comms, threaded.comms, d)) return d;
+    if (diff_stream("markers", procedural.markers, threaded.markers, d)) return d;
+    if (diff_stream("metrics", procedural.metrics, threaded.metrics, d)) return d;
+    if (procedural.end_ps != threaded.end_ps) {
+        d = {true, "end_time", 0, std::to_string(procedural.end_ps),
+             std::to_string(threaded.end_ps)};
+        return d;
+    }
+    return d;
+}
+
+Divergence diff_engines(const ModelSpec& spec, RunResult* procedural,
+                        RunResult* threaded) {
+    RunResult a = run_model(spec, r::EngineKind::procedure_calls);
+    RunResult b = run_model(spec, r::EngineKind::rtos_thread);
+    const Divergence d = compare(a, b);
+    if (procedural != nullptr) *procedural = std::move(a);
+    if (threaded != nullptr) *threaded = std::move(b);
+    return d;
+}
+
+} // namespace rtsc::fuzz

@@ -1,0 +1,66 @@
+#pragma once
+// Differential harness: execute one ModelSpec on a given RTOS engine and
+// canonicalize everything observable — the full trace::Recorder streams
+// (task state transitions, overhead charges, communication accesses, fault
+// markers) and the obs::MetricsRegistry snapshot — into text rows that can
+// be compared bit-for-bit between the threaded (§4.1) and procedural (§4.2)
+// engines. Kernel-level counters (process activations, delta cycles) differ
+// between the engines *by design* (that difference is the paper's §4
+// result), so they are reported but never compared.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/spec.hpp"
+#include "rtos/processor.hpp"
+
+namespace rtsc::fuzz {
+
+struct RunResult {
+    /// Canonical rows, in recorded order, one stream per record class.
+    std::vector<std::string> states;
+    std::vector<std::string> overheads;
+    std::vector<std::string> comms;
+    std::vector<std::string> markers;
+    /// Flattened obs metrics ("name=value"), name-sorted by the registry.
+    std::vector<std::string> metrics;
+    /// Simulated end time (ps).
+    std::uint64_t end_ps = 0;
+    /// FNV-1a digest over every compared row (streams + metrics + end time).
+    std::uint64_t digest = 0;
+    /// Engine-dependent info, excluded from digest/comparison.
+    std::uint64_t kernel_activations = 0;
+    std::uint64_t delta_cycles = 0;
+    /// Non-empty when the run threw; the message is compared (both engines
+    /// must fail identically or that is itself a divergence).
+    std::string error;
+};
+
+[[nodiscard]] RunResult run_model(const ModelSpec& spec, rtos::EngineKind kind);
+
+/// First point where two runs disagree.
+struct Divergence {
+    bool diverged = false;
+    std::string stream;     ///< "states", "overheads", "comms", "markers",
+                            ///< "metrics", "end_time" or "error"
+    std::size_t index = 0;  ///< first differing row in that stream
+    std::string lhs, rhs;   ///< the differing rows ("<missing>" when absent)
+    [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Divergence compare(const RunResult& procedural,
+                                 const RunResult& threaded);
+
+/// Run the spec on both engines and diff. Optional out-params receive the
+/// full results (for reporting).
+[[nodiscard]] Divergence diff_engines(const ModelSpec& spec,
+                                      RunResult* procedural = nullptr,
+                                      RunResult* threaded = nullptr);
+
+/// FNV-1a 64-bit over a byte string (the digest primitive, exposed for the
+/// campaign report).
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, const std::string& s) noexcept;
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+} // namespace rtsc::fuzz

@@ -1,0 +1,223 @@
+#include "fuzz/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "fuzz/runner.hpp"
+
+namespace rtsc::fuzz {
+
+bool engines_diverge(const ModelSpec& spec) {
+    return diff_engines(spec).diverged;
+}
+
+namespace {
+
+/// One structural reduction: mutate the spec in place; return false when not
+/// applicable (nothing to remove at that position).
+using Edit = std::function<bool(ModelSpec&)>;
+
+/// All op lists of the spec (task bodies and nested critical bodies),
+/// collected for index-stable traversal.
+void collect_bodies(std::vector<OpSpec>& body,
+                    std::vector<std::vector<OpSpec>*>& out) {
+    out.push_back(&body);
+    for (OpSpec& op : body) collect_bodies(op.body, out);
+}
+
+template <typename Vec>
+Edit drop_at(Vec ModelSpec::* member, std::size_t i) {
+    return [member, i](ModelSpec& s) {
+        auto& v = s.*member;
+        if (i >= v.size()) return false;
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    };
+}
+
+template <typename Vec>
+Edit drop_fault_at(Vec FaultSpec::* member, std::size_t i) {
+    return [member, i](ModelSpec& s) {
+        auto& v = s.faults.*member;
+        if (i >= v.size()) return false;
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    };
+}
+
+/// Candidate edits for the spec's current shape, coarse first (dropping a
+/// whole task shrinks faster than dropping one op).
+std::vector<Edit> candidate_edits(const ModelSpec& spec) {
+    std::vector<Edit> edits;
+    for (std::size_t i = 0; i < spec.tasks.size(); ++i)
+        edits.push_back(drop_at(&ModelSpec::tasks, i));
+    for (std::size_t i = 0; i < spec.irqs.size(); ++i)
+        edits.push_back(drop_at(&ModelSpec::irqs, i));
+    for (std::size_t i = 0; i < spec.sems.size(); ++i)
+        edits.push_back(drop_at(&ModelSpec::sems, i));
+    for (std::size_t i = 0; i < spec.queues.size(); ++i)
+        edits.push_back(drop_at(&ModelSpec::queues, i));
+    for (std::size_t i = 0; i < spec.events.size(); ++i)
+        edits.push_back(drop_at(&ModelSpec::events, i));
+    for (std::size_t i = 0; i < spec.svars.size(); ++i)
+        edits.push_back(drop_at(&ModelSpec::svars, i));
+    for (std::size_t i = 0; i < spec.faults.jitter.size(); ++i)
+        edits.push_back(drop_fault_at(&FaultSpec::jitter, i));
+    for (std::size_t i = 0; i < spec.faults.crashes.size(); ++i)
+        edits.push_back(drop_fault_at(&FaultSpec::crashes, i));
+    for (std::size_t i = 0; i < spec.faults.drops.size(); ++i)
+        edits.push_back(drop_fault_at(&FaultSpec::drops, i));
+    for (std::size_t i = 0; i < spec.faults.bursts.size(); ++i)
+        edits.push_back(drop_fault_at(&FaultSpec::bursts, i));
+    for (std::size_t i = 0; i < spec.faults.spurious.size(); ++i)
+        edits.push_back(drop_fault_at(&FaultSpec::spurious, i));
+    for (std::size_t i = 0; i < spec.faults.losses.size(); ++i)
+        edits.push_back(drop_fault_at(&FaultSpec::losses, i));
+
+    // Drop one op from one body. Addressed as (body index, op index) over
+    // the pre-edit shape: the edit re-collects bodies and checks bounds, so
+    // a stale address is simply inapplicable.
+    {
+        std::vector<std::vector<OpSpec>*> bodies;
+        ModelSpec& mutable_spec = const_cast<ModelSpec&>(spec);
+        for (TaskSpec& t : mutable_spec.tasks) collect_bodies(t.body, bodies);
+        for (std::size_t b = 0; b < bodies.size(); ++b)
+            for (std::size_t o = 0; o < bodies[b]->size(); ++o)
+                edits.push_back([b, o](ModelSpec& s) {
+                    std::vector<std::vector<OpSpec>*> bs;
+                    for (TaskSpec& t : s.tasks) collect_bodies(t.body, bs);
+                    if (b >= bs.size() || o >= bs[b]->size()) return false;
+                    bs[b]->erase(bs[b]->begin() +
+                                 static_cast<std::ptrdiff_t>(o));
+                    return true;
+                });
+    }
+
+    // Scalar reductions.
+    for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+        if (spec.tasks[i].activations > 1)
+            edits.push_back([i](ModelSpec& s) {
+                if (i >= s.tasks.size() || s.tasks[i].activations <= 1)
+                    return false;
+                s.tasks[i].activations = 1;
+                return true;
+            });
+        if (spec.tasks[i].deadline_ps != 0)
+            edits.push_back([i](ModelSpec& s) {
+                if (i >= s.tasks.size() || s.tasks[i].deadline_ps == 0)
+                    return false;
+                s.tasks[i].deadline_ps = 0;
+                return true;
+            });
+        if (spec.tasks[i].start_ps != 0)
+            edits.push_back([i](ModelSpec& s) {
+                if (i >= s.tasks.size() || s.tasks[i].start_ps == 0)
+                    return false;
+                s.tasks[i].start_ps = 0;
+                return true;
+            });
+    }
+    {
+        std::vector<std::vector<OpSpec>*> bodies;
+        ModelSpec& mutable_spec = const_cast<ModelSpec&>(spec);
+        for (TaskSpec& t : mutable_spec.tasks) collect_bodies(t.body, bodies);
+        for (std::size_t b = 0; b < bodies.size(); ++b)
+            for (std::size_t o = 0; o < bodies[b]->size(); ++o)
+                if ((*bodies[b])[o].repeat > 1)
+                    edits.push_back([b, o](ModelSpec& s) {
+                        std::vector<std::vector<OpSpec>*> bs;
+                        for (TaskSpec& t : s.tasks)
+                            collect_bodies(t.body, bs);
+                        if (b >= bs.size() || o >= bs[b]->size() ||
+                            (*bs[b])[o].repeat <= 1)
+                            return false;
+                        (*bs[b])[o].repeat = 1;
+                        return true;
+                    });
+    }
+    for (std::size_t i = 0; i < spec.cpus.size(); ++i) {
+        const CpuSpec& c = spec.cpus[i];
+        if (c.sched_ps != 0 || c.load_ps != 0 || c.save_ps != 0)
+            edits.push_back([i](ModelSpec& s) {
+                if (i >= s.cpus.size()) return false;
+                CpuSpec& cc = s.cpus[i];
+                if (cc.sched_ps == 0 && cc.load_ps == 0 && cc.save_ps == 0)
+                    return false;
+                cc.sched_ps = cc.load_ps = cc.save_ps = 0;
+                cc.formula_overheads = false;
+                return true;
+            });
+        if (c.formula_overheads)
+            edits.push_back([i](ModelSpec& s) {
+                if (i >= s.cpus.size() || !s.cpus[i].formula_overheads)
+                    return false;
+                s.cpus[i].formula_overheads = false;
+                return true;
+            });
+    }
+    if (spec.cpus.size() > 1)
+        edits.push_back([](ModelSpec& s) {
+            if (s.cpus.size() <= 1) return false;
+            s.cpus.pop_back();
+            return true;
+        });
+    if (spec.horizon_ps != 0) {
+        edits.push_back([](ModelSpec& s) {
+            if (s.horizon_ps == 0) return false;
+            s.horizon_ps /= 2;
+            return true;
+        });
+        edits.push_back([](ModelSpec& s) {
+            if (s.horizon_ps == 0) return false;
+            s.horizon_ps = 0;
+            return true;
+        });
+    }
+    return edits;
+}
+
+} // namespace
+
+ModelSpec shrink(ModelSpec spec, const Predicate& interesting,
+                 ShrinkStats* stats, std::size_t max_attempts) {
+    ShrinkStats local;
+    ShrinkStats& st = stats != nullptr ? *stats : local;
+    bool progressed = true;
+    while (progressed && st.attempts < max_attempts) {
+        progressed = false;
+        for (const Edit& edit : candidate_edits(spec)) {
+            if (st.attempts >= max_attempts) break;
+            ModelSpec candidate = spec;
+            if (!edit(candidate)) continue;
+            ++st.attempts;
+            if (!interesting(candidate)) continue;
+            ++st.accepted;
+            spec = std::move(candidate);
+            progressed = true;
+            break; // shape changed: recompute the edit set
+        }
+    }
+    return spec;
+}
+
+std::string emit_cpp_test(const ModelSpec& spec, const std::string& test_name) {
+    std::string out;
+    out += "// Auto-generated by tools/fuzz_engines --emit-test: shrunk\n";
+    out += "// counterexample where the threaded (\xc2\xa7"
+           "4.1) and procedural (\xc2\xa7" "4.2)\n";
+    out += "// engines diverged. Keep as a permanent engine-equivalence\n";
+    out += "// regression test.\n";
+    out += "#include <gtest/gtest.h>\n\n";
+    out += "#include \"fuzz/runner.hpp\"\n";
+    out += "#include \"fuzz/spec.hpp\"\n\n";
+    out += "TEST(FuzzRegression, " + test_name + ") {\n";
+    out += "    const rtsc::fuzz::ModelSpec spec = rtsc::fuzz::from_text(R\"spec(\n";
+    out += to_text(spec);
+    out += ")spec\");\n";
+    out += "    const rtsc::fuzz::Divergence d = rtsc::fuzz::diff_engines(spec);\n";
+    out += "    EXPECT_FALSE(d.diverged) << d.to_string();\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace rtsc::fuzz

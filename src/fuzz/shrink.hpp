@@ -1,0 +1,47 @@
+#pragma once
+// Delta-debugging shrinker + regression-test emitter.
+//
+// shrink() minimizes a ModelSpec while a predicate stays true (for the
+// fuzzer: "the two engines still diverge"). It repeatedly tries structural
+// reductions — drop a task, a relation, a fault entry, an op; cut repeats,
+// activations and the horizon; zero the overheads — accepting any reduction
+// that keeps the predicate, until a full pass makes no progress (a 1-minimal
+// fixpoint w.r.t. the edit set).
+//
+// emit_cpp_test() renders a shrunk spec as a self-contained GoogleTest
+// source: the spec text is embedded as a raw string, parsed at runtime and
+// replayed through diff_engines. Dropping the file into tests/fuzz/ and
+// registering it in tests/CMakeLists.txt turns a fuzzer finding into a
+// permanent engine-equivalence regression test.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "fuzz/spec.hpp"
+
+namespace rtsc::fuzz {
+
+using Predicate = std::function<bool(const ModelSpec&)>;
+
+struct ShrinkStats {
+    std::size_t attempts = 0;  ///< candidate reductions evaluated
+    std::size_t accepted = 0;  ///< reductions that kept the predicate
+};
+
+/// Minimize `spec` w.r.t. `interesting` (which must hold for the input).
+/// `max_attempts` bounds total predicate evaluations — each evaluation runs
+/// the model on both engines, so shrinking a slow model stays bounded.
+[[nodiscard]] ModelSpec shrink(ModelSpec spec, const Predicate& interesting,
+                               ShrinkStats* stats = nullptr,
+                               std::size_t max_attempts = 2000);
+
+/// Predicate for the differential fuzzer: the engines disagree on this spec.
+[[nodiscard]] bool engines_diverge(const ModelSpec& spec);
+
+/// Render a self-contained regression test. `test_name` must be a valid C++
+/// identifier (e.g. "Seed42QuantumRotation").
+[[nodiscard]] std::string emit_cpp_test(const ModelSpec& spec,
+                                        const std::string& test_name);
+
+} // namespace rtsc::fuzz

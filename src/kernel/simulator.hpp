@@ -95,7 +95,9 @@ public:
     /// Suspend until any of the events fires; returns the one that did.
     Event& wait_any(std::initializer_list<Event*> events);
     Event& wait_any(const std::vector<Event*>& events);
-    /// As wait_any but with a timeout; returns nullptr on timeout.
+    /// As wait_any but with a timeout; returns nullptr on timeout. The tie
+    /// rule matches wait(Time, Event&): an event firing exactly at the
+    /// timeout instant wins.
     Event* wait_any(Time timeout, const std::vector<Event*>& events);
 
     /// The process currently executing, or nullptr in scheduler context.
@@ -160,6 +162,12 @@ private:
     struct TimedEntryLater {
         bool operator()(const TimedEntry& a, const TimedEntry& b) const noexcept {
             if (a.at != b.at) return a.at > b.at;
+            // "On an exact tie the event wins": all event notifications at an
+            // instant fire before any process timeout, independent of arming
+            // order. A process whose event and timeout land on the same
+            // instant is woken by the event; the stale timeout entry is then
+            // skipped via its seq stamp.
+            if (a.kind != b.kind) return a.kind == TimedEntry::Kind::process_timeout;
             return a.order > b.order;
         }
     };

@@ -62,7 +62,7 @@ public:
             }
         }
         hw_wake().notify();
-        record(caller, AccessKind::signal_op, kernel::Time::zero());
+        record(caller, AccessKind::signal_op, kernel::Time::zero(), false);
     }
 
     /// Wait for (and consume) one occurrence. A memorized occurrence returns
@@ -73,21 +73,27 @@ public:
         const kernel::Time started = now();
         if (task != nullptr) {
             if (try_consume()) {
-                record(task, AccessKind::await_op, kernel::Time::zero());
+                record(task, AccessKind::await_op, kernel::Time::zero(), false);
                 return;
             }
             TaskWaiter w{task};
             block_task(w, waiters_, rtos::TaskState::waiting);
-            record(task, AccessKind::await_op, now() - started);
+            record(task, AccessKind::await_op, now() - started, true);
             return;
         }
         // Hardware process.
+        bool blocked = false;
         if (policy_ == EventPolicy::fugitive) {
+            blocked = true;
             kernel::wait(hw_wake());
         } else {
-            while (!try_consume()) kernel::wait(hw_wake());
+            while (!try_consume()) {
+                blocked = true;
+                kernel::wait(hw_wake());
+            }
         }
-        record(nullptr, AccessKind::await_op, now() - started);
+        record(nullptr, AccessKind::await_op,
+               blocked ? now() - started : kernel::Time::zero(), blocked);
     }
 
     /// Bounded wait: like await(), but gives up after `timeout`. Returns
@@ -98,7 +104,7 @@ public:
         const kernel::Time started = now();
         if (task != nullptr) {
             if (try_consume()) {
-                record(task, AccessKind::await_op, kernel::Time::zero());
+                record(task, AccessKind::await_op, kernel::Time::zero(), false);
                 return true;
             }
             TaskWaiter w{task};
@@ -106,37 +112,41 @@ public:
             WaiterGuard guard(w, waiters_); // unwind/timeout-safe dereg
             (void)task->processor().engine().block_timed(
                 *task, rtos::TaskState::waiting, timeout);
-            if (!w.delivered) {
-                record(task, AccessKind::await_op, now() - started);
-                return false;
-            }
-            record(task, AccessKind::await_op, now() - started);
-            return true;
+            // A delivery racing the timeout at the same instant wins: the
+            // occurrence was consumed on this waiter's behalf.
+            record(task, AccessKind::await_op, now() - started, true);
+            return w.delivered;
         }
         // Hardware process: kernel-level timed wait.
+        bool blocked = false;
         const kernel::Time deadline = started + timeout;
         for (;;) {
             if (policy_ != EventPolicy::fugitive && try_consume()) break;
             const kernel::Time remaining =
                 kernel::Time::sat_sub(deadline, now());
             if (remaining.is_zero()) {
-                record(nullptr, AccessKind::await_op, now() - started);
+                record(nullptr, AccessKind::await_op,
+                       blocked ? now() - started : kernel::Time::zero(), blocked);
                 return false;
             }
+            blocked = true;
             const auto reason =
                 kernel::Simulator::current().wait(remaining, hw_wake());
             if (policy_ == EventPolicy::fugitive &&
                 reason == kernel::Process::WakeReason::event)
                 break;
         }
-        record(nullptr, AccessKind::await_op, now() - started);
+        record(nullptr, AccessKind::await_op,
+               blocked ? now() - started : kernel::Time::zero(), blocked);
         return true;
     }
 
     /// Non-blocking variant: consume a memorized occurrence if present.
     [[nodiscard]] bool try_await() {
         const bool ok = try_consume();
-        if (ok) record(rtos::current_task(), AccessKind::await_op, kernel::Time::zero());
+        if (ok)
+            record(rtos::current_task(), AccessKind::await_op,
+                   kernel::Time::zero(), false);
         return ok;
     }
 

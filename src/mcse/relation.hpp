@@ -137,17 +137,25 @@ protected:
     [[nodiscard]] kernel::Simulator& sim() const noexcept { return sim_; }
     [[nodiscard]] kernel::Time now() const noexcept { return sim_.now(); }
 
-    /// Record a completed access. `blocked_for` is how long the caller was
-    /// blocked before the operation could proceed (zero = non-blocking).
+    /// Record a completed access. The single accounting rule every relation
+    /// op follows: `blocked` is whether the caller had to suspend before the
+    /// operation could proceed (even when it was woken within the same
+    /// instant), `blocked_for` is `now() - started` when it did and zero
+    /// otherwise.
     void record(const rtos::Task* task, AccessKind kind,
-                kernel::Time blocked_for) {
+                kernel::Time blocked_for, bool blocked) {
         ++stats_.accesses;
-        if (!blocked_for.is_zero()) {
+        if (blocked) {
             ++stats_.blocked_accesses;
             stats_.blocked_time += blocked_for;
         }
         for (CommObserver* o : observers_)
-            o->on_access(*this, task, kind, !blocked_for.is_zero());
+            o->on_access(*this, task, kind, blocked);
+    }
+    /// Convenience overload deriving `blocked` from a non-zero duration.
+    void record(const rtos::Task* task, AccessKind kind,
+                kernel::Time blocked_for) {
+        record(task, kind, blocked_for, !blocked_for.is_zero());
     }
 
     /// Block the calling software task in `state` until a waker delivers

@@ -38,83 +38,112 @@ public:
     [[nodiscard]] std::uint64_t value() const noexcept { return count_; }
     [[nodiscard]] WakeOrder wake_order() const noexcept { return order_; }
 
-    /// Take one unit, blocking while the count is zero.
+    /// Take one unit, blocking while the count is zero. A blocked task
+    /// waiter receives its unit by *reservation*: release() decrements the
+    /// count on the waiter's behalf before waking it, so no try_acquire or
+    /// later-arriving caller can barge in between wake-up and resumption.
     void acquire() {
         rtos::Task* task = rtos::current_task();
         const kernel::Time started = now();
+        bool blocked = false;
         if (task != nullptr) {
-            while (count_ == 0) {
+            if (count_ == 0) {
+                blocked = true;
                 TaskWaiter w{task};
+                UnitGuard unit(*this, w); // unwind-safe: never leak the unit
                 block_task(w, waiters_, rtos::TaskState::waiting);
+                unit.armed = false; // delivery reserved our unit; consume it
+            } else {
+                take_unit();
             }
         } else {
-            while (count_ == 0) kernel::wait(hw_wake());
+            while (count_ == 0) {
+                blocked = true;
+                kernel::wait(hw_wake());
+            }
+            take_unit();
         }
-        --count_;
-        account_zero();
-        record(task, AccessKind::lock_op, now() - started);
+        record(task, AccessKind::lock_op,
+               blocked ? now() - started : kernel::Time::zero(), blocked);
     }
 
     /// Bounded-wait acquire: gives up after `timeout`; returns whether a
-    /// unit was taken. (Extension: timed acquires are a standard RTOS
-    /// semaphore primitive.)
+    /// unit was taken. A delivery racing the deadline at the same instant
+    /// wins (the unit is already reserved for this waiter), matching the
+    /// kernel's wait(Time, Event&) tie rule. (Extension: timed acquires are
+    /// a standard RTOS semaphore primitive.)
     [[nodiscard]] bool acquire_for(kernel::Time timeout) {
         rtos::Task* task = rtos::current_task();
         const kernel::Time started = now();
         const kernel::Time deadline = started + timeout;
+        bool blocked = false;
         if (task != nullptr) {
-            while (count_ == 0) {
-                const kernel::Time remaining =
-                    kernel::Time::sat_sub(deadline, now());
-                if (remaining.is_zero()) {
-                    record(task, AccessKind::lock_op, now() - started);
-                    return false;
-                }
+            if (count_ == 0) {
                 TaskWaiter w{task};
                 waiters_.push_back(&w);
                 WaiterGuard guard(w, waiters_); // unwind/timeout-safe dereg
-                (void)task->processor().engine().block_timed(
-                    *task, rtos::TaskState::waiting, remaining);
+                UnitGuard unit(*this, w);       // unwind-safe: return the unit
+                while (!w.delivered) {
+                    const kernel::Time remaining =
+                        kernel::Time::sat_sub(deadline, now());
+                    if (remaining.is_zero()) {
+                        record(task, AccessKind::lock_op,
+                               blocked ? now() - started : kernel::Time::zero(),
+                               blocked);
+                        return false;
+                    }
+                    blocked = true;
+                    (void)task->processor().engine().block_timed(
+                        *task, rtos::TaskState::waiting, remaining);
+                    // If a release() delivered while the timeout wake was in
+                    // flight, the loop condition spots it: delivery wins.
+                }
+                unit.armed = false;
+            } else {
+                take_unit();
             }
         } else {
             while (count_ == 0) {
                 const kernel::Time remaining =
                     kernel::Time::sat_sub(deadline, now());
                 if (remaining.is_zero()) {
-                    record(nullptr, AccessKind::lock_op, now() - started);
+                    record(nullptr, AccessKind::lock_op,
+                           blocked ? now() - started : kernel::Time::zero(),
+                           blocked);
                     return false;
                 }
+                blocked = true;
                 (void)kernel::Simulator::current().wait(remaining, hw_wake());
             }
+            take_unit();
         }
-        --count_;
-        account_zero();
         record(task, AccessKind::lock_op,
-               now() == started ? kernel::Time::zero() : now() - started);
+               blocked ? now() - started : kernel::Time::zero(), blocked);
         return true;
     }
 
-    /// Take one unit if available; never blocks.
+    /// Take one unit if available; never blocks. Units already reserved for
+    /// blocked waiters are invisible here (the count is zero), so a waiter
+    /// can never lose its delivery to a try_acquire.
     [[nodiscard]] bool try_acquire() {
         if (count_ == 0) return false;
-        --count_;
-        account_zero();
-        record(rtos::current_task(), AccessKind::lock_op, kernel::Time::zero());
+        take_unit();
+        record(rtos::current_task(), AccessKind::lock_op, kernel::Time::zero(),
+               false);
         return true;
     }
 
-    /// Give one unit back (or produce one), waking a waiter if any.
+    /// Give one unit back (or produce one). If a task waiter is registered,
+    /// the unit is reserved for it on the spot (FIFO or best effective
+    /// priority per the wake order): the count goes straight back to zero
+    /// and the chosen waiter is made ready with `delivered` set.
     void release() {
         ++count_;
         account_zero();
-        if (!waiters_.empty()) {
-            if (order_ == WakeOrder::priority)
-                wake_best();
-            else
-                wake_one(waiters_);
-        }
+        deliver_one();
         hw_wake().notify();
-        record(rtos::current_task(), AccessKind::unlock_op, kernel::Time::zero());
+        record(rtos::current_task(), AccessKind::unlock_op,
+               kernel::Time::zero(), false);
     }
 
     /// RAII guard: acquire on construction, release on destruction.
@@ -139,20 +168,51 @@ public:
     }
 
 private:
-    void wake_best() {
+    void take_unit() {
+        --count_;
+        account_zero();
+    }
+
+    /// Reserve one available unit for one live task waiter (if both exist):
+    /// decrement the count on the waiter's behalf, mark it delivered and make
+    /// it ready. FIFO order serves the front of the queue; priority order the
+    /// best effective priority.
+    void deliver_one() {
         std::erase_if(waiters_, [](TaskWaiter* w) {
             return w->task->killed() || w->task->crashed() || w->task->terminated();
         });
-        if (waiters_.empty()) return;
-        auto best = std::max_element(
-            waiters_.begin(), waiters_.end(), [](TaskWaiter* a, TaskWaiter* b) {
-                return a->task->effective_priority() < b->task->effective_priority();
-            });
-        TaskWaiter* w = *best;
-        waiters_.erase(best);
+        if (count_ == 0 || waiters_.empty()) return;
+        auto it = waiters_.begin();
+        if (order_ == WakeOrder::priority)
+            it = std::max_element(
+                waiters_.begin(), waiters_.end(),
+                [](TaskWaiter* a, TaskWaiter* b) {
+                    return a->task->effective_priority() <
+                           b->task->effective_priority();
+                });
+        TaskWaiter* w = *it;
+        waiters_.erase(it);
+        take_unit();
         w->delivered = true;
         w->task->processor().engine().make_ready(*w->task);
     }
+
+    /// A delivered-but-unconsumed unit flows back when the waiter's stack
+    /// unwinds (kill/crash between delivery and resumption); the next waiter
+    /// inherits it.
+    struct UnitGuard {
+        Semaphore& s;
+        TaskWaiter& w;
+        bool armed = true;
+        UnitGuard(Semaphore& sem, TaskWaiter& waiter) : s(sem), w(waiter) {}
+        ~UnitGuard() {
+            if (!armed || !w.delivered) return;
+            ++s.count_;
+            s.account_zero();
+            s.deliver_one();
+            s.hw_wake().notify();
+        }
+    };
 
     /// Track time spent at count == 0.
     void account_zero() {

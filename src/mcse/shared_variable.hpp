@@ -55,39 +55,42 @@ public:
     /// Read the value under mutual exclusion, spending `access_duration` of
     /// CPU time (preemptible for software tasks) while holding the resource.
     [[nodiscard]] T read(kernel::Time access_duration = kernel::Time::zero()) {
-        const kernel::Time blocked_for = lock();
+        const LockOutcome lk = lock();
         LockRelease rel{*this}; // kill()-unwind-safe: never leak the resource
         consume_access(access_duration);
         T copy = value_;
         rel.armed = false;
         unlock();
-        record(rtos::current_task(), AccessKind::read_op, blocked_for);
+        record(rtos::current_task(), AccessKind::read_op, lk.blocked_for,
+               lk.blocked);
         return copy;
     }
 
     /// Write the value under mutual exclusion, spending `access_duration` of
     /// CPU time while holding the resource.
     void write(T v, kernel::Time access_duration = kernel::Time::zero()) {
-        const kernel::Time blocked_for = lock();
+        const LockOutcome lk = lock();
         LockRelease rel{*this}; // kill()-unwind-safe: never leak the resource
         consume_access(access_duration);
         value_ = std::move(v);
         rel.armed = false;
         unlock();
-        record(rtos::current_task(), AccessKind::write_op, blocked_for);
+        record(rtos::current_task(), AccessKind::write_op, lk.blocked_for,
+               lk.blocked);
     }
 
     /// Scoped access for arbitrary read-modify-write critical sections.
     class Guard {
     public:
         explicit Guard(SharedVariable& sv) : sv_(sv) {
-            const kernel::Time blocked_for = sv_.lock();
-            sv_.record(rtos::current_task(), AccessKind::lock_op, blocked_for);
+            const LockOutcome lk = sv_.lock();
+            sv_.record(rtos::current_task(), AccessKind::lock_op,
+                       lk.blocked_for, lk.blocked);
         }
         ~Guard() {
             sv_.unlock();
             sv_.record(rtos::current_task(), AccessKind::unlock_op,
-                       kernel::Time::zero());
+                       kernel::Time::zero(), false);
         }
         Guard(const Guard&) = delete;
         Guard& operator=(const Guard&) = delete;
@@ -117,13 +120,21 @@ private:
         }
     };
 
-    /// Acquire the resource; returns how long the caller was blocked
-    /// (including the re-dispatch latency after the resource was released).
-    kernel::Time lock() {
+    struct LockOutcome {
+        kernel::Time blocked_for; ///< now() - entry when blocked, else zero
+        bool blocked;             ///< the caller had to suspend
+    };
+
+    /// Acquire the resource; reports whether and for how long the caller was
+    /// blocked (including the re-dispatch latency after the resource was
+    /// released).
+    LockOutcome lock() {
         rtos::Task* task = rtos::current_task();
         const kernel::Time entered = now();
+        bool blocked = false;
         if (task != nullptr) {
             while (locked_) {
+                blocked = true;
                 apply_inheritance(*task);
                 TaskWaiter w{task};
                 block_task(w, waiters_, rtos::TaskState::waiting_resource);
@@ -134,12 +145,15 @@ private:
             if (protection_ == Protection::preemption_lock)
                 task->processor().lock_preemption();
         } else {
-            while (locked_) kernel::wait(hw_wake());
+            while (locked_) {
+                blocked = true;
+                kernel::wait(hw_wake());
+            }
             locked_ = true;
             owner_ = nullptr;
             lock_since_ = now();
         }
-        return now() - entered;
+        return {blocked ? now() - entered : kernel::Time::zero(), blocked};
     }
 
     void unlock() {

@@ -30,8 +30,18 @@ void ThreadedEngine::process(const Request& r) {
     switch (r.kind) {
         case Request::Kind::reschedule:
             if (r.charge_save) charge(OverheadKind::context_save, r.task);
-            schedule_pass(r.task);
+            note_scheduler_run();
+            charge(OverheadKind::scheduling, r.task);
+            // Ack before the grant: a synchronous leaver (sleep_for /
+            // block_timed) whose wake time already passed during this pass
+            // re-enters the ready queue at this very instant, and that wake
+            // must precede the winner's context-load charge — the procedural
+            // engine's leaver continues inline after the pass and does
+            // exactly that, and formula overheads read the ready count at
+            // the charge. The runnable queue is FIFO, so notifying the ack
+            // first runs the leaver's thread before the grantee's.
             if (r.ack) ack_event(*r.task).notify();
+            select_and_grant();
             break;
         case Request::Kind::idle_dispatch:
             schedule_pass(r.task);

@@ -1,0 +1,216 @@
+// Unit tests for the differential-fuzzing toolkit itself (src/fuzz/):
+// generator determinism, spec serialization round-trips, the runner's
+// divergence detector and the delta-debugging shrinker. The actual
+// engine-equivalence sweep lives in tools/fuzz_engines; corpus replay is
+// tests/fuzz/test_fuzz_corpus.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/generate.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/spec.hpp"
+
+namespace fuzz = rtsc::fuzz;
+
+namespace {
+
+// ------------------------------------------------------------- generator
+
+TEST(FuzzGenerate, DeterministicForSeed) {
+    // Same seed, same spec text — platform-independent reproducibility is
+    // what makes a seed number a bug report.
+    const std::string a = fuzz::to_text(fuzz::generate(12345));
+    const std::string b = fuzz::to_text(fuzz::generate(12345));
+    EXPECT_EQ(a, b);
+}
+
+TEST(FuzzGenerate, DistinctSeedsDiffer) {
+    EXPECT_NE(fuzz::to_text(fuzz::generate(1)), fuzz::to_text(fuzz::generate(2)));
+}
+
+TEST(FuzzGenerate, RespectsKnobs) {
+    fuzz::GenKnobs knobs;
+    knobs.max_cpus = 1;
+    knobs.max_tasks = 3;
+    knobs.allow_faults = false;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const fuzz::ModelSpec spec = fuzz::generate(seed, knobs);
+        EXPECT_EQ(spec.cpus.size(), 1u);
+        EXPECT_LE(spec.tasks.size(), 3u);
+        EXPECT_GE(spec.tasks.size(), 2u);
+        EXPECT_TRUE(spec.faults.empty());
+    }
+}
+
+TEST(FuzzGenerate, EveryFeatureClassAppearsAcrossSeeds) {
+    bool rr = false, edf = false, irq = false, faults = false, sems = false,
+         queues = false, events = false, svars = false, horizon = false;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        const fuzz::ModelSpec s = fuzz::generate(seed);
+        for (const fuzz::CpuSpec& c : s.cpus) {
+            rr = rr || c.policy == fuzz::PolicyKind::round_robin;
+            edf = edf || c.policy == fuzz::PolicyKind::edf;
+        }
+        irq = irq || !s.irqs.empty();
+        faults = faults || !s.faults.empty();
+        sems = sems || !s.sems.empty();
+        queues = queues || !s.queues.empty();
+        events = events || !s.events.empty();
+        svars = svars || !s.svars.empty();
+        horizon = horizon || s.horizon_ps != 0;
+    }
+    EXPECT_TRUE(rr && edf && irq && faults && sems && queues && events &&
+                svars && horizon);
+}
+
+// ------------------------------------------------------------ spec text
+
+TEST(FuzzSpec, RoundTripsThroughText) {
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const fuzz::ModelSpec spec = fuzz::generate(seed);
+        const std::string text = fuzz::to_text(spec);
+        const fuzz::ModelSpec back = fuzz::from_text(text);
+        EXPECT_EQ(text, fuzz::to_text(back)) << "seed " << seed;
+    }
+}
+
+TEST(FuzzSpec, IgnoresBlankLinesAndComments) {
+    const fuzz::ModelSpec spec = fuzz::from_text(
+        "# a comment\n\nmodel seed=9 horizon=0\n"
+        "cpu policy=fifo quantum=0 preemptive=1 sched=0 load=0 save=0 formula=0\n"
+        "task name=A cpu=0 prio=1 start=0 period=0 act=1 deadline=0 trigger=0\n"
+        "op d=0 kind=compute target=0 dur=1000000 timeout=0 repeat=1\n");
+    EXPECT_EQ(spec.seed, 9u);
+    ASSERT_EQ(spec.tasks.size(), 1u);
+    EXPECT_EQ(spec.tasks[0].name, "A");
+    ASSERT_EQ(spec.tasks[0].body.size(), 1u);
+}
+
+TEST(FuzzSpec, RejectsMalformedInput) {
+    EXPECT_THROW((void)fuzz::from_text("model seed=oops"), std::runtime_error);
+    EXPECT_THROW((void)fuzz::from_text("cpu policy=bogus quantum=0 preemptive=1 "
+                                       "sched=0 load=0 save=0 formula=0"),
+                 std::runtime_error);
+    // op before any task: nothing to attach the body to.
+    EXPECT_THROW((void)fuzz::from_text(
+                     "model seed=1 horizon=0\n"
+                     "op d=0 kind=compute target=0 dur=0 timeout=0 repeat=1\n"),
+                 std::runtime_error);
+}
+
+// --------------------------------------------------------------- runner
+
+TEST(FuzzRunner, EnginesAgreeOnSmokeSeeds) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const fuzz::Divergence d = fuzz::diff_engines(fuzz::generate(seed));
+        EXPECT_FALSE(d.diverged) << "seed " << seed << "\n" << d.to_string();
+    }
+}
+
+TEST(FuzzRunner, RunsAreReproducible) {
+    const fuzz::ModelSpec spec = fuzz::generate(77);
+    const fuzz::RunResult a = fuzz::run_model(spec, rtsc::rtos::EngineKind::procedure_calls);
+    const fuzz::RunResult b = fuzz::run_model(spec, rtsc::rtos::EngineKind::procedure_calls);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.states, b.states);
+    EXPECT_EQ(a.end_ps, b.end_ps);
+}
+
+TEST(FuzzRunner, CompareFlagsInjectedStateDifference) {
+    const fuzz::ModelSpec spec = fuzz::generate(3);
+    fuzz::RunResult a = fuzz::run_model(spec, rtsc::rtos::EngineKind::procedure_calls);
+    fuzz::RunResult b = a;
+    ASSERT_FALSE(b.states.empty());
+    b.states[b.states.size() / 2] += " tampered";
+    const fuzz::Divergence d = fuzz::compare(a, b);
+    ASSERT_TRUE(d.diverged);
+    EXPECT_EQ(d.stream, "states");
+    EXPECT_EQ(d.index, b.states.size() / 2);
+}
+
+TEST(FuzzRunner, CompareFlagsEndTimeDifference) {
+    const fuzz::ModelSpec spec = fuzz::generate(3);
+    fuzz::RunResult a = fuzz::run_model(spec, rtsc::rtos::EngineKind::procedure_calls);
+    fuzz::RunResult b = a;
+    b.end_ps += 1;
+    const fuzz::Divergence d = fuzz::compare(a, b);
+    ASSERT_TRUE(d.diverged);
+    EXPECT_EQ(d.stream, "end_time");
+}
+
+TEST(FuzzRunner, KernelActivationCountsAreEngineSpecific) {
+    // The §4 comparison metric: the procedural engine exists to activate the
+    // kernel less often. The counts must NOT be part of the equivalence
+    // digest — assert the runner records them separately.
+    const fuzz::ModelSpec spec = fuzz::generate(5);
+    fuzz::RunResult proc, thrd;
+    const fuzz::Divergence d = fuzz::diff_engines(spec, &proc, &thrd);
+    EXPECT_FALSE(d.diverged) << d.to_string();
+    EXPECT_LT(proc.kernel_activations, thrd.kernel_activations);
+}
+
+// -------------------------------------------------------------- shrinker
+
+TEST(FuzzShrink, MinimizesAgainstSyntheticPredicate) {
+    // Predicate: "some task contains a sem_acquire op". The 1-minimal spec
+    // under the shrinker's edit set is a single task with that single op and
+    // everything else stripped.
+    const fuzz::ModelSpec big = fuzz::generate(75); // has sems + sem ops
+    const fuzz::Predicate has_acquire = [](const fuzz::ModelSpec& s) {
+        for (const fuzz::TaskSpec& t : s.tasks) {
+            std::vector<const fuzz::OpSpec*> stack;
+            for (const fuzz::OpSpec& op : t.body) stack.push_back(&op);
+            while (!stack.empty()) {
+                const fuzz::OpSpec* op = stack.back();
+                stack.pop_back();
+                if (op->kind == fuzz::OpKind::sem_acquire) return true;
+                for (const fuzz::OpSpec& c : op->body) stack.push_back(&c);
+            }
+        }
+        return false;
+    };
+    ASSERT_TRUE(has_acquire(big));
+    fuzz::ShrinkStats stats;
+    const fuzz::ModelSpec small = fuzz::shrink(big, has_acquire, &stats);
+    EXPECT_TRUE(has_acquire(small));
+    EXPECT_GT(stats.accepted, 0u);
+    ASSERT_EQ(small.tasks.size(), 1u);
+    ASSERT_EQ(small.tasks[0].body.size(), 1u);
+    EXPECT_EQ(small.tasks[0].body[0].kind, fuzz::OpKind::sem_acquire);
+    EXPECT_EQ(small.horizon_ps, 0u);
+    EXPECT_TRUE(small.irqs.empty());
+    EXPECT_TRUE(small.faults.empty());
+}
+
+TEST(FuzzShrink, AlwaysTruePredicateShrinksToNothing) {
+    // With an unconditionally true predicate every drop is accepted — the
+    // fixpoint is the empty model. This pins the edit set as complete: no
+    // structural element survives shrinking on its own.
+    const fuzz::ModelSpec big = fuzz::generate(75);
+    const fuzz::Predicate always = [](const fuzz::ModelSpec&) { return true; };
+    const fuzz::ModelSpec small = fuzz::shrink(big, always);
+    EXPECT_TRUE(small.tasks.empty());
+    EXPECT_TRUE(small.sems.empty());
+    EXPECT_TRUE(small.irqs.empty());
+    EXPECT_TRUE(small.faults.empty());
+    EXPECT_EQ(small.horizon_ps, 0u);
+}
+
+TEST(FuzzShrink, EmittedTestEmbedsSpecAndParsesBack) {
+    const fuzz::ModelSpec spec = fuzz::generate(11);
+    const std::string src = fuzz::emit_cpp_test(spec, "Seed11");
+    EXPECT_NE(src.find("TEST(FuzzRegression, Seed11)"), std::string::npos);
+    EXPECT_NE(src.find("diff_engines"), std::string::npos);
+    // Extract the raw-string payload and check it parses to the same spec.
+    const std::string open = "R\"spec(";
+    const auto b = src.find(open);
+    const auto e = src.find(")spec\"");
+    ASSERT_NE(b, std::string::npos);
+    ASSERT_NE(e, std::string::npos);
+    const std::string payload = src.substr(b + open.size(), e - b - open.size());
+    EXPECT_EQ(fuzz::to_text(fuzz::from_text(payload)), fuzz::to_text(spec));
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+// Corpus replay: every .model file under tests/fuzz/corpus/ is run on both
+// engines and must produce identical behavior. The corpus holds (a) shrunk
+// reproducers of every divergence the fuzzer ever found — permanent
+// regression tests — and (b) generator snapshots chosen for feature
+// coverage (round-robin, EDF, interrupts, fault plans, bounded queues), so
+// sanitizer CI replays representative models without paying for a full
+// sweep. Add to it with:
+//   tools/fuzz_engines --print SEED > tests/fuzz/corpus/gen_seedSEED.model
+// or by copying the fuzz_divergence_<seed>.model a failed sweep wrote.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/runner.hpp"
+#include "fuzz/spec.hpp"
+
+#ifndef RTSC_FUZZ_CORPUS_DIR
+#error "RTSC_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace fuzz = rtsc::fuzz;
+
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(RTSC_FUZZ_CORPUS_DIR))
+        if (entry.path().extension() == ".model") files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(FuzzCorpus, DirectoryIsNotEmpty) {
+    ASSERT_FALSE(corpus_files().empty())
+        << "no .model files in " << RTSC_FUZZ_CORPUS_DIR;
+}
+
+TEST(FuzzCorpus, EveryModelParsesAndRoundTrips) {
+    for (const auto& path : corpus_files()) {
+        SCOPED_TRACE(path.filename().string());
+        const std::string text = slurp(path);
+        ASSERT_FALSE(text.empty());
+        const fuzz::ModelSpec spec = fuzz::from_text(text);
+        EXPECT_EQ(fuzz::to_text(fuzz::from_text(fuzz::to_text(spec))),
+                  fuzz::to_text(spec));
+    }
+}
+
+TEST(FuzzCorpus, EnginesAgreeOnEveryModel) {
+    for (const auto& path : corpus_files()) {
+        SCOPED_TRACE(path.filename().string());
+        const fuzz::ModelSpec spec = fuzz::from_text(slurp(path));
+        const fuzz::Divergence d = fuzz::diff_engines(spec);
+        EXPECT_FALSE(d.diverged) << d.to_string();
+    }
+}
+
+} // namespace

@@ -338,3 +338,70 @@ TEST(EventTest, MaxTimeoutFromTimeZero) {
     EXPECT_FALSE(woke);
     EXPECT_EQ(sim.now(), Time::zero());
 }
+
+// ---- timeout-tie semantics: "on an exact tie the event wins" ----
+//
+// The tie must hold regardless of which side armed its timed entry first.
+// Before kind-aware ordering in the timed heap, a timeout armed *before* the
+// event's timed notification popped first and stole the tie.
+
+TEST(EventTest, TimeoutTieEventWinsWhenTimeoutArmedFirst) {
+    Simulator sim;
+    Event e("e");
+    Process::WakeReason reason{};
+    Time woke_at;
+    sim.spawn("waiter", [&] {
+        reason = sim.wait(5_us, e); // arms the timeout entry first
+        woke_at = sim.now();
+    });
+    sim.spawn("notifier", [&] {
+        e.notify(5_us); // timed notify lands on the exact deadline
+    });
+    sim.run();
+    EXPECT_EQ(reason, Process::WakeReason::event);
+    EXPECT_EQ(woke_at, 5_us);
+}
+
+TEST(EventTest, TimeoutTieEventWinsWhenNotifyArmedFirst) {
+    Simulator sim;
+    Event e("e");
+    Process::WakeReason reason{};
+    sim.spawn("notifier", [&] { e.notify(5_us); });
+    sim.spawn("waiter", [&] { reason = sim.wait(5_us, e); });
+    sim.run();
+    EXPECT_EQ(reason, Process::WakeReason::event);
+}
+
+TEST(EventTest, WaitAnyTimeoutTieEventWins) {
+    Simulator sim;
+    Event a("a");
+    Event b("b");
+    Event* fired = nullptr;
+    Time woke_at;
+    sim.spawn("waiter", [&] {
+        std::vector<Event*> evs{&a, &b};
+        fired = sim.wait_any(7_us, evs); // timeout armed before the notify
+        woke_at = sim.now();
+    });
+    sim.spawn("notifier", [&] { b.notify(7_us); });
+    sim.run();
+    EXPECT_EQ(fired, &b);
+    EXPECT_EQ(woke_at, 7_us);
+}
+
+TEST(EventTest, TimeoutTieLosesToEventEvenAcrossReArm) {
+    // A canceled-then-re-armed notification still beats a timeout armed
+    // earlier at the same instant.
+    Simulator sim;
+    Event e("e");
+    Process::WakeReason reason{};
+    sim.spawn("waiter", [&] { reason = sim.wait(10_us, e); });
+    sim.spawn("notifier", [&] {
+        e.notify(4_us);
+        e.cancel();
+        e.notify(10_us);
+    });
+    sim.run();
+    EXPECT_EQ(reason, Process::WakeReason::event);
+    EXPECT_EQ(sim.now(), 10_us);
+}

@@ -1,0 +1,307 @@
+// Timed-wait fairness: a waiter woken by a release()/write() delivery owns
+// its unit/message by reservation — no try_acquire/try_read or later-arriving
+// blocking caller can barge in between its wake-up and resumption — plus the
+// unified blocked-duration accounting rule (blocked iff the caller suspended;
+// blocked_for = now() - entry when it did) and the delivery-wins-the-tie rule
+// at relation level. Both engines.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kernel/simulator.hpp"
+#include "mcse/event.hpp"
+#include "mcse/message_queue.hpp"
+#include "mcse/semaphore.hpp"
+#include "rtos/processor.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace m = rtsc::mcse;
+using k::Time;
+using namespace rtsc::kernel::time_literals;
+
+class TimedWaitFairnessTest : public ::testing::TestWithParam<r::EngineKind> {};
+
+// ---- barging / stolen wake-ups ----
+
+TEST_P(TimedWaitFairnessTest, SemaphoreAcquireForSurvivesTryAcquireBarge) {
+    // The releaser itself tries to re-take the unit right after release():
+    // the woken waiter has not resumed yet, but the unit is reserved for it.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 0);
+    bool got = false;
+    bool stolen = true;
+    Time woke_at;
+    cpu.create_task({.name = "waiter", .priority = 1}, [&](r::Task&) {
+        got = sem.acquire_for(100_us);
+        woke_at = sim.now();
+    });
+    sim.spawn("hw", [&] {
+        k::wait(50_us);
+        sem.release();
+        stolen = sem.try_acquire();
+    });
+    sim.run();
+    EXPECT_FALSE(stolen); // the reserved unit is invisible to try_acquire
+    EXPECT_TRUE(got);     // ...so the waiter keeps its delivery
+    EXPECT_EQ(woke_at, 50_us);
+    EXPECT_EQ(sem.value(), 0u);
+}
+
+TEST_P(TimedWaitFairnessTest, QueueReadForSurvivesTryReadBarge) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 4);
+    bool got = false;
+    bool stolen = true;
+    int v = 0;
+    int stolen_v = 0;
+    Time woke_at;
+    cpu.create_task({.name = "reader", .priority = 1}, [&](r::Task&) {
+        got = q.read_for(v, 100_us);
+        woke_at = sim.now();
+    });
+    sim.spawn("hw", [&] {
+        k::wait(50_us);
+        q.write(7);
+        stolen = q.try_read(stolen_v);
+    });
+    sim.run();
+    EXPECT_FALSE(stolen); // the delivered message already left the buffer
+    EXPECT_TRUE(got);
+    EXPECT_EQ(v, 7);
+    EXPECT_EQ(woke_at, 50_us);
+}
+
+TEST_P(TimedWaitFairnessTest, SemaphoreWaiterBeatsHigherPriorityLateArrival) {
+    // A higher-priority task that starts at the release instant dispatches
+    // before the woken waiter, but must NOT take the reserved unit: it
+    // blocks until the second release.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 0);
+    bool waiter_got = false;
+    Time waiter_at, late_at;
+    cpu.create_task({.name = "waiter", .priority = 1}, [&](r::Task&) {
+        waiter_got = sem.acquire_for(200_us);
+        waiter_at = sim.now();
+    });
+    cpu.create_task({.name = "late", .priority = 9, .start_time = 50_us},
+                    [&](r::Task&) {
+                        sem.acquire();
+                        late_at = sim.now();
+                    });
+    sim.spawn("hw", [&] {
+        k::wait(50_us);
+        sem.release(); // reserved for "waiter" (FIFO front, registered first)
+        k::wait(20_us);
+        sem.release(); // this one is for "late"
+    });
+    sim.run();
+    EXPECT_TRUE(waiter_got);
+    EXPECT_EQ(waiter_at, 50_us);
+    EXPECT_EQ(late_at, 70_us);
+    EXPECT_EQ(sem.value(), 0u);
+}
+
+TEST_P(TimedWaitFairnessTest, PrioritySemaphoreDeliversToBestWaiter) {
+    // WakeOrder::priority: delivery goes to the highest effective priority
+    // among the registered waiters; the low one times out.
+    k::Simulator sim;
+    r::Processor cpu1("cpu1", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    r::Processor cpu2("cpu2", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    m::Semaphore sem("sem", 0, m::WakeOrder::priority);
+    bool low_got = true;
+    bool high_got = false;
+    Time low_at, high_at;
+    cpu1.create_task({.name = "low", .priority = 1}, [&](r::Task&) {
+        low_got = sem.acquire_for(100_us);
+        low_at = sim.now();
+    });
+    cpu2.create_task({.name = "high", .priority = 9, .start_time = 10_us},
+                     [&](r::Task&) {
+                         high_got = sem.acquire_for(100_us);
+                         high_at = sim.now();
+                     });
+    sim.spawn("hw", [&] {
+        k::wait(50_us);
+        sem.release();
+    });
+    sim.run();
+    EXPECT_TRUE(high_got);
+    EXPECT_EQ(high_at, 50_us);
+    EXPECT_FALSE(low_got);
+    EXPECT_EQ(low_at, 100_us);
+}
+
+TEST_P(TimedWaitFairnessTest, FifoSemaphoreDeliversToFirstRegistered) {
+    // WakeOrder::fifo: the first-registered waiter wins even when a
+    // higher-priority waiter is also blocked.
+    k::Simulator sim;
+    r::Processor cpu1("cpu1", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    r::Processor cpu2("cpu2", std::make_unique<r::PriorityPreemptivePolicy>(),
+                      GetParam());
+    m::Semaphore sem("sem", 0, m::WakeOrder::fifo);
+    bool first_got = false;
+    bool second_got = true;
+    cpu1.create_task({.name = "first", .priority = 1}, [&](r::Task&) {
+        first_got = sem.acquire_for(100_us);
+    });
+    cpu2.create_task({.name = "second", .priority = 9, .start_time = 10_us},
+                     [&](r::Task&) { second_got = sem.acquire_for(60_us); });
+    sim.spawn("hw", [&] {
+        k::wait(50_us);
+        sem.release();
+    });
+    sim.run();
+    EXPECT_TRUE(first_got);
+    EXPECT_FALSE(second_got);
+}
+
+// ---- delivery wins an exact deadline tie (relation-level rule) ----
+
+TEST_P(TimedWaitFairnessTest, SemaphoreDeliveryAtExactDeadlineWins) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 0);
+    bool got = false;
+    cpu.create_task({.name = "waiter", .priority = 1},
+                    [&](r::Task&) { got = sem.acquire_for(50_us); });
+    sim.spawn("hw", [&] {
+        k::wait(50_us); // release lands exactly on the waiter's deadline
+        sem.release();
+    });
+    sim.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(sem.value(), 0u);
+}
+
+TEST_P(TimedWaitFairnessTest, QueueDeliveryAtExactDeadlineWins) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 0); // unbounded
+    bool got = false;
+    int v = 0;
+    cpu.create_task({.name = "reader", .priority = 1},
+                    [&](r::Task&) { got = q.read_for(v, 50_us); });
+    sim.spawn("hw", [&] {
+        k::wait(50_us);
+        q.write(3);
+    });
+    sim.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(v, 3);
+}
+
+TEST_P(TimedWaitFairnessTest, EventSignalAtExactDeadlineWins) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Event ev("ev", m::EventPolicy::counter);
+    bool got = false;
+    cpu.create_task({.name = "waiter", .priority = 1},
+                    [&](r::Task&) { got = ev.await_for(50_us); });
+    sim.spawn("hw", [&] {
+        k::wait(50_us);
+        ev.signal();
+    });
+    sim.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(ev.pending(), 0u);
+}
+
+// ---- unified blocked-duration accounting ----
+
+TEST_P(TimedWaitFairnessTest, SameInstantDeliveryCountsAsBlockedAccess) {
+    // The waiter suspends and is delivered within the same instant: one
+    // blocked access, zero blocked time (the old duration-derived rule
+    // classified this as non-blocking).
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 0);
+    cpu.create_task({.name = "waiter", .priority = 9},
+                    [&](r::Task&) { sem.acquire(); });
+    // Lower priority: runs only once the waiter has suspended, still at t=0.
+    cpu.create_task({.name = "releaser", .priority = 1},
+                    [&](r::Task&) { sem.release(); });
+    sim.run();
+    const auto& s = sem.access_stats();
+    EXPECT_EQ(s.accesses, 2u); // acquire + release
+    EXPECT_EQ(s.blocked_accesses, 1u);
+    EXPECT_EQ(s.blocked_time, Time::zero());
+}
+
+TEST_P(TimedWaitFairnessTest, TimedAndUntimedBlockingRecordTheSameDuration) {
+    // Identical wait shapes through acquire() and acquire_for(): both must
+    // record exactly the delivery latency.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem_u("sem_u", 0);
+    m::Semaphore sem_t("sem_t", 0);
+    cpu.create_task({.name = "untimed", .priority = 2},
+                    [&](r::Task&) { sem_u.acquire(); });
+    cpu.create_task({.name = "timed", .priority = 1},
+                    [&](r::Task&) { EXPECT_TRUE(sem_t.acquire_for(100_us)); });
+    sim.spawn("hw", [&] {
+        k::wait(30_us);
+        sem_u.release();
+        sem_t.release();
+    });
+    sim.run();
+    EXPECT_EQ(sem_u.access_stats().blocked_accesses, 1u);
+    EXPECT_EQ(sem_t.access_stats().blocked_accesses, 1u);
+    EXPECT_EQ(sem_u.access_stats().blocked_time, 30_us);
+    EXPECT_EQ(sem_t.access_stats().blocked_time, 30_us);
+}
+
+TEST_P(TimedWaitFairnessTest, TimeoutFailureCountsFullWaitAsBlocked) {
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::MessageQueue<int> q("q", 0);
+    cpu.create_task({.name = "reader", .priority = 1}, [&](r::Task&) {
+        int v = 0;
+        EXPECT_FALSE(q.read_for(v, 40_us));
+    });
+    sim.run();
+    EXPECT_EQ(q.access_stats().blocked_accesses, 1u);
+    EXPECT_EQ(q.access_stats().blocked_time, 40_us);
+}
+
+TEST_P(TimedWaitFairnessTest, ZeroTimeoutFailureIsNotABlockedAccess) {
+    // A zero-timeout poll on an empty relation never suspends: it must look
+    // exactly like a failed try_acquire in the statistics.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                     GetParam());
+    m::Semaphore sem("sem", 0);
+    cpu.create_task({.name = "poller", .priority = 1}, [&](r::Task& self) {
+        EXPECT_FALSE(sem.acquire_for(Time::zero()));
+        self.compute(1_us);
+    });
+    sim.run();
+    EXPECT_EQ(sem.access_stats().accesses, 1u);
+    EXPECT_EQ(sem.access_stats().blocked_accesses, 0u);
+    EXPECT_EQ(sem.access_stats().blocked_time, Time::zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, TimedWaitFairnessTest,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread),
+                         [](const auto& info) {
+                             return info.param == r::EngineKind::procedure_calls
+                                        ? "procedural"
+                                        : "threaded";
+                         });
