@@ -1,13 +1,15 @@
 // Observability hook overhead: the engine probe sites (scheduler run,
-// dispatch, preempt) cost one untaken branch each when no MetricsCollector
-// is attached. This bench pins that claim with numbers: the token-ring
-// workload from bench_engine_compare is timed bare, then with a collector
-// attached, on both engines.
+// dispatch, preempt, block/wake, resource acquire/release) cost one untaken
+// branch each when no MetricsCollector is attached. This bench pins that
+// claim with numbers: the token-ring workload from bench_engine_compare is
+// timed bare, with a collector attached, and with the full causal-attribution
+// analyzer (per-job blame decomposition) behind the collector, on both
+// engines.
 //
 // Expected result: the no-sink configuration is indistinguishable from the
-// pre-instrumentation baseline (<2% delta), and even with a collector
-// attached the cost stays small — the hooks do integer bucketing, no
-// allocation on the hot path.
+// pre-instrumentation baseline (<2% delta), and even with collector +
+// attribution attached the cost stays small — the hooks do integer bucketing
+// and segment arithmetic, no allocation on the steady-state hot path.
 //
 // The measured deltas land in BENCH_obs.json (same line-based entry format
 // as BENCH_campaign.json; path overridable with RTSC_BENCH_OBS_JSON).
@@ -25,6 +27,7 @@
 #include "campaign/bench_json.hpp"
 #include "kernel/simulator.hpp"
 #include "mcse/event.hpp"
+#include "obs/attribution.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
 #include "rtos/processor.hpp"
@@ -39,20 +42,27 @@ using namespace rtsc::kernel::time_literals;
 
 namespace {
 
+/// Instrumentation lanes, in increasing cost order.
+enum class Lane { bare, collector, attribution };
+
 /// Same token-ring + periodic-IRQ workload as bench_engine_compare, with an
-/// optional metrics collector attached. Returns the dispatch count so the
-/// two configurations can be checked to have simulated identical behaviour.
-std::uint64_t run_ring(r::EngineKind kind, int n_tasks, int rounds,
-                       o::MetricsRegistry* registry) {
+/// optional metrics collector (and optionally the attribution analyzer fed
+/// through it) attached. Returns the dispatch count so the configurations
+/// can be checked to have simulated identical behaviour.
+std::uint64_t run_ring(r::EngineKind kind, int n_tasks, int rounds, Lane lane) {
     k::Simulator sim;
     r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
                      kind);
     cpu.set_overheads(r::RtosOverheads::uniform(1_us));
 
+    o::MetricsRegistry registry;
     std::unique_ptr<o::MetricsCollector> collector;
-    if (registry != nullptr) {
-        collector = std::make_unique<o::MetricsCollector>(*registry);
+    o::Attribution attribution;
+    if (lane != Lane::bare) {
+        collector = std::make_unique<o::MetricsCollector>(registry);
         collector->attach(cpu);
+        if (lane == Lane::attribution)
+            collector->set_attribution(&attribution);
     }
 
     std::vector<std::unique_ptr<m::Event>> ring;
@@ -91,13 +101,10 @@ std::uint64_t run_ring(r::EngineKind kind, int n_tasks, int rounds,
     return cpu.engine().phase_stats().dispatches;
 }
 
-void BM_Ring(benchmark::State& state, r::EngineKind kind, bool instrumented) {
+void BM_Ring(benchmark::State& state, r::EngineKind kind, Lane lane) {
     const int n_tasks = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        o::MetricsRegistry reg;
-        benchmark::DoNotOptimize(
-            run_ring(kind, n_tasks, 200, instrumented ? &reg : nullptr));
-    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(run_ring(kind, n_tasks, 200, lane));
 }
 
 double median(std::vector<double> v) {
@@ -126,14 +133,12 @@ c::MetricSummary summarize(const std::string& name, std::vector<double> v) {
     return s;
 }
 
-std::vector<double> time_runs(r::EngineKind kind, bool instrumented, int reps) {
+std::vector<double> time_runs(r::EngineKind kind, Lane lane, int reps) {
     std::vector<double> ms;
     ms.reserve(static_cast<std::size_t>(reps));
     for (int i = 0; i < reps; ++i) {
-        o::MetricsRegistry reg;
         const auto t0 = std::chrono::steady_clock::now();
-        benchmark::DoNotOptimize(
-            run_ring(kind, 8, 200, instrumented ? &reg : nullptr));
+        benchmark::DoNotOptimize(run_ring(kind, 8, 200, lane));
         const auto t1 = std::chrono::steady_clock::now();
         ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
     }
@@ -142,13 +147,23 @@ std::vector<double> time_runs(r::EngineKind kind, bool instrumented, int reps) {
 
 } // namespace
 
-BENCHMARK_CAPTURE(BM_Ring, procedural_bare, r::EngineKind::procedure_calls, false)
+BENCHMARK_CAPTURE(BM_Ring, procedural_bare, r::EngineKind::procedure_calls,
+                  Lane::bare)
     ->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Ring, procedural_collector, r::EngineKind::procedure_calls, true)
+BENCHMARK_CAPTURE(BM_Ring, procedural_collector, r::EngineKind::procedure_calls,
+                  Lane::collector)
     ->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Ring, rtos_thread_bare, r::EngineKind::rtos_thread, false)
+BENCHMARK_CAPTURE(BM_Ring, procedural_attribution,
+                  r::EngineKind::procedure_calls, Lane::attribution)
+    ->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Ring, rtos_thread_bare, r::EngineKind::rtos_thread,
+                  Lane::bare)
     ->Arg(8)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Ring, rtos_thread_collector, r::EngineKind::rtos_thread, true)
+BENCHMARK_CAPTURE(BM_Ring, rtos_thread_collector, r::EngineKind::rtos_thread,
+                  Lane::collector)
+    ->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Ring, rtos_thread_attribution, r::EngineKind::rtos_thread,
+                  Lane::attribution)
     ->Arg(8)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
@@ -156,29 +171,39 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    // Behavioural sanity: the collector must not change the simulation.
-    o::MetricsRegistry reg;
-    const std::uint64_t bare = run_ring(r::EngineKind::procedure_calls, 8, 200,
-                                        nullptr);
-    const std::uint64_t inst = run_ring(r::EngineKind::procedure_calls, 8, 200,
-                                        &reg);
-    if (bare != inst) {
-        std::cerr << "BUG: collector changed dispatch count (" << bare
-                  << " vs " << inst << ")\n";
+    // Behavioural sanity: neither the collector nor the attribution analyzer
+    // may change the simulation.
+    const std::uint64_t bare =
+        run_ring(r::EngineKind::procedure_calls, 8, 200, Lane::bare);
+    const std::uint64_t coll =
+        run_ring(r::EngineKind::procedure_calls, 8, 200, Lane::collector);
+    const std::uint64_t attr =
+        run_ring(r::EngineKind::procedure_calls, 8, 200, Lane::attribution);
+    if (bare != coll || bare != attr) {
+        std::cerr << "BUG: instrumentation changed dispatch count (" << bare
+                  << " vs " << coll << " vs " << attr << ")\n";
         return 1;
     }
 
     const int reps = 15;
-    const auto bare_ms = time_runs(r::EngineKind::procedure_calls, false, reps);
-    const auto coll_ms = time_runs(r::EngineKind::procedure_calls, true, reps);
-    const double delta_pct =
+    const auto bare_ms = time_runs(r::EngineKind::procedure_calls, Lane::bare,
+                                   reps);
+    const auto coll_ms = time_runs(r::EngineKind::procedure_calls,
+                                   Lane::collector, reps);
+    const auto attr_ms = time_runs(r::EngineKind::procedure_calls,
+                                   Lane::attribution, reps);
+    const double coll_delta_pct =
         (median(coll_ms) / median(bare_ms) - 1.0) * 100.0;
+    const double attr_delta_pct =
+        (median(attr_ms) / median(bare_ms) - 1.0) * 100.0;
 
     std::cout << "\n=== observability hook overhead (procedural, 8 tasks, "
               << reps << " reps) ===\n"
-              << "  bare       median " << median(bare_ms) << " ms\n"
-              << "  collector  median " << median(coll_ms) << " ms\n"
-              << "  delta      " << delta_pct << " %\n"
+              << "  bare         median " << median(bare_ms) << " ms\n"
+              << "  collector    median " << median(coll_ms) << " ms  ("
+              << coll_delta_pct << " %)\n"
+              << "  attribution  median " << median(attr_ms) << " ms  ("
+              << attr_delta_pct << " %)\n"
               << "  (no-sink configurations pay one untaken branch per hook "
                  "site; see docs/OBSERVABILITY.md)\n";
 
@@ -190,12 +215,15 @@ int main(int argc, char** argv) {
     entry.serial_ms = median(bare_ms);
     entry.parallel_ms = median(coll_ms);
     entry.speedup = median(coll_ms) > 0 ? median(bare_ms) / median(coll_ms) : 0;
-    entry.digest = inst;
-    entry.digests_match = bare == inst;
+    entry.digest = coll;
+    entry.digests_match = bare == coll && bare == attr;
     entry.metrics.push_back(summarize("obs.bare_ms", bare_ms));
     entry.metrics.push_back(summarize("obs.collector_ms", coll_ms));
+    entry.metrics.push_back(summarize("obs.attribution_ms", attr_ms));
     entry.metrics.push_back(
-        summarize("obs.collector_delta_pct", {delta_pct}));
+        summarize("obs.collector_delta_pct", {coll_delta_pct}));
+    entry.metrics.push_back(
+        summarize("obs.attribution_delta_pct", {attr_delta_pct}));
 
     const char* path = std::getenv("RTSC_BENCH_OBS_JSON");
     c::write_bench_entry(path != nullptr ? path : "BENCH_obs.json", entry);

@@ -21,6 +21,7 @@
 #include "fault/watchdog.hpp"
 #include "kernel/simulator.hpp"
 #include "mcse/message_queue.hpp"
+#include "obs/attribution.hpp"
 #include "obs/perfetto.hpp"
 #include "rtos/interrupt.hpp"
 #include "rtos/processor.hpp"
@@ -52,6 +53,8 @@ Outcome run(std::uint64_t seed, bool inject, tr::Recorder* rec = nullptr) {
     r::Processor cpu("ecu");
     cpu.set_overheads(r::RtosOverheads::uniform(2_us));
     if (rec != nullptr) rec->attach(cpu);
+    rtsc::obs::Attribution attr;
+    if (rec != nullptr) attr.attach(cpu);
 
     r::InterruptLine sensor("sensor");
     sensor.set_max_pending(4); // a real line has a bounded latch
@@ -121,9 +124,15 @@ Outcome run(std::uint64_t seed, bool inject, tr::Recorder* rec = nullptr) {
 
     // The recorder keeps pointers into the live model (tasks, processor,
     // queue), so the Perfetto export must happen before run() tears it down.
-    if (rec != nullptr)
+    // The export carries the full per-job blame decomposition plus a
+    // deadline-miss report (with critical path) per constraint violation.
+    if (rec != nullptr) {
+        const auto misses = attr.miss_reports(monitor);
         rtsc::obs::write_perfetto_file("fault_tolerant_soc.perfetto.json",
-                                       *rec);
+                                       *rec,
+                                       {.attribution = &attr,
+                                        .misses = &misses});
+    }
 
     out.violations = monitor.violations().size();
     out.control_restarts = control.restarts();

@@ -8,6 +8,7 @@
 
 #include "kernel/simulator.hpp"
 #include "mcse/event.hpp"
+#include "obs/attribution.hpp"
 #include "obs/perfetto.hpp"
 #include "rtos/processor.hpp"
 #include "trace/csv.hpp"
@@ -29,6 +30,8 @@ int main() {
 
     tr::Recorder rec;
     rec.attach(cpu);
+    rtsc::obs::Attribution attr;
+    attr.attach(cpu);
     m::Event clk("Clk", m::EventPolicy::fugitive);
     m::Event event1("Event_1", m::EventPolicy::boolean);
     rec.attach(clk);
@@ -79,8 +82,11 @@ int main() {
     tr::write_states_csv(csv, rec);
     std::ofstream vcd("figure6.vcd");
     tr::write_vcd(vcd, rec);
-    rtsc::obs::write_perfetto_file("figure6.perfetto.json", rec);
+    rtsc::obs::write_perfetto_file("figure6.perfetto.json", rec,
+                                   {.attribution = &attr});
     std::cout << "\nwrote figure6_states.csv, figure6.vcd and "
                  "figure6.perfetto.json (load in ui.perfetto.dev)\n";
+    std::cout << "per-job blame is embedded in the export — try:\n"
+                 "  trace_query figure6.perfetto.json blame Function_2\n";
     return 0;
 }

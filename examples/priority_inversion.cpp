@@ -3,12 +3,17 @@
 //   none                 : the blocking/inversion of Figure 7,
 //   preemption_lock      : the paper's proposed fix,
 //   priority_inheritance : the textbook alternative (extension).
-// Prints one TimeLine per strategy plus a comparison of blocking times.
+// Prints one TimeLine per strategy plus a comparison of blocking times, and
+// exports the unprotected run (with its blocking-chain / inversion
+// attribution) as fig7_mutex.perfetto.json for ui.perfetto.dev and the
+// trace_query tool.
 #include <iostream>
 
 #include "kernel/simulator.hpp"
 #include "mcse/event.hpp"
 #include "mcse/shared_variable.hpp"
+#include "obs/attribution.hpp"
+#include "obs/perfetto.hpp"
 #include "rtos/processor.hpp"
 #include "trace/recorder.hpp"
 #include "trace/timeline.hpp"
@@ -27,12 +32,15 @@ struct Result {
     std::uint64_t f3_preemptions;
 };
 
-Result run_scenario(m::Protection protection, bool print_chart) {
+Result run_scenario(m::Protection protection, bool print_chart,
+                    const char* export_path = nullptr) {
     k::Simulator sim;
     r::Processor cpu("Processor");
     cpu.set_overheads(r::RtosOverheads::uniform(5_us));
     tr::Recorder rec;
     rec.attach(cpu);
+    rtsc::obs::Attribution attr;
+    attr.attach(cpu);
     m::Event clk("Clk", m::EventPolicy::fugitive);
     m::Event event1("Event_1", m::EventPolicy::boolean);
     m::SharedVariable<int> shared_var("SharedVar_1", 0, protection);
@@ -64,7 +72,19 @@ Result run_scenario(m::Protection protection, bool print_chart) {
         std::cout << "--- protection = " << m::to_string(protection) << " ---\n";
         tr::Timeline(rec).render(std::cout,
                                  {.columns = 100, .show_accesses = false});
+        for (const auto& e : attr.episodes()) {
+            std::cout << "  blocking: " << e.victim << " waited "
+                      << e.duration().to_string() << " on " << e.resource
+                      << " held by " << e.owner
+                      << (e.inversion ? "  [PRIORITY INVERSION]" : "") << '\n';
+        }
         std::cout << '\n';
+    }
+    if (export_path != nullptr) {
+        rtsc::obs::write_perfetto_file(export_path, rec,
+                                       {.attribution = &attr});
+        std::cout << "wrote " << export_path
+                  << " — try: trace_query " << export_path << " inversions\n\n";
     }
     return Result{shared_var.access_stats().blocked_time, f1_finish,
                   cpu.tasks()[2]->stats().preemptions};
@@ -74,7 +94,8 @@ Result run_scenario(m::Protection protection, bool print_chart) {
 
 int main() {
     std::cout << "Paper Figure 7 — mutual-exclusion blocking on SharedVar_1\n\n";
-    const Result none = run_scenario(m::Protection::none, true);
+    const Result none =
+        run_scenario(m::Protection::none, true, "fig7_mutex.perfetto.json");
     const Result plock = run_scenario(m::Protection::preemption_lock, true);
     const Result pinherit = run_scenario(m::Protection::priority_inheritance, true);
 

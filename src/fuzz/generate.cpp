@@ -70,6 +70,7 @@ OpSpec draw_op(Rng& rng, const ModelSpec& spec, const GenKnobs& knobs,
         {OpKind::ev_await_for, 5, events},
         {OpKind::sv_read, 4, svars},
         {OpKind::sv_write, 4, svars},
+        {OpKind::sv_guard, 4, svars && depth + 1 < knobs.max_depth},
     };
     unsigned total = 0;
     for (const Choice& c : table)
@@ -88,7 +89,7 @@ OpSpec draw_op(Rng& rng, const ModelSpec& spec, const GenKnobs& knobs,
     op.dur_ps = draw_duration(rng);
     op.timeout_ps = draw_timeout(rng);
     op.repeat = rng.chance(15) ? static_cast<std::uint32_t>(rng.range(2, 3)) : 1;
-    if (op.kind == OpKind::critical)
+    if (op.kind == OpKind::critical || op.kind == OpKind::sv_guard)
         op.body = draw_body(rng, spec, knobs, depth + 1);
     return op;
 }

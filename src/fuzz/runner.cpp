@@ -15,6 +15,7 @@
 #include "mcse/message_queue.hpp"
 #include "mcse/semaphore.hpp"
 #include "mcse/shared_variable.hpp"
+#include "obs/attribution.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
 #include "rtos/interrupt.hpp"
@@ -151,6 +152,18 @@ void run_ops(r::Task& self, const std::vector<OpSpec>& ops, Model& mdl) {
                     if (auto* v = pick(mdl.svars, op.target))
                         v->write(++mdl.payload, dur);
                     break;
+                case OpKind::sv_guard:
+                    // Hold the variable across a nested body: ops inside may
+                    // block on other variables, so chains of mutex ownership
+                    // (victim -> owner -> owner's owner ...) arise naturally.
+                    if (auto* v = pick(mdl.svars, op.target)) {
+                        auto guard = v->access();
+                        guard.value() = ++mdl.payload;
+                        run_ops(self, op.body, mdl);
+                    } else {
+                        run_ops(self, op.body, mdl);
+                    }
+                    break;
             }
         }
     }
@@ -172,6 +185,8 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind) {
         trace::Recorder rec;
         obs::MetricsRegistry reg;
         obs::MetricsCollector coll(reg);
+        obs::Attribution attr;
+        coll.set_attribution(&attr);
 
         if (spec.cpus.empty())
             throw std::runtime_error("fuzz model: no processors");
@@ -361,6 +376,42 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind) {
         flush_sorted(out.markers);
         for (const auto& sample : reg.snapshot())
             out.metrics.push_back(sample.name + "=" + fmt_double(sample.value));
+        // Attribution rows: jobs_ is completion-ordered, which can differ
+        // across engines when several jobs end in one instant — canonicalize
+        // by (release, task, index). Jobs still open at the end of the run
+        // never reached jobs_ and are excluded by construction.
+        {
+            std::vector<std::pair<std::uint64_t, std::string>> arows;
+            for (const auto& j : attr.jobs()) {
+                std::string row = j.task + " #" + std::to_string(j.index) +
+                                  (j.aborted ? " aborted" : "") + " rel=" +
+                                  std::to_string(j.release.raw_ps()) + " end=" +
+                                  std::to_string(j.end.raw_ps()) + " exec=" +
+                                  std::to_string(j.exec.raw_ps()) + " ovs=" +
+                                  std::to_string(j.ov_scheduling.raw_ps()) +
+                                  " ovl=" + std::to_string(j.ov_load.raw_ps()) +
+                                  " ovv=" + std::to_string(j.ov_save.raw_ps()) +
+                                  " resid=" +
+                                  std::to_string(j.residual.raw_ps()) +
+                                  " intr=" +
+                                  std::to_string(j.interrupt.raw_ps());
+                row += " pre[";
+                for (const auto& [who, t] : j.preempted_by)
+                    row += who + ":" + std::to_string(t.raw_ps()) + " ";
+                row += "] blk[";
+                for (const auto& [what, t] : j.blocked_on)
+                    row += what + ":" + std::to_string(t.raw_ps()) + " ";
+                row += "]";
+                if (j.components_sum() != j.response())
+                    row += " BROKEN-INVARIANT sum=" +
+                           std::to_string(j.components_sum().raw_ps());
+                arows.emplace_back(j.release.raw_ps(), std::move(row));
+            }
+            std::stable_sort(arows.begin(), arows.end());
+            out.attribution.reserve(arows.size());
+            for (auto& [at, text] : arows)
+                out.attribution.push_back(std::to_string(at) + " " + text);
+        }
         out.end_ps = sim.now().raw_ps();
         out.kernel_activations = sim.process_activations();
         out.delta_cycles = sim.delta_count();
@@ -372,7 +423,8 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind) {
 
     std::uint64_t h = kFnvOffset;
     for (const auto* stream :
-         {&out.states, &out.overheads, &out.comms, &out.markers, &out.metrics})
+         {&out.states, &out.overheads, &out.comms, &out.markers, &out.metrics,
+          &out.attribution})
         for (const std::string& row : *stream) h = fnv1a(h, row);
     h = fnv1a(h, std::to_string(out.end_ps));
     h = fnv1a(h, out.error);
@@ -419,6 +471,9 @@ Divergence compare(const RunResult& procedural, const RunResult& threaded) {
     if (diff_stream("comms", procedural.comms, threaded.comms, d)) return d;
     if (diff_stream("markers", procedural.markers, threaded.markers, d)) return d;
     if (diff_stream("metrics", procedural.metrics, threaded.metrics, d)) return d;
+    if (diff_stream("attribution", procedural.attribution, threaded.attribution,
+                    d))
+        return d;
     if (procedural.end_ps != threaded.end_ps) {
         d = {true, "end_time", 0, std::to_string(procedural.end_ps),
              std::to_string(threaded.end_ps)};

@@ -25,6 +25,11 @@ struct RunResult {
     std::vector<std::string> markers;
     /// Flattened obs metrics ("name=value"), name-sorted by the registry.
     std::vector<std::string> metrics;
+    /// Per-job causal blame decomposition (obs::Attribution), one canonical
+    /// row per completed job ordered by (release, task, index). Compared
+    /// bit-for-bit: the engines must agree not only on what happened but on
+    /// *why* every job took as long as it did.
+    std::vector<std::string> attribution;
     /// Simulated end time (ps).
     std::uint64_t end_ps = 0;
     /// FNV-1a digest over every compared row (streams + metrics + end time).
@@ -43,7 +48,8 @@ struct RunResult {
 struct Divergence {
     bool diverged = false;
     std::string stream;     ///< "states", "overheads", "comms", "markers",
-                            ///< "metrics", "end_time" or "error"
+                            ///< "metrics", "attribution", "end_time" or
+                            ///< "error"
     std::size_t index = 0;  ///< first differing row in that stream
     std::string lhs, rhs;   ///< the differing rows ("<missing>" when absent)
     [[nodiscard]] std::string to_string() const;

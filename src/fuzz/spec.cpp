@@ -37,6 +37,7 @@ const char* to_string(OpKind k) noexcept {
         case OpKind::ev_await_for: return "ev_await_for";
         case OpKind::sv_read: return "sv_read";
         case OpKind::sv_write: return "sv_write";
+        case OpKind::sv_guard: return "sv_guard";
     }
     return "?";
 }
@@ -114,7 +115,7 @@ PolicyKind parse_policy(const Line& ln, const std::string& s) {
 }
 
 OpKind parse_op_kind(const Line& ln, const std::string& s) {
-    for (int k = 0; k <= static_cast<int>(OpKind::sv_write); ++k)
+    for (int k = 0; k <= static_cast<int>(OpKind::sv_guard); ++k)
         if (s == to_string(static_cast<OpKind>(k)))
             return static_cast<OpKind>(k);
     fail(ln, "unknown op kind '" + s + "'");

@@ -51,6 +51,9 @@ enum class OpKind : std::uint8_t {
     ev_await_for,    ///< Event::await_for (target, timeout_ps)
     sv_read,         ///< SharedVariable::read (target, dur_ps access time)
     sv_write,        ///< SharedVariable::write (target, dur_ps access time)
+    sv_guard,        ///< run nested `body` holding SharedVariable (target) —
+                     ///< the op that nests mutex ownership, building blocking
+                     ///< chains of depth > 1 for the attribution differential
 };
 
 struct OpSpec {

@@ -19,6 +19,7 @@
 #include "kernel/event.hpp"
 #include "kernel/simulator.hpp"
 #include "kernel/time.hpp"
+#include "rtos/probe.hpp"
 #include "rtos/processor.hpp"
 #include "rtos/task.hpp"
 
@@ -165,8 +166,10 @@ protected:
                     rtos::TaskState state) {
         list.push_back(&w);
         WaiterGuard guard(w, list); // unwind-safe: kill() cleans up
+        rtos::SchedulerEngine& eng = w.task->processor().engine();
         do {
-            w.task->processor().engine().block(*w.task, state);
+            if (eng.probe()) eng.set_block_context(this);
+            eng.block(*w.task, state);
         } while (!w.delivered);
     }
 

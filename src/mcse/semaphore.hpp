@@ -18,6 +18,7 @@
 
 #include "mcse/relation.hpp"
 #include "rtos/engine.hpp"
+#include "rtos/probe.hpp"
 
 namespace rtsc::mcse {
 
@@ -55,6 +56,7 @@ public:
                 unit.armed = false; // delivery reserved our unit; consume it
             } else {
                 take_unit();
+                notify_acquire(*task);
             }
         } else {
             while (count_ == 0) {
@@ -93,14 +95,17 @@ public:
                         return false;
                     }
                     blocked = true;
-                    (void)task->processor().engine().block_timed(
-                        *task, rtos::TaskState::waiting, remaining);
+                    rtos::SchedulerEngine& eng = task->processor().engine();
+                    if (eng.probe()) eng.set_block_context(this);
+                    (void)eng.block_timed(*task, rtos::TaskState::waiting,
+                                          remaining);
                     // If a release() delivered while the timeout wake was in
                     // flight, the loop condition spots it: delivery wins.
                 }
                 unit.armed = false;
             } else {
                 take_unit();
+                notify_acquire(*task);
             }
         } else {
             while (count_ == 0) {
@@ -128,6 +133,7 @@ public:
     [[nodiscard]] bool try_acquire() {
         if (count_ == 0) return false;
         take_unit();
+        if (rtos::Task* task = rtos::current_task()) notify_acquire(*task);
         record(rtos::current_task(), AccessKind::lock_op, kernel::Time::zero(),
                false);
         return true;
@@ -140,6 +146,10 @@ public:
     void release() {
         ++count_;
         account_zero();
+        if (rtos::Task* task = rtos::current_task()) {
+            if (auto* p = task->processor().engine().probe())
+                p->on_resource_release(task->processor(), *task, *this);
+        }
         deliver_one();
         hw_wake().notify();
         record(rtos::current_task(), AccessKind::unlock_op,
@@ -194,7 +204,14 @@ private:
         waiters_.erase(it);
         take_unit();
         w->delivered = true;
+        // Ownership of the unit transfers at the reservation instant.
+        notify_acquire(*w->task);
         w->task->processor().engine().make_ready(*w->task);
+    }
+
+    void notify_acquire(rtos::Task& task) {
+        if (auto* p = task.processor().engine().probe())
+            p->on_resource_acquire(task.processor(), task, *this);
     }
 
     /// A delivered-but-unconsumed unit flows back when the waiter's stack

@@ -1,0 +1,415 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+
+#include "kernel/simulator.hpp"
+#include "mcse/relation.hpp"
+#include "rtos/engine.hpp"
+#include "trace/constraints.hpp"
+
+namespace rtsc::obs {
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+
+Attribution::~Attribution() {
+    for (r::Processor* cpu : attached_)
+        if (cpu->engine().probe() == this) cpu->engine().set_probe(nullptr);
+}
+
+void Attribution::attach(r::Processor& cpu) {
+    cpu.engine().set_probe(this);
+    cpu.add_observer(*this);
+    attached_.push_back(&cpu);
+    (void)cpu_ctx(cpu);
+}
+
+// ------------------------------------------------------------------ contexts
+
+Attribution::CpuCtx& Attribution::cpu_ctx(const r::Processor& cpu) {
+    for (auto& c : cpus_)
+        if (c.cpu == &cpu) return c;
+    cpus_.emplace_back();
+    cpus_.back().cpu = &cpu;
+    return cpus_.back();
+}
+
+Attribution::TaskCtx& Attribution::task_ctx(const r::Task& t) {
+    for (auto& c : tasks_)
+        if (c.task == &t) return c;
+    tasks_.emplace_back();
+    TaskCtx& c = tasks_.back();
+    c.task = &t;
+    c.cpu = &cpu_ctx(t.processor());
+    return c;
+}
+
+// ----------------------------------------------------- overhead integration
+
+Attribution::OvMark Attribution::ov_upto(const CpuCtx& c, k::Time t) const {
+    OvMark m;
+    for (std::size_t i = 0; i < kOvKinds; ++i) m.upto[i] = c.ov_done[i];
+    if (c.cur_kind >= 0 && t > c.cur_start) {
+        const k::Time upper = std::min(t, c.cur_end);
+        m.upto[static_cast<std::size_t>(c.cur_kind)] +=
+            upper - c.cur_start;
+    }
+    return m;
+}
+
+void Attribution::on_overhead(const r::Processor& cpu, r::OverheadKind kind,
+                              k::Time start, k::Time duration, const r::Task*) {
+    CpuCtx& c = cpu_ctx(cpu);
+    // Fold the previous charge: charges never overlap per CPU, so by the
+    // time a new one is announced the old one has fully elapsed.
+    if (c.cur_kind >= 0)
+        c.ov_done[static_cast<std::size_t>(c.cur_kind)] +=
+            c.cur_end - c.cur_start;
+    c.cur_kind = static_cast<int>(kind);
+    c.cur_start = start;
+    c.cur_end = start + duration;
+}
+
+// ------------------------------------------------------------- segmentation
+
+void Attribution::begin_segment(TaskCtx& c, SliceKind kind, k::Time now) {
+    c.seg = kind;
+    c.seg_start = now;
+    c.seg_runner = c.cpu->runner;
+    c.seg_mark = ov_upto(*c.cpu, now);
+}
+
+void Attribution::close_segment(TaskCtx& c, k::Time now) {
+    const k::Time dur = now - c.seg_start;
+    Slice s;
+    s.start = c.seg_start;
+    s.end = now;
+    s.kind = c.seg;
+    if (c.seg == SliceKind::blocked) {
+        // The whole wait is the resource's fault, including any RTOS
+        // charges that happen to run on the CPU meanwhile: the job is off
+        // the CPU for exactly this long because of the resource.
+        if (c.blocked_rel != nullptr) {
+            s.culprit = c.blocked_rel->name();
+            if (!dur.is_zero()) c.blocked_on[s.culprit] += dur;
+        } else if (!dur.is_zero()) {
+            c.blocked_on["?"] += dur;
+            s.culprit = "?";
+        }
+        if (!dur.is_zero()) c.slices.push_back(std::move(s));
+        return;
+    }
+    // Exact overhead time inside [seg_start, now] on this CPU, per kind.
+    const OvMark m = ov_upto(*c.cpu, now);
+    k::Time ov_total{};
+    for (std::size_t i = 0; i < kOvKinds; ++i) {
+        const k::Time d = m.upto[i] - c.seg_mark.upto[i];
+        c.ov[i] += d;
+        ov_total += d;
+    }
+    const k::Time rest = dur - ov_total;
+    s.overhead = ov_total;
+    if (c.seg == SliceKind::exec) {
+        c.exec += rest;
+    } else if (!rest.is_zero()) {
+        if (c.seg_runner != nullptr) {
+            if (c.seg_runner->isr_task()) {
+                c.interrupt += rest;
+                s.culprit = c.seg_runner->name();
+            } else {
+                s.culprit = c.seg_runner->name();
+                c.preempted_by[s.culprit] += rest;
+            }
+        } else {
+            c.residual += rest;
+        }
+    }
+    if (!dur.is_zero()) c.slices.push_back(std::move(s));
+}
+
+// ------------------------------------------------------------ job lifecycle
+
+void Attribution::open_job(TaskCtx& c, k::Time now) {
+    c.open = true;
+    c.index = c.next_index++;
+    c.release = now;
+    c.exec = c.interrupt = c.residual = k::Time::zero();
+    for (auto& o : c.ov) o = k::Time::zero();
+    c.preempted_by.clear();
+    c.blocked_on.clear();
+    c.slices.clear();
+    begin_segment(c, SliceKind::ready, now);
+}
+
+void Attribution::finish_job(TaskCtx& c, k::Time now, bool aborted) {
+    close_segment(c, now);
+    if (c.episode != SIZE_MAX) end_episode(c, now);
+    c.open = false;
+
+    JobRecord j;
+    j.task = c.task->name();
+    j.index = c.index;
+    j.release = c.release;
+    j.end = now;
+    j.aborted = aborted;
+    j.exec = c.exec;
+    j.interrupt = c.interrupt;
+    j.residual = c.residual;
+    j.ov_scheduling = c.ov[static_cast<std::size_t>(r::OverheadKind::scheduling)];
+    j.ov_load = c.ov[static_cast<std::size_t>(r::OverheadKind::context_load)];
+    j.ov_save = c.ov[static_cast<std::size_t>(r::OverheadKind::context_save)];
+    j.overhead = j.ov_scheduling + j.ov_load + j.ov_save + j.residual;
+    for (const auto& [name, t] : c.preempted_by) {
+        j.preemption += t;
+        j.preempted_by.emplace_back(name, t);
+    }
+    for (const auto& [name, t] : c.blocked_on) {
+        j.blocking += t;
+        j.blocked_on.emplace_back(name, t);
+    }
+    j.slices = std::move(c.slices);
+    c.slices.clear();
+    jobs_.push_back(std::move(j));
+    if (on_complete_) on_complete_(jobs_.back());
+}
+
+// ---------------------------------------------------------- blocking chains
+
+void Attribution::start_episode(TaskCtx& c, k::Time now) {
+    BlockEpisode e;
+    e.victim = c.task->name();
+    e.job_index = c.index;
+    e.resource = c.blocked_rel != nullptr ? c.blocked_rel->name() : "?";
+    e.start = now;
+    e.end = now;
+    e.victim_priority = c.task->effective_priority();
+
+    const auto it = owner_of_.find(c.blocked_rel);
+    const r::Task* owner =
+        it != owner_of_.end() ? it->second : nullptr;
+    if (owner != nullptr) {
+        e.owner = owner->name();
+        e.owner_priority = owner->effective_priority();
+        e.inversion = e.owner_priority < e.victim_priority;
+    }
+    // Follow the chain: what does the owner itself block on, and who owns
+    // that — transitively (nested critical sections give depth >= 2).
+    e.chain.push_back(e.victim);
+    const r::Task* link = owner;
+    for (std::size_t depth = 0; link != nullptr && depth < 16; ++depth) {
+        if (std::find(e.chain.begin(), e.chain.end(), link->name()) !=
+            e.chain.end())
+            break; // ownership cycle (deadlock): stop at the repeat
+        e.chain.push_back(link->name());
+        const mcse::Relation* next_rel = nullptr;
+        for (const auto& tc : tasks_)
+            if (tc.task == link) {
+                next_rel = tc.blocked_rel;
+                break;
+            }
+        if (next_rel == nullptr) break;
+        const auto oit = owner_of_.find(next_rel);
+        link = oit != owner_of_.end() ? oit->second : nullptr;
+    }
+    c.episode = episodes_.size();
+    episodes_.push_back(std::move(e));
+}
+
+void Attribution::end_episode(TaskCtx& c, k::Time now) {
+    episodes_[c.episode].end = now;
+    c.episode = SIZE_MAX;
+}
+
+// ------------------------------------------------------------- probe hooks
+
+void Attribution::on_block(const r::Processor&, const r::Task& t,
+                           r::TaskState kind, const mcse::Relation* on) {
+    TaskCtx& c = task_ctx(t);
+    c.blocked_rel = kind == r::TaskState::waiting_resource ? on : nullptr;
+}
+
+void Attribution::on_wake(const r::Processor&, const r::Task&) {
+    // The Ready transition itself (on_task_state) carries the segmentation;
+    // nothing extra to do here.
+}
+
+void Attribution::on_resource_acquire(const r::Processor&, const r::Task& t,
+                                      const mcse::Relation& r) {
+    owner_of_[&r] = &t;
+}
+
+void Attribution::on_resource_release(const r::Processor&, const r::Task& t,
+                                      const mcse::Relation& r) {
+    const auto it = owner_of_.find(&r);
+    if (it != owner_of_.end() && it->second == &t) owner_of_.erase(it);
+}
+
+// --------------------------------------------------------- state transitions
+
+void Attribution::on_task_state(const r::Task& task, r::TaskState from,
+                                r::TaskState to) {
+    if (from == to) return; // creation announcement
+    TaskCtx& c = task_ctx(task);
+    CpuCtx& cpu = *c.cpu;
+    const k::Time now = task.processor().simulator().now();
+
+    // 1. Runner edges: when the CPU's occupant changes, every other open job
+    // sitting in Ready on this CPU closes its segment against the old runner
+    // and reopens against the new one (the runner is constant within a
+    // segment by construction).
+    const bool runner_edge = from == r::TaskState::running ||
+                             to == r::TaskState::running;
+    if (runner_edge) {
+        for (auto& o : tasks_) {
+            if (&o == &c || !o.open || o.cpu != &cpu) continue;
+            if (o.seg == SliceKind::ready) close_segment(o, now);
+        }
+        cpu.runner = to == r::TaskState::running ? &task : nullptr;
+        for (auto& o : tasks_) {
+            if (&o == &c || !o.open || o.cpu != &cpu) continue;
+            if (o.seg == SliceKind::ready)
+                begin_segment(o, SliceKind::ready, now);
+        }
+        // A middle-priority task taking the CPU while someone sits in a
+        // priority-inverted wait stretches the inversion: record it.
+        if (cpu.runner != nullptr) {
+            for (auto& o : tasks_) {
+                if (o.episode == SIZE_MAX || o.cpu != &cpu) continue;
+                BlockEpisode& e = episodes_[o.episode];
+                const int p = cpu.runner->effective_priority();
+                if (cpu.runner != o.task && e.owner != cpu.runner->name() &&
+                    p > e.owner_priority && p < e.victim_priority &&
+                    std::find(e.aggravators.begin(), e.aggravators.end(),
+                              cpu.runner->name()) == e.aggravators.end())
+                    e.aggravators.push_back(cpu.runner->name());
+            }
+        }
+    }
+
+    // 2. The task's own job transitions.
+
+    // Release: leaving a synchronization wait (or creation) for Ready opens
+    // a job — same rule as MetricsCollector / ConstraintMonitor.
+    if (to == r::TaskState::ready &&
+        (from == r::TaskState::waiting || from == r::TaskState::created)) {
+        if (c.open) {
+            // Defensive: an episode convention violation would leak a job;
+            // close it as aborted rather than corrupt the tiling.
+            finish_job(c, now, /*aborted=*/true);
+        }
+        open_job(c, now);
+        return;
+    }
+    if (!c.open) {
+        if (c.blocked_rel != nullptr && to != r::TaskState::waiting_resource)
+            c.blocked_rel = nullptr;
+        return;
+    }
+
+    switch (to) {
+        case r::TaskState::running:
+            close_segment(c, now);
+            begin_segment(c, SliceKind::exec, now);
+            return;
+        case r::TaskState::ready:
+            // Preemption / yield, or waking from a resource wait.
+            close_segment(c, now);
+            if (from == r::TaskState::waiting_resource) {
+                end_episode(c, now);
+                c.blocked_rel = nullptr;
+            }
+            begin_segment(c, SliceKind::ready, now);
+            return;
+        case r::TaskState::waiting_resource:
+            // Mid-job mutual-exclusion block (blocked_rel was set by
+            // on_block just before this transition).
+            close_segment(c, now);
+            begin_segment(c, SliceKind::blocked, now);
+            start_episode(c, now);
+            return;
+        case r::TaskState::waiting:
+            // Completion: the episode convention ends a job when the task
+            // blocks on synchronization again.
+            finish_job(c, now, /*aborted=*/false);
+            c.blocked_rel = nullptr;
+            return;
+        case r::TaskState::terminated:
+            finish_job(c, now,
+                       /*aborted=*/task.killed() || task.crashed());
+            c.blocked_rel = nullptr;
+            return;
+        case r::TaskState::created:
+            return; // restart bookkeeping, not a job edge
+    }
+}
+
+// ----------------------------------------------------------------- queries
+
+std::vector<const Attribution::BlockEpisode*> Attribution::inversions() const {
+    std::vector<const BlockEpisode*> out;
+    for (const auto& e : episodes_)
+        if (e.inversion) out.push_back(&e);
+    return out;
+}
+
+std::vector<const Attribution::JobRecord*> Attribution::jobs_for(
+    const std::string& task) const {
+    std::vector<const JobRecord*> out;
+    for (const auto& j : jobs_)
+        if (j.task == task) out.push_back(&j);
+    return out;
+}
+
+std::vector<Attribution::DeadlineMissReport> Attribution::miss_reports(
+    const trace::ConstraintMonitor& monitor) const {
+    std::vector<DeadlineMissReport> out;
+    for (const auto& v : monitor.violations()) {
+        if (v.task == nullptr) continue; // latency rules have no job
+        DeadlineMissReport r;
+        r.constraint = v.constraint;
+        r.task = v.task->name();
+        r.at = v.at;
+        r.measured = v.measured;
+        r.bound = v.bound;
+        // A response violation fires at the completion instant with the
+        // job's response time: match on (task, end).
+        for (const auto& j : jobs_) {
+            if (j.task == r.task && j.end == v.at &&
+                j.response() == v.measured) {
+                r.job = &j;
+                break;
+            }
+        }
+        if (r.job != nullptr) {
+            for (const Slice& s : r.job->slices) {
+                DeadlineMissReport::PathItem item;
+                item.start = s.start;
+                item.duration = s.end - s.start;
+                switch (s.kind) {
+                    case SliceKind::exec:
+                        item.culprit = r.task;
+                        item.reason = "executing";
+                        break;
+                    case SliceKind::ready:
+                        if (!s.culprit.empty()) {
+                            item.culprit = s.culprit;
+                            item.reason = "preempted by " + s.culprit;
+                        } else {
+                            item.culprit = "rtos";
+                            item.reason = "rtos overhead";
+                        }
+                        break;
+                    case SliceKind::blocked:
+                        item.culprit = s.culprit;
+                        item.reason = "blocked on " + s.culprit;
+                        break;
+                }
+                r.critical_path.push_back(std::move(item));
+            }
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace rtsc::obs

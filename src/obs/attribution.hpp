@@ -1,0 +1,272 @@
+#pragma once
+// Attribution: causal latency decomposition — "why did this job take 7 ms,
+// and who is to blame for the deadline miss?"
+//
+// An online analyzer fed by the EngineProbe hooks and TaskObserver
+// notifications of both scheduler engines. Every job (one response episode,
+// same release/completion rule as obs::MetricsCollector and
+// trace::ConstraintMonitor) is tiled into contiguous segments at every edge
+// that can change who occupies the CPU; each closed segment is charged to
+// exactly one causal account:
+//
+//   exec         the job's own Running time (minus inline RTOS charges)
+//   preempted_by[T]  Ready time while task T ran (per-preemptor)
+//   interrupt    Ready time while an ISR task ran (Task::isr_task)
+//   blocked_on[R]    time in Waiting-for-resource, per relation R
+//   overhead     RTOS charges (scheduling / context load / save) inside the
+//                response window, plus any residual idle slack (measured
+//                zero in practice, kept so the invariant is structural)
+//
+// Hard invariant: the components sum *bit-exactly* to the observed response
+// time — they are an exact tiling of [release, end], not estimates — and the
+// decomposition is engine-equivalent (fuzz_engines compares the per-job
+// component vectors across both engines bit-for-bit).
+//
+// On top of the per-job accounting the analyzer tracks mutual-exclusion
+// ownership (on_resource_acquire/release) and reconstructs the full blocking
+// chain at every Waiting-for-resource entry — victim, owner, what the owner
+// itself blocks on, transitively — flagging priority inversions (owner's
+// effective priority below the victim's, the paper's Figure 7 scenario) and
+// recording middle-priority aggravators that ran during the episode.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "rtos/probe.hpp"
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+namespace rtsc::mcse {
+class Relation;
+}
+namespace rtsc::trace {
+class ConstraintMonitor;
+}
+
+namespace rtsc::obs {
+
+class Attribution final : public rtos::EngineProbe, public rtos::TaskObserver {
+public:
+    /// What the job was doing during one tiled segment of its response window.
+    enum class SliceKind : std::uint8_t { exec, ready, blocked };
+
+    /// One segment of a job's response window. `culprit` is the runner that
+    /// kept the CPU (ready), the resource blocked on (blocked) or empty
+    /// (exec / pure-overhead gaps); `overhead` is the RTOS charge time that
+    /// fell inside [start, end] and is accounted to the overhead component.
+    struct Slice {
+        kernel::Time start{};
+        kernel::Time end{};
+        SliceKind kind = SliceKind::exec;
+        std::string culprit;
+        kernel::Time overhead{};
+    };
+
+    /// Exact decomposition of one completed (or aborted) job.
+    struct JobRecord {
+        std::string task;
+        std::uint64_t index = 0;     ///< activation ordinal, 0-based per task
+        kernel::Time release{};
+        kernel::Time end{};          ///< completion (or abort) instant
+        bool aborted = false;        ///< ended by kill / crash, not completion
+
+        kernel::Time exec{};         ///< own execution
+        kernel::Time preemption{};   ///< sum of preempted_by
+        kernel::Time blocking{};     ///< sum of blocked_on
+        kernel::Time overhead{};     ///< RTOS overhead share (incl. residual)
+        kernel::Time interrupt{};    ///< stolen by ISR tasks
+
+        // Per-kind overhead breakdown (sums to overhead together with
+        // `residual`).
+        kernel::Time ov_scheduling{};
+        kernel::Time ov_load{};
+        kernel::Time ov_save{};
+        kernel::Time residual{};     ///< ready with idle CPU; expected zero
+
+        /// Per-culprit shares, name-sorted, only non-zero entries.
+        std::vector<std::pair<std::string, kernel::Time>> preempted_by;
+        std::vector<std::pair<std::string, kernel::Time>> blocked_on;
+
+        /// Ordered tiling of [release, end] (the critical path).
+        std::vector<Slice> slices;
+
+        [[nodiscard]] kernel::Time response() const noexcept {
+            return end - release;
+        }
+        /// The conservation invariant: bit-equal to response().
+        [[nodiscard]] kernel::Time components_sum() const noexcept {
+            return exec + preemption + blocking + overhead + interrupt;
+        }
+    };
+
+    /// One Waiting-for-resource episode with its causal chain.
+    struct BlockEpisode {
+        std::string victim;
+        std::uint64_t job_index = 0; ///< victim's job ordinal
+        std::string resource;
+        std::string owner;           ///< resource holder at block time ("" = none/hw)
+        kernel::Time start{};
+        kernel::Time end{};
+        int victim_priority = 0;     ///< effective, at block time
+        int owner_priority = 0;
+        /// victim, owner, owner-of-what-the-owner-blocks-on, ... (depth =
+        /// chain.size() - 1).
+        std::vector<std::string> chain;
+        /// owner_priority < victim_priority at block time: the classic
+        /// Figure 7 priority inversion (priority inheritance suppresses it
+        /// by boosting the owner first).
+        bool inversion = false;
+        /// Middle-priority tasks (between owner and victim) that took the
+        /// CPU during the episode and so stretched the inversion.
+        std::vector<std::string> aggravators;
+
+        [[nodiscard]] kernel::Time duration() const noexcept {
+            return end - start;
+        }
+    };
+
+    /// Why one violated response constraint was late, interval by interval.
+    struct DeadlineMissReport {
+        std::string constraint;
+        std::string task;
+        kernel::Time at{};        ///< detection instant (= completion)
+        kernel::Time measured{};
+        kernel::Time bound{};
+        const JobRecord* job = nullptr; ///< matched decomposition (owned by
+                                        ///< the Attribution, stable)
+        struct PathItem {
+            kernel::Time start{};
+            kernel::Time duration{};
+            std::string culprit;  ///< task / resource / "rtos" / "cpu idle"
+            std::string reason;   ///< human-readable classification
+        };
+        std::vector<PathItem> critical_path;
+    };
+
+    Attribution() = default;
+    Attribution(const Attribution&) = delete;
+    Attribution& operator=(const Attribution&) = delete;
+    ~Attribution() override;
+
+    /// Instrument `cpu` directly: installs this analyzer as the engine probe
+    /// and as a task observer. Call before Simulator::run(). To combine with
+    /// a MetricsCollector on the same processor (single probe slot), attach
+    /// the collector and hand this analyzer to
+    /// MetricsCollector::set_attribution instead.
+    void attach(rtos::Processor& cpu);
+
+    // ---- results ----
+    [[nodiscard]] const std::vector<JobRecord>& jobs() const noexcept {
+        return jobs_;
+    }
+    [[nodiscard]] const std::vector<BlockEpisode>& episodes() const noexcept {
+        return episodes_;
+    }
+    /// Episodes flagged as priority inversions.
+    [[nodiscard]] std::vector<const BlockEpisode*> inversions() const;
+    /// Completed jobs of one task, in release order.
+    [[nodiscard]] std::vector<const JobRecord*> jobs_for(
+        const std::string& task) const;
+
+    /// Match every response violation of `monitor` against the recorded job
+    /// decompositions and render its critical path. Pointers into jobs()
+    /// stay valid while the Attribution lives.
+    [[nodiscard]] std::vector<DeadlineMissReport> miss_reports(
+        const trace::ConstraintMonitor& monitor) const;
+
+    /// Invoked on every job completion/abort (after the record is stored).
+    /// One hook; MetricsCollector::set_attribution uses it for the blame
+    /// counters/histograms.
+    void set_completion_hook(std::function<void(const JobRecord&)> hook) {
+        on_complete_ = std::move(hook);
+    }
+
+    // ---- EngineProbe ----
+    void on_block(const rtos::Processor& cpu, const rtos::Task& t,
+                  rtos::TaskState kind, const mcse::Relation* on) override;
+    void on_wake(const rtos::Processor& cpu, const rtos::Task& t) override;
+    void on_resource_acquire(const rtos::Processor& cpu, const rtos::Task& t,
+                             const mcse::Relation& r) override;
+    void on_resource_release(const rtos::Processor& cpu, const rtos::Task& t,
+                             const mcse::Relation& r) override;
+
+    // ---- TaskObserver ----
+    void on_task_state(const rtos::Task& task, rtos::TaskState from,
+                       rtos::TaskState to) override;
+    void on_overhead(const rtos::Processor& cpu, rtos::OverheadKind kind,
+                     kernel::Time start, kernel::Time duration,
+                     const rtos::Task* about) override;
+
+private:
+    static constexpr std::size_t kOvKinds = 3;
+
+    /// Per-processor context: who runs, and the exact integral of overhead
+    /// charge time per kind (charges never overlap on one CPU and are
+    /// announced at their start with the full duration, so the integral up
+    /// to any instant inside a charge is exact).
+    struct CpuCtx {
+        const rtos::Processor* cpu = nullptr;
+        const rtos::Task* runner = nullptr;
+        kernel::Time ov_done[kOvKinds]{};
+        int cur_kind = -1;
+        kernel::Time cur_start{};
+        kernel::Time cur_end{};
+    };
+
+    struct OvMark {
+        kernel::Time upto[kOvKinds]{};
+    };
+
+    /// Per-task context: the open job (if any) and its current segment.
+    struct TaskCtx {
+        const rtos::Task* task = nullptr;
+        CpuCtx* cpu = nullptr;
+        std::uint64_t next_index = 0;
+
+        bool open = false;
+        std::uint64_t index = 0;
+        kernel::Time release{};
+
+        SliceKind seg = SliceKind::exec;
+        kernel::Time seg_start{};
+        const rtos::Task* seg_runner = nullptr;
+        OvMark seg_mark;
+
+        const mcse::Relation* blocked_rel = nullptr; ///< set by on_block
+        std::size_t episode = SIZE_MAX; ///< open episode index or SIZE_MAX
+
+        // accumulators
+        kernel::Time exec, interrupt, residual;
+        kernel::Time ov[kOvKinds];
+        std::map<std::string, kernel::Time> preempted_by;
+        std::map<std::string, kernel::Time> blocked_on;
+        std::vector<Slice> slices;
+    };
+
+    [[nodiscard]] CpuCtx& cpu_ctx(const rtos::Processor& cpu);
+    [[nodiscard]] TaskCtx& task_ctx(const rtos::Task& t);
+    [[nodiscard]] OvMark ov_upto(const CpuCtx& c, kernel::Time t) const;
+
+    void begin_segment(TaskCtx& c, SliceKind kind, kernel::Time now);
+    void close_segment(TaskCtx& c, kernel::Time now);
+    void open_job(TaskCtx& c, kernel::Time now);
+    void finish_job(TaskCtx& c, kernel::Time now, bool aborted);
+    void start_episode(TaskCtx& c, kernel::Time now);
+    void end_episode(TaskCtx& c, kernel::Time now);
+
+    // deques: contexts cross-reference each other, references must be stable
+    std::deque<CpuCtx> cpus_;
+    std::deque<TaskCtx> tasks_;
+    std::map<const mcse::Relation*, const rtos::Task*> owner_of_;
+    std::vector<JobRecord> jobs_;
+    std::vector<BlockEpisode> episodes_;
+    std::function<void(const JobRecord&)> on_complete_;
+    std::vector<rtos::Processor*> attached_;
+};
+
+} // namespace rtsc::obs

@@ -1,5 +1,6 @@
 #include "obs/collector.hpp"
 
+#include "obs/attribution.hpp"
 #include "rtos/engine.hpp"
 
 namespace rtsc::obs {
@@ -54,26 +55,78 @@ void MetricsCollector::on_scheduler_run(const r::Processor& cpu,
     CpuMetrics& m = cpu_metrics(cpu);
     m.scheduler_runs->inc();
     m.ready_queue_len->record(static_cast<std::uint64_t>(ready_len));
+    if (attr_) attr_->on_scheduler_run(cpu, ready_len);
 }
 
-void MetricsCollector::on_dispatch(const r::Processor& cpu, const r::Task&,
+void MetricsCollector::on_dispatch(const r::Processor& cpu, const r::Task& t,
                                    k::Time sched_latency,
                                    k::Time dispatch_latency) {
     CpuMetrics& m = cpu_metrics(cpu);
     m.ctx_switches->inc();
     m.sched_latency->record(sched_latency);
     m.dispatch_latency->record(dispatch_latency);
+    if (attr_) attr_->on_dispatch(cpu, t, sched_latency, dispatch_latency);
 }
 
-void MetricsCollector::on_preempt(const r::Processor& cpu, const r::Task&,
+void MetricsCollector::on_preempt(const r::Processor& cpu, const r::Task& t,
                                   std::size_t depth) {
     CpuMetrics& m = cpu_metrics(cpu);
     m.preemptions->inc();
     m.preempt_depth->record(static_cast<std::uint64_t>(depth));
+    if (attr_) attr_->on_preempt(cpu, t, depth);
+}
+
+void MetricsCollector::on_block(const r::Processor& cpu, const r::Task& t,
+                                r::TaskState kind, const mcse::Relation* on) {
+    if (attr_) attr_->on_block(cpu, t, kind, on);
+}
+
+void MetricsCollector::on_wake(const r::Processor& cpu, const r::Task& t) {
+    if (attr_) attr_->on_wake(cpu, t);
+}
+
+void MetricsCollector::on_resource_acquire(const r::Processor& cpu,
+                                           const r::Task& t,
+                                           const mcse::Relation& rel) {
+    if (attr_) attr_->on_resource_acquire(cpu, t, rel);
+}
+
+void MetricsCollector::on_resource_release(const r::Processor& cpu,
+                                           const r::Task& t,
+                                           const mcse::Relation& rel) {
+    if (attr_) attr_->on_resource_release(cpu, t, rel);
+}
+
+void MetricsCollector::on_overhead(const r::Processor& cpu,
+                                   r::OverheadKind kind, k::Time start,
+                                   k::Time duration, const r::Task* about) {
+    if (attr_) attr_->on_overhead(cpu, kind, start, duration, about);
+}
+
+void MetricsCollector::set_attribution(Attribution* a) {
+    attr_ = a;
+    if (a == nullptr) return;
+    a->set_completion_hook([this](const Attribution::JobRecord& j) {
+        const std::string p = "task." + j.task + ".";
+        for (const auto& [name, t] : j.preempted_by) {
+            (void)t;
+            reg_.counter(p + "preempted_by." + name).inc();
+        }
+        for (const auto& [name, t] : j.blocked_on) {
+            (void)t;
+            reg_.counter(p + "blocked_on." + name).inc();
+        }
+        reg_.histogram(p + "blame.exec_ps").record(j.exec);
+        reg_.histogram(p + "blame.preempt_ps").record(j.preemption);
+        reg_.histogram(p + "blame.block_ps").record(j.blocking);
+        reg_.histogram(p + "blame.overhead_ps").record(j.overhead);
+        reg_.histogram(p + "blame.interrupt_ps").record(j.interrupt);
+    });
 }
 
 void MetricsCollector::on_task_state(const r::Task& task, r::TaskState from,
                                      r::TaskState to) {
+    if (attr_) attr_->on_task_state(task, from, to);
     if (from == to) return; // creation announcement
     TaskMetrics& m = task_metrics(task);
     const k::Time now = task.processor().simulator().now();

@@ -13,6 +13,17 @@
 //   task.<name>.response_ps         histogram activation -> completion, ps
 //   task.<name>.activations         counter   release count
 //
+// With an Attribution analyzer plugged in (set_attribution) the catalogue
+// grows per-job blame metrics:
+//
+//   task.<n>.preempted_by.<m>       counter   jobs of n delayed by task m
+//   task.<n>.blocked_on.<r>         counter   jobs of n blocked on relation r
+//   task.<n>.blame.exec_ps          histogram own-execution share per job
+//   task.<n>.blame.preempt_ps       histogram preemption share per job
+//   task.<n>.blame.block_ps         histogram blocking share per job
+//   task.<n>.blame.overhead_ps      histogram RTOS overhead share per job
+//   task.<n>.blame.interrupt_ps     histogram ISR-stolen share per job
+//
 // All values are simulated-time quantities: the registry contents are
 // engine-equivalent (procedural vs threaded) and bit-identical across runs.
 // When no collector is attached the hooks cost one untaken branch each.
@@ -26,6 +37,8 @@
 #include "rtos/task.hpp"
 
 namespace rtsc::obs {
+
+class Attribution;
 
 class MetricsCollector final : public rtos::EngineProbe,
                                public rtos::TaskObserver {
@@ -42,6 +55,15 @@ public:
 
     [[nodiscard]] MetricsRegistry& registry() noexcept { return reg_; }
 
+    /// Plug in a causal-latency analyzer. The engine holds a single probe
+    /// slot, so when both a collector and an Attribution observe the same
+    /// processor the collector owns the slot and forwards every hook; the
+    /// analyzer's job completions feed the task.<n>.preempted_by.* /
+    /// blocked_on.* counters and blame histograms. Call before attach()
+    /// observations start; pass nullptr to unplug.
+    void set_attribution(Attribution* a);
+    [[nodiscard]] Attribution* attribution() const noexcept { return attr_; }
+
     // EngineProbe
     void on_scheduler_run(const rtos::Processor& cpu,
                           std::size_t ready_len) override;
@@ -50,10 +72,20 @@ public:
                      kernel::Time dispatch_latency) override;
     void on_preempt(const rtos::Processor& cpu, const rtos::Task& t,
                     std::size_t depth) override;
+    void on_block(const rtos::Processor& cpu, const rtos::Task& t,
+                  rtos::TaskState kind, const mcse::Relation* on) override;
+    void on_wake(const rtos::Processor& cpu, const rtos::Task& t) override;
+    void on_resource_acquire(const rtos::Processor& cpu, const rtos::Task& t,
+                             const mcse::Relation& r) override;
+    void on_resource_release(const rtos::Processor& cpu, const rtos::Task& t,
+                             const mcse::Relation& r) override;
 
     // TaskObserver
     void on_task_state(const rtos::Task& task, rtos::TaskState from,
                        rtos::TaskState to) override;
+    void on_overhead(const rtos::Processor& cpu, rtos::OverheadKind kind,
+                     kernel::Time start, kernel::Time duration,
+                     const rtos::Task* about) override;
 
 private:
     struct CpuMetrics {
@@ -81,6 +113,7 @@ private:
     std::vector<CpuMetrics> cpus_;
     std::vector<TaskMetrics> tasks_;
     std::vector<rtos::Processor*> attached_;
+    Attribution* attr_ = nullptr;
 };
 
 } // namespace rtsc::obs

@@ -1,6 +1,8 @@
 #include "obs/perfetto.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -129,6 +131,11 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
         const auto& tasks = cpus[pi]->tasks();
         for (std::size_t ti = 0; ti < tasks.size(); ++ti)
             ev.meta_thread(pid, static_cast<int>(ti) + 1, tasks[ti]->name());
+        if (opts.attribution != nullptr)
+            for (std::size_t ti = 0; ti < tasks.size(); ++ti)
+                ev.meta_thread(pid,
+                               static_cast<int>(tasks.size() + 1 + ti),
+                               tasks[ti]->name() + ".jobs");
     }
     if (opts.include_comms && !rec.relations().empty()) {
         ev.meta_process(comm_pid, "comm");
@@ -171,6 +178,149 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
             args = "{\"task\": \"" + json_escape(o.about->name()) + "\"}";
         ev.slice(pid, 0, o.at, o.duration, "rtos", rtos::to_string(o.kind),
                  args);
+    }
+
+    // --- causal latency attribution (jobs, chains, misses) ----------------
+    if (opts.attribution != nullptr) {
+        // Locate each task's tracks by name (Attribution records names so
+        // its results outlive the model; the recorder still has the model).
+        struct Track {
+            int pid = 0;
+            int state_tid = 0;
+            int jobs_tid = 0;
+        };
+        std::map<std::string, Track> tracks;
+        for (std::size_t pi = 0; pi < cpus.size(); ++pi) {
+            const auto& tasks = cpus[pi]->tasks();
+            for (std::size_t ti = 0; ti < tasks.size(); ++ti)
+                tracks.emplace(
+                    tasks[ti]->name(),
+                    Track{static_cast<int>(pi) + 1, static_cast<int>(ti) + 1,
+                          static_cast<int>(tasks.size() + 1 + ti)});
+        }
+        const auto ps = [](k::Time t) { return std::to_string(t.raw_ps()); };
+        const auto time_map =
+            [&](const std::vector<std::pair<std::string, k::Time>>& m) {
+                std::string out = "{";
+                bool first = true;
+                for (const auto& [name, t] : m) {
+                    if (!first) out += ", ";
+                    first = false;
+                    out += "\"" + json_escape(name) + "\": " + ps(t);
+                }
+                return out + "}";
+            };
+        const auto str_list = [&](const std::vector<std::string>& v) {
+            std::string out = "[";
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                if (i != 0) out += ", ";
+                out += "\"" + json_escape(v[i]) + "\"";
+            }
+            return out + "]";
+        };
+
+        // One complete slice per job on the task's jobs track, blame
+        // decomposition as args in exact picoseconds. Jobs of one task are
+        // recorded in completion order == release order, so each track stays
+        // monotonic; zero-response jobs are dropped (the validator rejects
+        // zero-width slices) — their decomposition is all-zero anyway.
+        for (const auto& [name, tr] : tracks) {
+            for (const auto* j : opts.attribution->jobs_for(name)) {
+                if (j->response().is_zero()) continue;
+                std::string args = "{\"task\": \"" + json_escape(j->task) +
+                                   "\", \"index\": " + std::to_string(j->index) +
+                                   ", \"release_ps\": " + ps(j->release) +
+                                   ", \"end_ps\": " + ps(j->end) +
+                                   ", \"response_ps\": " + ps(j->response()) +
+                                   ", \"aborted\": " +
+                                   (j->aborted ? "true" : "false") +
+                                   ", \"exec_ps\": " + ps(j->exec) +
+                                   ", \"preempt_ps\": " + ps(j->preemption) +
+                                   ", \"block_ps\": " + ps(j->blocking) +
+                                   ", \"overhead_ps\": " + ps(j->overhead) +
+                                   ", \"interrupt_ps\": " + ps(j->interrupt) +
+                                   ", \"ov_sched_ps\": " + ps(j->ov_scheduling) +
+                                   ", \"ov_load_ps\": " + ps(j->ov_load) +
+                                   ", \"ov_save_ps\": " + ps(j->ov_save) +
+                                   ", \"residual_ps\": " + ps(j->residual) +
+                                   ", \"preempted_by\": " +
+                                   time_map(j->preempted_by) +
+                                   ", \"blocked_on\": " +
+                                   time_map(j->blocked_on) + "}";
+                ev.slice(tr.pid, tr.jobs_tid, j->release, j->response(), "job",
+                         "job #" + std::to_string(j->index) +
+                             (j->aborted ? " (aborted)" : ""),
+                         args);
+            }
+        }
+
+        // Blocking episodes: a chain instant on the victim's jobs track plus
+        // a culprit -> victim flow ("s" on the owner's state track, "f" on
+        // the victim's).
+        std::uint64_t flow_id = 1;
+        for (const auto& e : opts.attribution->episodes()) {
+            const auto vit = tracks.find(e.victim);
+            if (vit == tracks.end()) continue;
+            std::string args =
+                "{\"victim\": \"" + json_escape(e.victim) +
+                "\", \"job\": " + std::to_string(e.job_index) +
+                ", \"resource\": \"" + json_escape(e.resource) +
+                "\", \"owner\": \"" + json_escape(e.owner) +
+                "\", \"victim_priority\": " + std::to_string(e.victim_priority) +
+                ", \"owner_priority\": " + std::to_string(e.owner_priority) +
+                ", \"duration_ps\": " + ps(e.duration()) +
+                ", \"inversion\": " + (e.inversion ? "true" : "false") +
+                ", \"chain\": " + str_list(e.chain) +
+                ", \"aggravators\": " + str_list(e.aggravators) + "}";
+            ev.instant(vit->second.pid, vit->second.jobs_tid, e.start, 't',
+                       "blocking_chain",
+                       "blocked on " + e.resource +
+                           (e.inversion ? " [inversion]" : ""),
+                       args);
+            const auto oit = tracks.find(e.owner);
+            if (oit == tracks.end()) continue;
+            std::ostringstream fs;
+            fs << "{\"name\": \"blocking\", \"cat\": \"blocking\", \"ph\": "
+                  "\"s\", \"id\": "
+               << flow_id << ", \"ts\": " << trace::format_us(e.start)
+               << ", \"pid\": " << oit->second.pid
+               << ", \"tid\": " << oit->second.state_tid << "}";
+            ev.raw(fs.str());
+            std::ostringstream ff;
+            ff << "{\"name\": \"blocking\", \"cat\": \"blocking\", \"ph\": "
+                  "\"f\", \"bp\": \"e\", \"id\": "
+               << flow_id << ", \"ts\": " << trace::format_us(e.end)
+               << ", \"pid\": " << vit->second.pid
+               << ", \"tid\": " << vit->second.state_tid << "}";
+            ev.raw(ff.str());
+            ++flow_id;
+        }
+
+        // Deadline misses with their critical path.
+        if (opts.misses != nullptr) {
+            for (const auto& m : *opts.misses) {
+                const auto vit = tracks.find(m.task);
+                if (vit == tracks.end()) continue;
+                std::string args =
+                    "{\"task\": \"" + json_escape(m.task) +
+                    "\", \"constraint\": \"" + json_escape(m.constraint) +
+                    "\", \"measured_ps\": " + ps(m.measured) +
+                    ", \"bound_ps\": " + ps(m.bound) + ", \"critical_path\": [";
+                for (std::size_t i = 0; i < m.critical_path.size(); ++i) {
+                    const auto& item = m.critical_path[i];
+                    if (i != 0) args += ", ";
+                    args += "{\"start_ps\": " + ps(item.start) +
+                            ", \"dur_ps\": " + ps(item.duration) +
+                            ", \"culprit\": \"" + json_escape(item.culprit) +
+                            "\", \"reason\": \"" + json_escape(item.reason) +
+                            "\"}";
+                }
+                args += "]}";
+                ev.instant(vit->second.pid, vit->second.jobs_tid, m.at, 't',
+                           "deadline_miss", "deadline miss: " + m.constraint,
+                           args);
+            }
+        }
     }
 
     // --- communication accesses as thread instants ------------------------

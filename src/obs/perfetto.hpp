@@ -16,6 +16,16 @@
 //   pid P+2         "events" process: fault / watchdog / deadline markers
 //                     (Recorder::mark) as global instants ("i", scope "g")
 //
+// With an Attribution analyzer (PerfettoOptions::attribution) each task
+// additionally gets a "<task>.jobs" track (tid N+1+j on its processor): one
+// complete slice per job carrying the full blame decomposition as args
+// (exec/preempt/block/overhead/interrupt shares in exact picoseconds, plus
+// per-culprit maps), "blocking_chain" instants per Waiting-for-resource
+// episode (chain, owner, inversion flag, aggravators) and legacy flow events
+// ("s"/"f", cat "blocking") from the culprit's state track to the victim's.
+// PerfettoOptions::misses adds "deadline_miss" instants with the per-
+// interval critical path (see Attribution::miss_reports).
+//
 // Timestamps are exact: ts/dur are emitted in microseconds with up to six
 // fractional digits (picosecond resolution, the kernel's native unit) via
 // trace::format_us — never through a lossy double round-trip. Names pass
@@ -31,7 +41,9 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "obs/attribution.hpp"
 #include "trace/recorder.hpp"
 
 namespace rtsc::obs {
@@ -41,6 +53,13 @@ struct PerfettoOptions {
     bool include_markers = true;
     /// Pretty-print one event per line (slightly larger, diff-friendly).
     bool one_event_per_line = true;
+    /// When set, per-job blame slices, blocking-chain instants and
+    /// culprit->victim flow events are emitted (see header comment). The
+    /// analyzer must have observed the same processors as the recorder.
+    const Attribution* attribution = nullptr;
+    /// When set (together with attribution), deadline-miss instants with
+    /// their critical path are emitted on the victims' jobs tracks.
+    const std::vector<Attribution::DeadlineMissReport>* misses = nullptr;
 };
 
 /// Escape `s` for inclusion inside a JSON string literal (without the

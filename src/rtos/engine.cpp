@@ -172,6 +172,11 @@ void SchedulerEngine::leave_running(Task& t, TaskState to, PreemptReason reason)
             probe_->on_preempt(processor_, t, depth);
         }
     }
+    if (probe_ &&
+        (to == TaskState::waiting || to == TaskState::waiting_resource)) {
+        probe_->on_block(processor_, t, to, block_context_);
+        block_context_ = nullptr;
+    }
     t.set_state(to);
 }
 
@@ -401,6 +406,7 @@ void SchedulerEngine::make_ready(Task& t) {
     ++t.stats_.activations;
     push_ready(t, /*front=*/false);
     t.set_state(TaskState::ready);
+    if (probe_) probe_->on_wake(processor_, t);
 
     Task* caller = current_task();
     // A killed/crashed caller is unwinding (ProcessKilled or a body

@@ -30,6 +30,10 @@
 #include "rtos/fwd.hpp"
 #include "rtos/policy.hpp"
 
+namespace rtsc::mcse {
+class Relation;
+}
+
 namespace rtsc::rtos {
 
 class EngineProbe;
@@ -111,6 +115,13 @@ public:
     /// registered (see rtos/probe.hpp).
     void set_probe(EngineProbe* p) noexcept { probe_ = p; }
     [[nodiscard]] EngineProbe* probe() const noexcept { return probe_; }
+
+    /// Communication relations name the object a task is about to block on
+    /// so the probe's on_block hook can attribute the wait. Set immediately
+    /// before the block()/block_timed() call, consumed (and cleared) by the
+    /// leave-Running transition it causes. Callers only set it when a probe
+    /// is installed, keeping the uninstrumented path write-free.
+    void set_block_context(const mcse::Relation* r) noexcept { block_context_ = r; }
 
 protected:
     // -- locus hooks: where the RTOS algorithm executes differs per engine --
@@ -207,6 +218,7 @@ protected:
     Task* pass_runner_ = nullptr;
     PhaseStats stats_;
     EngineProbe* probe_ = nullptr; ///< optional instrumentation, see set_probe
+    const mcse::Relation* block_context_ = nullptr; ///< see set_block_context
 };
 
 } // namespace rtsc::rtos

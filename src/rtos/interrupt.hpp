@@ -87,8 +87,10 @@ public:
                     ++serviced_;
                 }
             });
-        // The ISR loop legitimately idles forever between interrupts.
+        // The ISR loop legitimately idles forever between interrupts; time it
+        // steals from tasks is blamed on the interrupt component.
         isr.set_daemon(true);
+        isr.set_isr_task(true);
         return isr;
     }
 

@@ -15,6 +15,10 @@
 #include "kernel/time.hpp"
 #include "rtos/fwd.hpp"
 
+namespace rtsc::mcse {
+class Relation;
+}
+
 namespace rtsc::rtos {
 
 class EngineProbe {
@@ -45,6 +49,37 @@ public:
     virtual void on_preempt(const Processor& cpu, const Task& t,
                             std::size_t depth) {
         (void)cpu; (void)t; (void)depth;
+    }
+
+    /// A running task left the CPU to block. `kind` is the destination state
+    /// (waiting for synchronization, waiting_resource for mutual exclusion);
+    /// `on` names the communication relation being blocked on, or nullptr for
+    /// sleeps and raw engine blocks. Fired before the state transition is
+    /// published to TaskObservers.
+    virtual void on_block(const Processor& cpu, const Task& t, TaskState kind,
+                          const mcse::Relation* on) {
+        (void)cpu; (void)t; (void)kind; (void)on;
+    }
+
+    /// A waiting task was made ready (delivery, timer expiry or interrupt).
+    /// Fired right after the Ready transition is published.
+    virtual void on_wake(const Processor& cpu, const Task& t) {
+        (void)cpu; (void)t;
+    }
+
+    /// `t` became the owner of a mutual-exclusion style resource (shared
+    /// variable lock, semaphore unit). Fired from the owning task's thread at
+    /// the instant ownership transfers (for reservation-style delivery this
+    /// is the release instant, before the waiter resumes).
+    virtual void on_resource_acquire(const Processor& cpu, const Task& t,
+                                     const mcse::Relation& r) {
+        (void)cpu; (void)t; (void)r;
+    }
+
+    /// `t` gave up ownership of `r`.
+    virtual void on_resource_release(const Processor& cpu, const Task& t,
+                                     const mcse::Relation& r) {
+        (void)cpu; (void)t; (void)r;
     }
 };
 

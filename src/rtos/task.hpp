@@ -123,6 +123,13 @@ public:
     void set_daemon(bool on);
     [[nodiscard]] bool daemon() const noexcept { return daemon_; }
 
+    /// Mark the task as an interrupt-service routine: time it steals from
+    /// other tasks is attributed to the `interrupt` blame component instead
+    /// of per-task preemption (obs::Attribution). Set by
+    /// InterruptLine::attach_isr; sticky across restarts.
+    void set_isr_task(bool on) noexcept { isr_ = on; }
+    [[nodiscard]] bool isr_task() const noexcept { return isr_; }
+
     // ---- services callable from within the task body ----
 
     /// Consume `duration` of CPU time. Preemptible: a higher-priority task
@@ -225,6 +232,7 @@ private:
 
     // fault-tolerant lifecycle (see SchedulerEngine::kill / on_body_unwound)
     bool daemon_ = false;                ///< exempt from stall diagnostics
+    bool isr_ = false;                   ///< interrupt-service task (blame class)
     bool killed_ = false;                ///< kill() initiated (sticky until restart)
     bool crashed_ = false;               ///< body exited via unhandled exception
     bool redispatch_on_unwind_ = false;  ///< killed while granted/loading: rerun sched

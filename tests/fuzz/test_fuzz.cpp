@@ -157,7 +157,10 @@ TEST(FuzzShrink, MinimizesAgainstSyntheticPredicate) {
     // Predicate: "some task contains a sem_acquire op". The 1-minimal spec
     // under the shrinker's edit set is a single task with that single op and
     // everything else stripped.
-    const fuzz::ModelSpec big = fuzz::generate(75); // has sems + sem ops
+    // Needs a seed whose model has a *top-level* sem_acquire: the edit set
+    // drops ops (taking nested bodies with them) but never hoists children,
+    // so only a depth-0 acquire can survive as the 1-minimal form.
+    const fuzz::ModelSpec big = fuzz::generate(64); // has sems + sem ops
     const fuzz::Predicate has_acquire = [](const fuzz::ModelSpec& s) {
         for (const fuzz::TaskSpec& t : s.tasks) {
             std::vector<const fuzz::OpSpec*> stack;

@@ -1,0 +1,81 @@
+// trace_query: ask a Perfetto export (written with attribution enabled)
+// why a task was late — per-job blame decomposition, blocking chains,
+// priority inversions and deadline-miss critical paths, without re-running
+// the simulation.
+//
+// Usage:
+//   trace_query <trace.json> blame [task] [--json]
+//   trace_query <trace.json> misses [--json]
+//   trace_query <trace.json> inversions [--json]
+//   trace_query <trace.json> chains [--json]
+//
+// Exit status: 0 on success, 1 on bad usage / unreadable or malformed trace.
+// --json output is machine-readable; the tool re-parses it before printing
+// as a schema self-check, so downstream consumers can rely on its shape.
+
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/query.hpp"
+
+namespace {
+
+int usage(std::ostream& os) {
+    os << "usage: trace_query <trace.json> <command> [args]\n"
+          "\n"
+          "commands:\n"
+          "  blame [task] [--json]   per-job latency decomposition (exec /\n"
+          "                          preempted / blocked / rtos / interrupt)\n"
+          "  misses [--json]         deadline misses with critical path\n"
+          "  inversions [--json]     blocking episodes flagged as priority\n"
+          "                          inversions\n"
+          "  chains [--json]         all blocking episodes with their chain\n";
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--help") == 0 ||
+                 std::strcmp(argv[i], "-h") == 0)
+            return usage(std::cout), 0;
+        else
+            args.emplace_back(argv[i]);
+    }
+    if (args.size() < 2) return usage(std::cerr);
+    const std::string& path = args[0];
+    const std::string& cmd = args[1];
+
+    try {
+        const rtsc::obs::query::TraceData data = rtsc::obs::query::load(path);
+        std::string out;
+        if (cmd == "blame") {
+            out = rtsc::obs::query::render_blame(
+                data, args.size() > 2 ? args[2] : std::string(), json);
+        } else if (cmd == "misses") {
+            out = rtsc::obs::query::render_misses(data, json);
+        } else if (cmd == "inversions") {
+            out = rtsc::obs::query::render_chains(data, true, json);
+        } else if (cmd == "chains") {
+            out = rtsc::obs::query::render_chains(data, false, json);
+        } else {
+            std::cerr << "trace_query: unknown command \"" << cmd << "\"\n";
+            return usage(std::cerr);
+        }
+        if (json) (void)rtsc::obs::json::parse(out); // schema self-check
+        std::cout << out;
+    } catch (const std::exception& e) {
+        std::cerr << "trace_query: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
