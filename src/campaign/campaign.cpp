@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <typeinfo>
+
+#include <cxxabi.h>
+
+#include "campaign/fnv.hpp"
 
 namespace rtsc::campaign {
 
@@ -19,35 +26,45 @@ using clock = std::chrono::steady_clock;
     return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
 }
 
-// FNV-1a 64-bit, fed field-by-field with length prefixes so the digest is a
-// function of the field *sequence*, not of an ambiguous concatenation.
-class Fnv1a {
-public:
-    void bytes(const void* data, std::size_t n) noexcept {
-        const auto* p = static_cast<const unsigned char*>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            h_ ^= p[i];
-            h_ *= 0x100000001b3ull;
-        }
-    }
-    void u64(std::uint64_t v) noexcept { bytes(&v, sizeof v); }
-    void f64(double v) noexcept {
-        static_assert(sizeof(double) == sizeof(std::uint64_t));
-        std::uint64_t bits;
-        __builtin_memcpy(&bits, &v, sizeof bits);
-        u64(bits);
-    }
-    void str(const std::string& s) noexcept {
-        u64(s.size());
-        bytes(s.data(), s.size());
-    }
-    [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
-
-private:
-    std::uint64_t h_ = 0xcbf29ce484222325ull;
-};
-
 } // namespace
+
+std::string failure_description(const std::exception& e) {
+    // Demangle the *dynamic* type so "throw std::runtime_error" reports as
+    // std::runtime_error even when caught as std::exception&. Both GCC and
+    // Clang use the Itanium ABI, so the spelling is platform-stable — safe
+    // to include in the deterministic report digest.
+    const char* raw = typeid(e).name();
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(raw, nullptr, nullptr, &status);
+    std::string type = status == 0 && demangled != nullptr ? demangled : raw;
+    std::free(demangled);
+    return type + ": " + e.what();
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, std::size_t index,
+                            std::uint64_t campaign_seed) {
+    ScenarioResult out;
+    out.name = spec.name;
+    out.index = index;
+    out.seed = derive_seed(campaign_seed, index);
+
+    ScenarioContext ctx(index, out.seed);
+    const clock::time_point t0 = clock::now();
+    try {
+        spec.body(ctx);
+        out.ok = true;
+    } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = failure_description(e);
+    } catch (...) {
+        out.ok = false;
+        out.error = "unknown exception type";
+    }
+    out.wall_ms = elapsed_ms(t0);
+    out.metrics = std::move(ctx.metrics_);
+    out.notes = std::move(ctx.notes_);
+    return out;
+}
 
 std::size_t CampaignReport::failures() const noexcept {
     std::size_t n = 0;
@@ -152,70 +169,109 @@ std::string CampaignReport::to_csv() const {
     return os.str();
 }
 
-CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
-    const clock::time_point campaign_t0 = clock::now();
-
+// Shared between the handle and the worker threads. The handle owns the
+// scenario copies so start() callers need not keep their list alive.
+struct CampaignHandle::State {
+    std::vector<ScenarioSpec> scenarios;
+    CampaignRunner::Options opt;
+    clock::time_point t0;
     CampaignReport report;
-    report.seed = opt_.seed;
-    report.results.resize(scenarios.size());
-
-    unsigned workers = opt_.workers;
-    if (workers == 0) workers = std::thread::hardware_concurrency();
-    if (workers == 0) workers = 1;
-    if (workers > scenarios.size() && !scenarios.empty())
-        workers = static_cast<unsigned>(scenarios.size());
-    report.workers = workers;
+    std::vector<std::thread> pool;
 
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> completed{0};
-    std::mutex progress_mu;
+    mutable std::mutex mu; ///< guards completed/finished + progress callback
+    mutable std::condition_variable cv;
+    std::size_t completed = 0;
+    bool finished = false;
 
-    auto worker = [&] {
+    void worker_loop() {
         for (;;) {
             const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= scenarios.size()) return;
 
-            const ScenarioSpec& spec = scenarios[i];
-            ScenarioResult& out = report.results[i];
-            out.name = spec.name;
-            out.index = i;
-            out.seed = derive_seed(opt_.seed, i);
+            report.results[i] = run_scenario(scenarios[i], i, opt.seed);
 
-            ScenarioContext ctx(i, out.seed);
-            const clock::time_point t0 = clock::now();
-            try {
-                spec.body(ctx);
-                out.ok = true;
-            } catch (const std::exception& e) {
-                out.ok = false;
-                out.error = e.what();
-            } catch (...) {
-                out.ok = false;
-                out.error = "unknown exception type";
-            }
-            out.wall_ms = elapsed_ms(t0);
-            out.metrics = std::move(ctx.metrics_);
-            out.notes = std::move(ctx.notes_);
-
-            const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (opt_.on_progress) {
-                std::lock_guard<std::mutex> lk(progress_mu);
-                opt_.on_progress(Progress{done, scenarios.size(), out});
+            std::lock_guard<std::mutex> lk(mu);
+            ++completed;
+            if (opt.on_progress)
+                opt.on_progress(
+                    Progress{completed, scenarios.size(), report.results[i]});
+            if (completed == scenarios.size()) {
+                report.wall_ms = elapsed_ms(t0);
+                finished = true;
+                cv.notify_all();
             }
         }
-    };
-
-    if (workers <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-        for (std::thread& t : pool) t.join();
     }
+};
 
-    report.wall_ms = elapsed_ms(campaign_t0);
+CampaignHandle::CampaignHandle(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+CampaignHandle::~CampaignHandle() {
+    if (state_ == nullptr) return;
+    for (std::thread& t : state_->pool)
+        if (t.joinable()) t.join();
+}
+
+bool CampaignHandle::done() const {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->finished;
+}
+
+std::size_t CampaignHandle::completed() const {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->completed;
+}
+
+void CampaignHandle::wait() const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->finished; });
+}
+
+bool CampaignHandle::wait_for(std::chrono::milliseconds timeout) const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    return state_->cv.wait_for(lk, timeout, [&] { return state_->finished; });
+}
+
+CampaignReport CampaignHandle::take() {
+    wait();
+    for (std::thread& t : state_->pool)
+        if (t.joinable()) t.join();
+    CampaignReport report = std::move(state_->report);
+    state_.reset();
     return report;
+}
+
+CampaignHandle CampaignRunner::start(std::vector<ScenarioSpec> scenarios) const {
+    auto state = std::make_shared<CampaignHandle::State>();
+    state->scenarios = std::move(scenarios);
+    state->opt = opt_;
+    state->t0 = clock::now();
+    state->report.seed = opt_.seed;
+    state->report.results.resize(state->scenarios.size());
+
+    unsigned workers = opt_.workers;
+    if (workers == 0) workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+    if (workers > state->scenarios.size() && !state->scenarios.empty())
+        workers = static_cast<unsigned>(state->scenarios.size());
+    state->report.workers = workers;
+
+    if (state->scenarios.empty()) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->report.wall_ms = elapsed_ms(state->t0);
+        state->finished = true;
+    } else {
+        state->pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            state->pool.emplace_back([s = state.get()] { s->worker_loop(); });
+    }
+    return CampaignHandle(std::move(state));
+}
+
+CampaignReport CampaignRunner::run(const std::vector<ScenarioSpec>& scenarios) const {
+    return start(scenarios).take();
 }
 
 } // namespace rtsc::campaign

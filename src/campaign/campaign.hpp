@@ -17,13 +17,16 @@
 //     deterministic fields, so the report is bit-identical for any worker
 //     count — parallelism can never change the science, only the wall time;
 //   - failure isolation: a scenario that throws is recorded as failed
-//     (ok == false, error == what()) and the rest of the campaign proceeds;
+//     (ok == false, error == failure_description(e)) and the rest of the
+//     campaign proceeds;
 //   - thread safety: scenario bodies must not touch shared mutable state.
 //     Build the Simulator and the whole model inside the body, on the
 //     worker's stack; return data via ScenarioContext metrics/notes.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +47,9 @@ namespace rtsc::campaign {
                                                   std::uint64_t index) noexcept {
     return splitmix64(campaign_seed ^ splitmix64(index));
 }
+
+struct ScenarioSpec;
+struct ScenarioResult;
 
 /// Handed to the scenario body: its identity, its deterministic seed, and
 /// the sink for result data. One context per scenario, used by one worker
@@ -74,6 +80,8 @@ public:
 
 private:
     friend class CampaignRunner;
+    friend ScenarioResult run_scenario(const ScenarioSpec&, std::size_t,
+                                       std::uint64_t);
     std::size_t index_;
     std::uint64_t seed_;
     std::vector<std::pair<std::string, double>> metrics_;
@@ -86,6 +94,13 @@ struct ScenarioSpec {
     std::string name;
     std::function<void(ScenarioContext&)> body;
 };
+
+/// Structured description of the in-flight exception: demangled dynamic type
+/// plus what() ("std::runtime_error: boom"), or "unknown exception type" for
+/// non-std::exception throws. Every runner — serial, threaded, sharded —
+/// records scenario failures through this one function so their reports (and
+/// digests) agree on failure entries.
+[[nodiscard]] std::string failure_description(const std::exception& e);
 
 /// Outcome of one scenario.
 struct ScenarioResult {
@@ -141,12 +156,55 @@ struct CampaignReport {
     [[nodiscard]] std::string to_csv() const;
 };
 
+/// Run one scenario to completion on the calling thread, exactly as every
+/// runner does it: derive the seed, time the body, isolate exceptions into a
+/// structured failed entry (failure_description). The single definition of
+/// "execute a scenario" — the thread-pool runner and the sharded worker both
+/// call this, which is what makes their reports digest-identical.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          std::size_t index,
+                                          std::uint64_t campaign_seed);
+
 /// Progress callback payload: fired once per completed scenario, under the
 /// runner's lock (callbacks never race each other).
 struct Progress {
     std::size_t completed = 0; ///< scenarios finished so far
     std::size_t total = 0;
     const ScenarioResult& last; ///< the scenario that just finished
+};
+
+/// Handle to a campaign started asynchronously (CampaignRunner::start).
+/// Every wait has a timeout overload — nothing in the campaign layer blocks
+/// without a deadline escape hatch, and no signal (SIGALRM or otherwise) is
+/// ever involved: waits are condition-variable based, hang detection is the
+/// sharded coordinator's job (host-side wall-clock timeouts + SIGKILL).
+class CampaignHandle {
+public:
+    CampaignHandle() = default;
+    CampaignHandle(CampaignHandle&&) noexcept = default;
+    CampaignHandle& operator=(CampaignHandle&&) noexcept = default;
+    CampaignHandle(const CampaignHandle&) = delete;
+    CampaignHandle& operator=(const CampaignHandle&) = delete;
+    ~CampaignHandle(); ///< joins (waits for completion) if still running
+
+    /// True once every scenario has finished (report ready to take()).
+    [[nodiscard]] bool done() const;
+    /// Scenarios finished so far (monotonic, completion order).
+    [[nodiscard]] std::size_t completed() const;
+    /// Block until the campaign finished.
+    void wait() const;
+    /// Block until the campaign finished or `timeout` elapsed; true = done.
+    /// The campaign keeps running when this times out — call again or take().
+    [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const;
+    /// Wait for completion, join the workers and return the report.
+    /// Call at most once; the handle is empty afterwards.
+    [[nodiscard]] CampaignReport take();
+
+private:
+    friend class CampaignRunner;
+    struct State;
+    explicit CampaignHandle(std::shared_ptr<State> state);
+    std::shared_ptr<State> state_;
 };
 
 class CampaignRunner {
@@ -168,6 +226,11 @@ public:
     /// scenario finished; scenario failures are contained in the report, a
     /// worker is never torn down by a throwing scenario.
     [[nodiscard]] CampaignReport run(const std::vector<ScenarioSpec>& scenarios) const;
+
+    /// Start the campaign asynchronously and return immediately. The handle
+    /// owns a copy of the scenario list; poll or wait on it (with or without
+    /// a timeout) and take() the report. run() is start() + take().
+    [[nodiscard]] CampaignHandle start(std::vector<ScenarioSpec> scenarios) const;
 
 private:
     Options opt_;

@@ -1,0 +1,40 @@
+#pragma once
+// FNV-1a 64-bit, fed field-by-field with length prefixes so a digest is a
+// function of the field *sequence*, not of an ambiguous concatenation.
+// Shared by the campaign report digest, the shard checkpoint journal and the
+// wire protocol's frame checksums — all three must agree bit-for-bit for
+// checkpoint/resume to reproduce the in-process digest.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rtsc::campaign {
+
+class Fnv1a {
+public:
+    void bytes(const void* data, std::size_t n) noexcept {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+    void u64(std::uint64_t v) noexcept { bytes(&v, sizeof v); }
+    void f64(double v) noexcept {
+        static_assert(sizeof(double) == sizeof(std::uint64_t));
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+    void str(const std::string& s) noexcept {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace rtsc::campaign

@@ -1,0 +1,202 @@
+#include "campaign/shard/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "campaign/fnv.hpp"
+#include "campaign/shard/protocol.hpp"
+
+namespace rtsc::campaign::shard {
+
+namespace {
+
+constexpr char kMagic[] = "rtsc-shard-checkpoint v1";
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+[[nodiscard]] int hex_nibble(char c) noexcept {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+[[nodiscard]] bool parse_hex64(const std::string& s, std::uint64_t& out) {
+    if (s.size() != 16) return false;
+    out = 0;
+    for (const char c : s) {
+        const int n = hex_nibble(c);
+        if (n < 0) return false;
+        out = out << 4 | static_cast<std::uint64_t>(n);
+    }
+    return true;
+}
+
+[[nodiscard]] std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+[[nodiscard]] bool from_hex(const std::string& s, std::vector<std::uint8_t>& out) {
+    if (s.size() % 2 != 0) return false;
+    out.clear();
+    out.reserve(s.size() / 2);
+    for (std::size_t i = 0; i < s.size(); i += 2) {
+        const int hi = hex_nibble(s[i]);
+        const int lo = hex_nibble(s[i + 1]);
+        if (hi < 0 || lo < 0) return false;
+        out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+    }
+    return true;
+}
+
+[[nodiscard]] std::uint64_t payload_checksum(const std::vector<std::uint8_t>& p) {
+    Fnv1a h;
+    h.bytes(p.data(), p.size());
+    return h.value();
+}
+
+[[nodiscard]] std::string header_line(const CheckpointKey& key) {
+    std::ostringstream os;
+    os << kMagic << " seed=" << hex64(key.seed)
+       << " scenarios=" << key.scenario_count
+       << " names=" << hex64(key.names_digest) << "\n";
+    return os.str();
+}
+
+} // namespace
+
+std::uint64_t scenario_names_digest(const std::vector<ScenarioSpec>& scenarios) {
+    Fnv1a h;
+    h.u64(scenarios.size());
+    for (const ScenarioSpec& s : scenarios) h.str(s.name);
+    return h.value();
+}
+
+CheckpointLoad load_checkpoint(const std::string& path, const CheckpointKey& key) {
+    CheckpointLoad out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) return out; // no journal: fresh start
+
+    std::string line;
+    if (!std::getline(in, line)) return out; // empty file: fresh start
+
+    // Header: refuse anything that does not exactly key this campaign.
+    {
+        std::istringstream hs(line);
+        std::string m1, m2, f_seed, f_count, f_names;
+        hs >> m1 >> m2 >> f_seed >> f_count >> f_names;
+        const std::string magic = m1 + " " + m2;
+        std::uint64_t seed = 0, names = 0, count = 0;
+        bool parsed = magic == kMagic && f_seed.rfind("seed=", 0) == 0 &&
+                      f_count.rfind("scenarios=", 0) == 0 &&
+                      f_names.rfind("names=", 0) == 0 &&
+                      parse_hex64(f_seed.substr(5), seed) &&
+                      parse_hex64(f_names.substr(6), names);
+        if (parsed) {
+            errno = 0;
+            char* end = nullptr;
+            const std::string c = f_count.substr(10);
+            count = std::strtoull(c.c_str(), &end, 10);
+            parsed = errno == 0 && end != nullptr && *end == '\0' && !c.empty();
+        }
+        if (!parsed) {
+            out.found = true;
+            out.error = "unrecognized checkpoint header: " + line;
+            return out;
+        }
+        out.found = true;
+        if (seed != key.seed || count != key.scenario_count ||
+            names != key.names_digest) {
+            out.error = "checkpoint belongs to a different campaign "
+                        "(seed/scenario-count/names mismatch)";
+            return out;
+        }
+        out.compatible = true;
+    }
+
+    // Records: keep every intact line, drop torn/corrupt ones. A record is
+    // intact only if the line is newline-terminated (a SIGKILL mid-append
+    // leaves an unterminated tail), its checksum matches and the payload
+    // decodes to a result that belongs to this campaign.
+    std::vector<bool> seen(key.scenario_count, false);
+    while (std::getline(in, line)) {
+        const bool terminated = !in.eof();
+        std::istringstream rs(line);
+        std::string tag, f_sum, f_payload;
+        rs >> tag >> f_sum >> f_payload;
+        std::uint64_t sum = 0;
+        std::vector<std::uint8_t> payload;
+        ScenarioResult r;
+        const bool intact =
+            terminated && tag == "R" && parse_hex64(f_sum, sum) &&
+            from_hex(f_payload, payload) && payload_checksum(payload) == sum &&
+            decode_result(payload, r) && r.index < key.scenario_count &&
+            r.seed == derive_seed(key.seed, r.index) && !seen[r.index];
+        if (!intact) {
+            ++out.dropped;
+            continue;
+        }
+        seen[r.index] = true;
+        out.results.push_back(std::move(r));
+    }
+    return out;
+}
+
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+bool CheckpointWriter::open(const std::string& path, const CheckpointKey& key,
+                            bool truncate) {
+    close();
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) return false;
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size == 0) {
+        const std::string hdr = header_line(key);
+        if (::write(fd_, hdr.data(), hdr.size()) !=
+            static_cast<ssize_t>(hdr.size())) {
+            close();
+            return false;
+        }
+    }
+    return true;
+}
+
+bool CheckpointWriter::append(const ScenarioResult& r) {
+    if (fd_ < 0) return false;
+    const std::vector<std::uint8_t> payload = encode_result(r);
+    std::string line = "R " + hex64(payload_checksum(payload)) + " " +
+                       to_hex(payload) + "\n";
+    // One write() for the whole line: O_APPEND makes it a single atomic
+    // append, so a concurrent reader (or a post-kill loader) sees either
+    // nothing or the full line — plus the checksum as a second fence.
+    const ssize_t w = ::write(fd_, line.data(), line.size());
+    return w == static_cast<ssize_t>(line.size());
+}
+
+void CheckpointWriter::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace rtsc::campaign::shard

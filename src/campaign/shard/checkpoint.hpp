@@ -1,0 +1,83 @@
+#pragma once
+// Append-only checkpoint journal for sharded campaigns.
+//
+// The coordinator appends one record per *terminal* scenario result
+// (success or exhausted-retries failure) the moment it is known. A campaign
+// killed at any point — including SIGKILL mid-write — resumes by loading
+// the journal, keeping every intact record and dropping a torn tail, then
+// re-running only what is missing. Because records carry the full encoded
+// ScenarioResult (the same codec as the wire protocol), the resumed report
+// is byte-identical to an uninterrupted run — equal digests, provably.
+//
+// On-disk format (one record per line, human-greppable):
+//
+//   rtsc-shard-checkpoint v1 seed=<16hex> scenarios=<dec> names=<16hex>
+//   R <fnv64 of payload, 16hex> <payload hex>
+//   ...
+//
+// The header keys the journal to one exact campaign: master seed, scenario
+// count and an FNV digest of the ordered scenario names. resume against a
+// different campaign is refused rather than silently mixed. Each record
+// line carries its own checksum, so a record torn by a crash (partial
+// write, no newline, corrupt hex) is detected and dropped — never half
+// loaded.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace rtsc::campaign::shard {
+
+/// Identity of a campaign for checkpoint compatibility.
+struct CheckpointKey {
+    std::uint64_t seed = 0;
+    std::uint64_t scenario_count = 0;
+    std::uint64_t names_digest = 0;
+};
+
+/// FNV digest over the ordered scenario names — the campaign's shape.
+[[nodiscard]] std::uint64_t scenario_names_digest(const std::vector<ScenarioSpec>& scenarios);
+
+struct CheckpointLoad {
+    bool found = false;      ///< file existed and began with a valid header
+    bool compatible = false; ///< header matches the campaign key
+    std::string error;       ///< why it is incompatible / unreadable
+    std::vector<ScenarioResult> results; ///< intact records, first-wins by index
+    std::size_t dropped = 0; ///< torn or corrupt lines skipped
+};
+
+/// Read a journal and validate it against `key`. A missing file is not an
+/// error (found == false): the campaign simply starts fresh. Records whose
+/// index is out of range or whose seed disagrees with the campaign seed are
+/// counted as dropped, never trusted.
+[[nodiscard]] CheckpointLoad load_checkpoint(const std::string& path,
+                                             const CheckpointKey& key);
+
+/// Appender. Writes go straight to the fd (no userspace buffering), so a
+/// record is kill-9-durable the moment append() returns.
+class CheckpointWriter {
+public:
+    CheckpointWriter() = default;
+    ~CheckpointWriter();
+    CheckpointWriter(const CheckpointWriter&) = delete;
+    CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+    /// Open `path` for appending. With `truncate` (fresh run) any previous
+    /// journal is discarded; otherwise records append after the existing
+    /// ones. Writes the header when the file is (now) empty. False on I/O
+    /// failure.
+    [[nodiscard]] bool open(const std::string& path, const CheckpointKey& key,
+                            bool truncate);
+    /// Append one terminal result. False on I/O failure (the campaign
+    /// continues; only resumability is degraded).
+    [[nodiscard]] bool append(const ScenarioResult& r);
+    void close();
+    [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+private:
+    int fd_ = -1;
+};
+
+} // namespace rtsc::campaign::shard

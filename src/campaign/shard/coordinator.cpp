@@ -1,0 +1,467 @@
+#include "campaign/shard/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/shard/checkpoint.hpp"
+#include "campaign/shard/protocol.hpp"
+#include "campaign/shard/worker.hpp"
+
+namespace rtsc::campaign::shard {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+[[nodiscard]] double elapsed_ms(clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+}
+
+struct Slot {
+    pid_t pid = -1;
+    int fd = -1;
+    FrameReader reader;
+    bool busy = false;
+    std::size_t scenario = 0;
+    clock::time_point deadline{};
+    bool deadline_armed = false;
+    bool metrics_merged = false;
+
+    [[nodiscard]] bool alive() const noexcept { return pid > 0; }
+};
+
+struct Retry {
+    std::size_t index = 0;
+    clock::time_point ready_at{};
+};
+
+/// Stable, locale-free description of how a worker died — part of the
+/// deterministic failed-entry error string.
+[[nodiscard]] std::string describe_status(int status) {
+    if (WIFSIGNALED(status))
+        return "worker killed by signal " + std::to_string(WTERMSIG(status));
+    if (WIFEXITED(status))
+        return "worker exited with status " + std::to_string(WEXITSTATUS(status));
+    return "worker vanished";
+}
+
+// The whole mutable state of one coordinator run. Everything is
+// single-threaded: one poll loop, no locks — concurrency lives in the
+// worker *processes*.
+struct Run {
+    const ShardOptions& opt;
+    const std::vector<ScenarioSpec>& scenarios;
+    ShardOutcome out;
+    CheckpointWriter writer;
+
+    std::vector<Slot> slots;
+    std::vector<bool> done;
+    std::vector<unsigned> attempts;
+    std::vector<std::size_t> fresh; ///< not-yet-attempted indices, in order
+    std::size_t fresh_head = 0;
+    std::vector<Retry> retries;
+    std::size_t remaining = 0;
+    std::size_t completed = 0;
+
+    Run(const ShardOptions& o, const std::vector<ScenarioSpec>& s)
+        : opt(o), scenarios(s) {}
+
+    [[nodiscard]] obs::Counter& counter(const char* name) {
+        return out.metrics.counter(name);
+    }
+
+    // -- lifecycle ---------------------------------------------------------
+
+    void load_resume_state() {
+        if (opt.checkpoint_path.empty()) return;
+        const CheckpointKey key{opt.seed, scenarios.size(),
+                                scenario_names_digest(scenarios)};
+        if (opt.resume) {
+            CheckpointLoad load = load_checkpoint(opt.checkpoint_path, key);
+            if (load.found && !load.compatible)
+                throw std::runtime_error("shard: cannot resume: " + load.error);
+            for (ScenarioResult& r : load.results) {
+                const std::size_t i = r.index;
+                done[i] = true;
+                out.report.results[i] = std::move(r);
+                ++out.resumed;
+                ++completed;
+                --remaining;
+            }
+            counter("shard.resumed").inc(out.resumed);
+            counter("shard.checkpoint_dropped").inc(load.dropped);
+        }
+        if (!writer.open(opt.checkpoint_path, key, /*truncate=*/!opt.resume))
+            throw std::runtime_error("shard: cannot open checkpoint journal: " +
+                                     opt.checkpoint_path);
+    }
+
+    [[nodiscard]] bool spawn(Slot& slot) {
+        int sv[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(sv[0]);
+            ::close(sv[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child. Drop every coordinator-side fd: the journal (so only
+            // the coordinator ever writes it) and the other workers'
+            // sockets (so a dead coordinator yields EOF on *every* worker,
+            // not a socket kept open by a sibling). Then serve, then _exit
+            // — never the parent's atexit handlers.
+            ::close(sv[0]);
+            for (const Slot& other : slots)
+                if (other.fd >= 0) ::close(other.fd);
+            writer.close();
+            ::_exit(shard_worker_main(sv[1], scenarios, opt.seed));
+        }
+        ::close(sv[1]);
+        ::fcntl(sv[0], F_SETFL, O_NONBLOCK);
+        slot = Slot{};
+        slot.pid = pid;
+        slot.fd = sv[0];
+        return true;
+    }
+
+    void ensure_workers() {
+        const std::size_t live = static_cast<std::size_t>(std::count_if(
+            slots.begin(), slots.end(), [](const Slot& s) { return s.alive(); }));
+        const std::size_t needed = std::min<std::size_t>(slots.size(), remaining);
+        if (live >= needed) return;
+        std::size_t now_live = live;
+        for (Slot& slot : slots) {
+            if (now_live >= needed) break;
+            if (slot.alive()) continue;
+            if (spawn(slot)) {
+                ++now_live;
+                counter("shard.spawns").inc();
+            } else {
+                counter("shard.spawn_failures").inc();
+                break; // transient resource pressure: retry next iteration
+            }
+        }
+        if (now_live == 0)
+            throw std::runtime_error("shard: cannot spawn any worker process");
+    }
+
+    // -- scheduling --------------------------------------------------------
+
+    [[nodiscard]] milliseconds backoff_after(unsigned attempt) const {
+        auto ms = opt.backoff_base;
+        for (unsigned k = 1; k < attempt && ms < opt.backoff_cap; ++k) ms *= 2;
+        return std::min(ms, opt.backoff_cap);
+    }
+
+    /// Next assignable scenario: a backoff-expired retry (lowest index)
+    /// first, else the next fresh one. SIZE_MAX when nothing is ready.
+    [[nodiscard]] std::size_t pick(clock::time_point now) {
+        std::size_t best = retries.size();
+        for (std::size_t k = 0; k < retries.size(); ++k) {
+            if (retries[k].ready_at > now) continue;
+            if (best == retries.size() || retries[k].index < retries[best].index)
+                best = k;
+        }
+        if (best != retries.size()) {
+            const std::size_t index = retries[best].index;
+            retries.erase(retries.begin() + static_cast<std::ptrdiff_t>(best));
+            return index;
+        }
+        if (fresh_head < fresh.size()) return fresh[fresh_head++];
+        return static_cast<std::size_t>(-1);
+    }
+
+    void assign_ready(clock::time_point now) {
+        for (std::size_t w = 0; w < slots.size(); ++w) {
+            Slot& slot = slots[w];
+            if (!slot.alive() || slot.busy) continue;
+            const std::size_t i = pick(now);
+            if (i == static_cast<std::size_t>(-1)) return;
+            ++attempts[i];
+            slot.busy = true;
+            slot.scenario = i;
+            if (opt.timeout.count() > 0) {
+                slot.deadline = now + opt.timeout;
+                slot.deadline_armed = true;
+            }
+            Encoder e;
+            e.u64(i);
+            counter("shard.assignments").inc();
+            if (!send_frame(slot.fd, MsgType::assign, e.take()))
+                handle_death(slot, /*killed_for_timeout=*/false);
+        }
+    }
+
+    [[nodiscard]] int poll_timeout(clock::time_point now) const {
+        clock::time_point next = now + milliseconds(500);
+        for (const Slot& s : slots)
+            if (s.alive() && s.busy && s.deadline_armed && s.deadline < next)
+                next = s.deadline;
+        for (const Retry& r : retries)
+            if (r.ready_at < next) next = r.ready_at;
+        const auto ms = std::chrono::duration_cast<milliseconds>(next - now).count();
+        return static_cast<int>(std::clamp<long long>(ms, 0, 500));
+    }
+
+    // -- failure handling --------------------------------------------------
+
+    void finish_scenario(ScenarioResult r) {
+        const std::size_t i = r.index;
+        done[i] = true;
+        --remaining;
+        ++completed;
+        if (!r.ok) counter("shard.failures").inc();
+        out.metrics.histogram("shard.scenario_wall_us")
+            .record(static_cast<std::uint64_t>(r.wall_ms * 1000.0));
+        out.report.results[i] = std::move(r);
+        if (writer.is_open()) {
+            if (writer.append(out.report.results[i]))
+                counter("shard.checkpoint_records").inc();
+            else
+                counter("shard.checkpoint_write_failures").inc();
+        }
+        if (opt.on_progress)
+            opt.on_progress(
+                Progress{completed, scenarios.size(), out.report.results[i]});
+    }
+
+    /// One attempt of scenario `i` died with `desc`. Either schedule a
+    /// backoff retry or, budget exhausted, record the deterministic failed
+    /// entry.
+    void fail_attempt(std::size_t i, const std::string& desc) {
+        if (attempts[i] < opt.max_attempts) {
+            retries.push_back({i, clock::now() + backoff_after(attempts[i])});
+            ++out.retries;
+            counter("shard.retries").inc();
+            return;
+        }
+        ScenarioResult r;
+        r.name = scenarios[i].name;
+        r.index = i;
+        r.seed = derive_seed(opt.seed, i);
+        r.ok = false;
+        r.error = "shard: " + desc + " (attempt " + std::to_string(attempts[i]) +
+                  "/" + std::to_string(opt.max_attempts) + ")";
+        finish_scenario(std::move(r));
+    }
+
+    /// A worker is gone (EOF, protocol corruption, failed send) or overdue
+    /// (timeout SIGKILL). Reap it, charge its in-flight scenario, free the
+    /// slot. Respawning happens in ensure_workers().
+    void handle_death(Slot& slot, bool killed_for_timeout) {
+        if (killed_for_timeout) ::kill(slot.pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {}
+        ::close(slot.fd);
+
+        const bool was_busy = slot.busy;
+        const std::size_t i = slot.scenario;
+        std::string desc;
+        if (killed_for_timeout) {
+            desc = "scenario timed out after " +
+                   std::to_string(opt.timeout.count()) + "ms";
+            ++out.timeouts;
+            counter("shard.timeouts").inc();
+        } else {
+            desc = describe_status(status);
+            ++out.crashes;
+            counter("shard.worker_crashes").inc();
+        }
+        slot = Slot{}; // dead, idle, respawnable
+        if (was_busy && !done[i]) fail_attempt(i, desc);
+    }
+
+    // -- socket plumbing ---------------------------------------------------
+
+    /// Drain one readable socket; returns frames via handle_frame. Death
+    /// (EOF / corruption) is handled after buffered frames — a worker that
+    /// sent its result and then crashed still gets the result counted.
+    void service_socket(Slot& slot, bool drain_phase) {
+        bool eof = false, error = false;
+        for (;;) {
+            std::uint8_t buf[65536];
+            const ssize_t n = ::recv(slot.fd, buf, sizeof buf, 0);
+            if (n > 0) {
+                slot.reader.feed(buf, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n == 0) {
+                eof = true;
+                break;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            error = true;
+            break;
+        }
+        Frame frame;
+        while (slot.alive() && slot.reader.next(frame))
+            handle_frame(slot, frame, drain_phase);
+        if (!slot.alive()) return; // a protocol breach already buried it
+        if (slot.reader.corrupt()) {
+            ::kill(slot.pid, SIGKILL);
+            handle_death(slot, /*killed_for_timeout=*/false);
+        } else if (eof || error) {
+            if (drain_phase) {
+                // Clean exit after shutdown: reap quietly.
+                int status = 0;
+                while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {}
+                ::close(slot.fd);
+                slot = Slot{};
+            } else {
+                handle_death(slot, /*killed_for_timeout=*/false);
+            }
+        }
+    }
+
+    void handle_frame(Slot& slot, const Frame& frame, bool drain_phase) {
+        switch (frame.type) {
+        case MsgType::hello: {
+            Decoder d(frame.payload);
+            std::uint32_t version = 0;
+            std::uint64_t pid = 0;
+            if (!d.u32(version) || !d.u64(pid) || !d.finished() ||
+                version != kProtocolVersion) {
+                ::kill(slot.pid, SIGKILL);
+                handle_death(slot, /*killed_for_timeout=*/false);
+            }
+            return;
+        }
+        case MsgType::result: {
+            ScenarioResult r;
+            if (!decode_result(frame.payload, r) || !slot.busy ||
+                r.index != slot.scenario ||
+                r.seed != derive_seed(opt.seed, r.index)) {
+                ::kill(slot.pid, SIGKILL);
+                handle_death(slot, /*killed_for_timeout=*/false);
+                return;
+            }
+            slot.busy = false;
+            slot.deadline_armed = false;
+            if (!done[r.index]) finish_scenario(std::move(r));
+            return;
+        }
+        case MsgType::metrics: {
+            obs::MetricsRegistry reg;
+            if (drain_phase && !slot.metrics_merged &&
+                decode_registry(frame.payload, reg)) {
+                out.metrics.merge(reg);
+                slot.metrics_merged = true;
+            }
+            return;
+        }
+        default:
+            ::kill(slot.pid, SIGKILL);
+            handle_death(slot, /*killed_for_timeout=*/false);
+            return;
+        }
+    }
+
+    void poll_and_service(int timeout_ms, bool drain_phase) {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> who;
+        for (std::size_t w = 0; w < slots.size(); ++w) {
+            if (!slots[w].alive()) continue;
+            fds.push_back({slots[w].fd, POLLIN, 0});
+            who.push_back(w);
+        }
+        if (fds.empty()) return;
+        const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+        if (n <= 0) return; // timeout or EINTR: deadlines handled by caller
+        for (std::size_t k = 0; k < fds.size(); ++k)
+            if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                service_socket(slots[who[k]], drain_phase);
+    }
+
+    void check_deadlines(clock::time_point now) {
+        for (Slot& slot : slots)
+            if (slot.alive() && slot.busy && slot.deadline_armed &&
+                now >= slot.deadline)
+                handle_death(slot, /*killed_for_timeout=*/true);
+    }
+
+    // -- phases ------------------------------------------------------------
+
+    void execute() {
+        while (remaining > 0) {
+            ensure_workers();
+            clock::time_point now = clock::now();
+            assign_ready(now);
+            if (remaining == 0) break; // assign's send failure may finish it
+            poll_and_service(poll_timeout(now), /*drain_phase=*/false);
+            check_deadlines(clock::now());
+        }
+    }
+
+    void drain() {
+        for (Slot& slot : slots)
+            if (slot.alive()) (void)send_frame(slot.fd, MsgType::shutdown, {});
+        const clock::time_point grace_end = clock::now() + milliseconds(3000);
+        while (clock::now() < grace_end &&
+               std::any_of(slots.begin(), slots.end(),
+                           [](const Slot& s) { return s.alive(); })) {
+            poll_and_service(100, /*drain_phase=*/true);
+        }
+        for (Slot& slot : slots) {
+            if (!slot.alive()) continue;
+            ::kill(slot.pid, SIGKILL);
+            int status = 0;
+            while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {}
+            ::close(slot.fd);
+            slot = Slot{};
+        }
+    }
+};
+
+} // namespace
+
+ShardOutcome ShardCoordinator::run(const std::vector<ScenarioSpec>& scenarios) const {
+    const clock::time_point t0 = clock::now();
+
+    ShardOptions opt = opt_;
+    if (opt.max_attempts == 0) opt.max_attempts = 1;
+    if (opt.backoff_base.count() < 0) opt.backoff_base = milliseconds(0);
+    if (opt.backoff_cap < opt.backoff_base) opt.backoff_cap = opt.backoff_base;
+
+    Run run(opt, scenarios);
+    run.out.report.seed = opt.seed;
+    run.done.assign(scenarios.size(), false);
+    run.attempts.assign(scenarios.size(), 0);
+    run.out.report.results.resize(scenarios.size());
+    run.remaining = scenarios.size();
+
+    unsigned workers = std::max(1u, opt.workers);
+    if (workers > scenarios.size() && !scenarios.empty())
+        workers = static_cast<unsigned>(scenarios.size());
+    run.out.report.workers = workers;
+    run.slots.resize(workers);
+
+    run.load_resume_state();
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        if (!run.done[i]) run.fresh.push_back(i);
+
+    if (run.remaining > 0) {
+        run.execute();
+        run.drain();
+    }
+    run.writer.close();
+
+    run.out.report.wall_ms = elapsed_ms(t0);
+    return std::move(run.out);
+}
+
+} // namespace rtsc::campaign::shard

@@ -1,0 +1,96 @@
+#pragma once
+// ShardCoordinator: crash-tolerant multi-process campaign execution.
+//
+// Where CampaignRunner fans scenarios over threads *inside* one process —
+// fast, but one segfault away from losing the whole sweep — the coordinator
+// fork()s N worker processes and talks to them over the length-prefixed
+// socketpair protocol (protocol.hpp). Process isolation turns every failure
+// mode into a recoverable event:
+//
+//   - a worker that crashes (signal) or exits unexpectedly loses only its
+//     one in-flight scenario, which is retried on a fresh worker with
+//     capped exponential backoff up to a retry budget, then recorded as a
+//     deterministic `failed` entry — the sweep always completes;
+//   - a scenario that exceeds the per-scenario wall-clock timeout is
+//     SIGKILLed coordinator-side (no SIGALRM in the worker, ever — see
+//     worker.hpp) and handled the same way;
+//   - the coordinator journals every terminal result to an append-only
+//     checkpoint (checkpoint.hpp), so a campaign killed mid-flight —
+//     kill -9 included — resumes incrementally and reproduces the
+//     bit-identical final report digest;
+//   - a dead coordinator reaps its fleet passively: workers exit on EOF.
+//
+// Scenario bodies run through the same run_scenario() as the in-process
+// runners, so for any campaign whose scenarios do not kill their host
+// process the sharded report digest equals CampaignRunner's — worker count,
+// crashes, retries and resume cannot change the science.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "obs/metrics.hpp"
+
+namespace rtsc::campaign::shard {
+
+struct ShardOptions {
+    /// Worker processes; clamped to the scenario count, minimum 1.
+    unsigned workers = 1;
+    /// Campaign master seed (same derivation as CampaignRunner).
+    std::uint64_t seed = 0;
+    /// Per-scenario wall-clock budget; exceeding it SIGKILLs the worker and
+    /// counts one failed attempt. zero = no timeout (hung scenarios hang
+    /// the campaign — set one for hostile workloads).
+    std::chrono::milliseconds timeout{0};
+    /// Total attempts per scenario before it is recorded as failed. The
+    /// budget is only consumed by worker deaths (crash/timeout): a scenario
+    /// that merely throws is a deterministic application failure and is
+    /// recorded immediately without retry, matching CampaignRunner.
+    unsigned max_attempts = 3;
+    /// Exponential backoff between attempts of one scenario:
+    /// min(backoff_cap, backoff_base * 2^(attempt-1)).
+    std::chrono::milliseconds backoff_base{50};
+    std::chrono::milliseconds backoff_cap{2000};
+    /// Append-only journal path; empty disables checkpointing.
+    std::string checkpoint_path;
+    /// Load the journal and skip scenarios already recorded. The journal
+    /// must key the same campaign (seed, count, names) or run() throws.
+    /// Without resume an existing journal is truncated.
+    bool resume = false;
+    /// Fired once per terminal scenario (completion order), coordinator
+    /// thread. Resumed scenarios are counted in `completed` but not
+    /// re-fired.
+    std::function<void(const Progress&)> on_progress;
+};
+
+struct ShardOutcome {
+    CampaignReport report;
+    /// Coordinator-side shard.* counters/histograms plus the per-worker
+    /// registries of cleanly shut-down workers, merged exactly
+    /// (MetricsRegistry::merge). Host-side measurement only — never part
+    /// of the report digest.
+    obs::MetricsRegistry metrics;
+    std::size_t resumed = 0;  ///< scenarios restored from the checkpoint
+    std::size_t crashes = 0;  ///< worker deaths not caused by our SIGKILL
+    std::size_t timeouts = 0; ///< deadline SIGKILLs
+    std::size_t retries = 0;  ///< re-assignments after a failed attempt
+};
+
+class ShardCoordinator {
+public:
+    explicit ShardCoordinator(ShardOptions opt) : opt_(std::move(opt)) {}
+
+    /// Run the campaign to completion. Throws std::runtime_error only for
+    /// coordinator-level impossibilities (incompatible checkpoint, cannot
+    /// spawn any worker); scenario failures of every kind are contained in
+    /// the report. Call from a thread-light process: fork() happens here.
+    [[nodiscard]] ShardOutcome run(const std::vector<ScenarioSpec>& scenarios) const;
+
+private:
+    ShardOptions opt_;
+};
+
+} // namespace rtsc::campaign::shard

@@ -1,0 +1,274 @@
+#include "campaign/shard/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rtsc::campaign::shard {
+
+// ---------------------------------------------------------------------------
+// Codec
+
+void Encoder::f64(double v) {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+}
+
+bool Decoder::u8(std::uint8_t& v) {
+    if (!ok_ || end_ - p_ < 1) return ok_ = false;
+    v = *p_++;
+    return true;
+}
+
+bool Decoder::u32(std::uint32_t& v) {
+    if (!ok_ || end_ - p_ < 4) return ok_ = false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    return true;
+}
+
+bool Decoder::u64(std::uint64_t& v) {
+    if (!ok_ || end_ - p_ < 8) return ok_ = false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    return true;
+}
+
+bool Decoder::f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+}
+
+bool Decoder::str(std::string& v) {
+    std::uint64_t n;
+    if (!u64(n)) return false;
+    if (n > static_cast<std::uint64_t>(end_ - p_)) return ok_ = false;
+    v.assign(reinterpret_cast<const char*>(p_), static_cast<std::size_t>(n));
+    p_ += n;
+    return true;
+}
+
+std::vector<std::uint8_t> encode_result(const ScenarioResult& r) {
+    Encoder e;
+    e.str(r.name);
+    e.u64(r.index);
+    e.u64(r.seed);
+    e.u8(r.ok ? 1 : 0);
+    e.str(r.error);
+    e.f64(r.wall_ms);
+    e.u64(r.metrics.size());
+    for (const auto& [k, v] : r.metrics) {
+        e.str(k);
+        e.f64(v);
+    }
+    e.u64(r.notes.size());
+    for (const auto& [k, v] : r.notes) {
+        e.str(k);
+        e.str(v);
+    }
+    return e.take();
+}
+
+bool decode_result(const std::vector<std::uint8_t>& payload, ScenarioResult& out) {
+    Decoder d(payload);
+    out = ScenarioResult{};
+    std::uint8_t ok = 0;
+    std::uint64_t index = 0, seed = 0, n = 0;
+    if (!d.str(out.name) || !d.u64(index) || !d.u64(seed) || !d.u8(ok) ||
+        !d.str(out.error) || !d.f64(out.wall_ms) || !d.u64(n))
+        return false;
+    out.index = static_cast<std::size_t>(index);
+    out.seed = seed;
+    out.ok = ok != 0;
+    out.metrics.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string k;
+        double v = 0;
+        if (!d.str(k) || !d.f64(v)) return false;
+        out.metrics.emplace_back(std::move(k), v);
+    }
+    std::uint64_t m = 0;
+    if (!d.u64(m)) return false;
+    out.notes.reserve(static_cast<std::size_t>(m));
+    for (std::uint64_t i = 0; i < m; ++i) {
+        std::string k, v;
+        if (!d.str(k) || !d.str(v)) return false;
+        out.notes.emplace_back(std::move(k), std::move(v));
+    }
+    return d.finished();
+}
+
+std::vector<std::uint8_t> encode_registry(const obs::MetricsRegistry& reg) {
+    Encoder e;
+    e.u64(reg.counters().size());
+    for (const auto& [name, c] : reg.counters()) {
+        e.str(name);
+        e.u64(c.value());
+    }
+    e.u64(reg.gauges().size());
+    for (const auto& [name, g] : reg.gauges()) {
+        e.str(name);
+        e.f64(g.last());
+        e.f64(g.min());
+        e.f64(g.max());
+        e.f64(g.sum());
+        e.u64(g.samples());
+    }
+    e.u64(reg.histograms().size());
+    for (const auto& [name, h] : reg.histograms()) {
+        e.str(name);
+        e.u64(h.count());
+        e.u64(h.min());
+        e.u64(h.max());
+        e.f64(h.sum());
+        // Sparse bucket list: (index, count) pairs for nonzero buckets only.
+        const auto& buckets = h.bucket_counts();
+        std::uint64_t nonzero = 0;
+        for (const std::uint32_t c : buckets)
+            if (c != 0) ++nonzero;
+        e.u64(nonzero);
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (buckets[i] == 0) continue;
+            e.u32(static_cast<std::uint32_t>(i));
+            e.u32(buckets[i]);
+        }
+    }
+    return e.take();
+}
+
+bool decode_registry(const std::vector<std::uint8_t>& payload,
+                     obs::MetricsRegistry& out) {
+    Decoder d(payload);
+    out.clear();
+    std::uint64_t n = 0;
+    if (!d.u64(n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        std::uint64_t v = 0;
+        if (!d.str(name) || !d.u64(v)) return false;
+        out.counter(name).inc(v);
+    }
+    if (!d.u64(n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        double last = 0, min = 0, max = 0, sum = 0;
+        std::uint64_t samples = 0;
+        if (!d.str(name) || !d.f64(last) || !d.f64(min) || !d.f64(max) ||
+            !d.f64(sum) || !d.u64(samples))
+            return false;
+        out.gauge(name) = obs::Gauge::from_parts(last, min, max, sum, samples);
+    }
+    if (!d.u64(n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        std::uint64_t count = 0, min = 0, max = 0, nonzero = 0;
+        double sum = 0;
+        if (!d.str(name) || !d.u64(count) || !d.u64(min) || !d.u64(max) ||
+            !d.f64(sum) || !d.u64(nonzero))
+            return false;
+        std::vector<std::uint32_t> buckets;
+        if (nonzero != 0) buckets.resize(obs::Histogram::kBuckets, 0);
+        for (std::uint64_t b = 0; b < nonzero; ++b) {
+            std::uint32_t idx = 0, c = 0;
+            if (!d.u32(idx) || !d.u32(c) || idx >= obs::Histogram::kBuckets)
+                return false;
+            buckets[idx] = c;
+        }
+        out.histogram(name) =
+            obs::Histogram::from_parts(std::move(buckets), count, min, max, sum);
+    }
+    return d.finished();
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+
+namespace {
+
+[[nodiscard]] bool valid_type(std::uint8_t t) noexcept {
+    return t >= static_cast<std::uint8_t>(MsgType::hello) &&
+           t <= static_cast<std::uint8_t>(MsgType::shutdown);
+}
+
+[[nodiscard]] bool send_all(int fd, const std::uint8_t* p, std::size_t n) {
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+[[nodiscard]] bool recv_all(int fd, std::uint8_t* p, std::size_t n) {
+    while (n > 0) {
+        const ssize_t r = ::recv(fd, p, n, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (r == 0) return false; // EOF mid-frame
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+bool send_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload) {
+    if (payload.size() > kMaxFrameBytes) return false;
+    std::uint8_t header[5];
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    header[4] = static_cast<std::uint8_t>(type);
+    if (!send_all(fd, header, sizeof header)) return false;
+    return payload.empty() || send_all(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, Frame& out) {
+    std::uint8_t header[5];
+    if (!recv_all(fd, header, sizeof header)) return false;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+    if (len > kMaxFrameBytes || !valid_type(header[4])) return false;
+    out.type = static_cast<MsgType>(header[4]);
+    out.payload.resize(len);
+    return len == 0 || recv_all(fd, out.payload.data(), len);
+}
+
+bool FrameReader::next(Frame& out) {
+    if (corrupt_) return false;
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < 5) return false;
+    const std::uint8_t* p = buf_.data() + pos_;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    if (len > kMaxFrameBytes || !valid_type(p[4])) {
+        corrupt_ = true;
+        return false;
+    }
+    if (avail < 5u + len) return false;
+    out.type = static_cast<MsgType>(p[4]);
+    out.payload.assign(p + 5, p + 5 + len);
+    pos_ += 5u + len;
+    // Compact once the consumed prefix dominates, keeping feed() amortized.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    return true;
+}
+
+} // namespace rtsc::campaign::shard

@@ -1,0 +1,61 @@
+#include "campaign/shard/worker.hpp"
+
+#include <unistd.h>
+
+#include "campaign/shard/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace rtsc::campaign::shard {
+
+int shard_worker_main(int fd, const std::vector<ScenarioSpec>& scenarios,
+                      std::uint64_t campaign_seed) {
+    // Per-worker observability, merged coordinator-side on clean shutdown
+    // (MetricsRegistry::merge — histograms merge exactly). Everything here
+    // is host-side measurement, never part of the report digest.
+    obs::MetricsRegistry reg;
+    obs::Counter& n_run = reg.counter("shard.worker.scenarios_run");
+    obs::Counter& n_failed = reg.counter("shard.worker.scenarios_failed");
+    obs::Histogram& wall_us = reg.histogram("shard.worker.scenario_wall_us");
+    obs::Histogram& result_bytes = reg.histogram("shard.worker.result_bytes");
+
+    {
+        Encoder hello;
+        hello.u32(kProtocolVersion);
+        hello.u64(static_cast<std::uint64_t>(::getpid()));
+        if (!send_frame(fd, MsgType::hello, hello.take())) return 2;
+    }
+
+    for (;;) {
+        Frame frame;
+        if (!recv_frame(fd, frame)) return 2; // coordinator died: exit quietly
+
+        switch (frame.type) {
+        case MsgType::assign: {
+            Decoder d(frame.payload);
+            std::uint64_t index = 0;
+            if (!d.u64(index) || !d.finished() || index >= scenarios.size())
+                return 3; // protocol violation: let the coordinator respawn us
+            const auto i = static_cast<std::size_t>(index);
+
+            const ScenarioResult result =
+                run_scenario(scenarios[i], i, campaign_seed);
+
+            n_run.inc();
+            if (!result.ok) n_failed.inc();
+            wall_us.record(static_cast<std::uint64_t>(result.wall_ms * 1000.0));
+            const std::vector<std::uint8_t> payload = encode_result(result);
+            result_bytes.record(payload.size());
+            if (!send_frame(fd, MsgType::result, payload)) return 2;
+            break;
+        }
+        case MsgType::shutdown:
+            // Final act: ship the per-worker metrics, then exit cleanly.
+            (void)send_frame(fd, MsgType::metrics, encode_registry(reg));
+            return 0;
+        default:
+            return 3; // coordinator never sends anything else
+        }
+    }
+}
+
+} // namespace rtsc::campaign::shard

@@ -1,0 +1,34 @@
+#pragma once
+// Shard worker: the child-process half of the sharded campaign service.
+//
+// The coordinator fork()s one child per worker slot; the child calls
+// shard_worker_main() on its end of the socketpair and never returns to the
+// caller's code. The worker is deliberately dumb: it receives scenario
+// indices, runs them with the exact same run_scenario() the in-process
+// runners use (same seeds, same structured failure entries — that is the
+// digest-equality contract), ships each result back, and exits on shutdown
+// or when the coordinator disappears (EOF on the socket — a dead
+// coordinator reaps its whole fleet this way, no process leaks).
+//
+// Deadlines are enforced entirely coordinator-side: the worker installs no
+// signal handlers and no SIGALRM — a hung scenario is SIGKILLed from
+// outside, which is the only hang-proof mechanism (a wedged simulation
+// loop never returns to any in-process check, and signal-interrupting a
+// coroutine kernel mid-switch is undefined behaviour we refuse to play
+// with).
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace rtsc::campaign::shard {
+
+/// Serve assignments over `fd` until shutdown/EOF. Returns the process exit
+/// code (0 = clean shutdown). Call only in a forked child, and _exit() with
+/// the returned value — never run atexit handlers of the parent's state.
+[[nodiscard]] int shard_worker_main(int fd,
+                                    const std::vector<ScenarioSpec>& scenarios,
+                                    std::uint64_t campaign_seed);
+
+} // namespace rtsc::campaign::shard

@@ -13,6 +13,30 @@ void Histogram::record(std::uint64_t v) {
     ++count_;
 }
 
+void Histogram::merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (buckets_.empty()) buckets_.resize(kBuckets, 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+Histogram Histogram::from_parts(std::vector<std::uint32_t> buckets,
+                                std::uint64_t count, std::uint64_t min,
+                                std::uint64_t max, double sum) {
+    Histogram h;
+    if (!buckets.empty()) buckets.resize(kBuckets, 0);
+    h.buckets_ = std::move(buckets);
+    h.count_ = count;
+    h.min_ = min;
+    h.max_ = max;
+    h.sum_ = sum;
+    return h;
+}
+
 double Histogram::quantile(double q) const {
     if (count_ == 0) return 0.0;
     q = std::clamp(q, 0.0, 1.0);
@@ -52,6 +76,12 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
     const auto it = histograms_.find(name);
     return it != histograms_.end() ? &it->second : nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+    for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+    for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+    for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {

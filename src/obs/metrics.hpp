@@ -32,6 +32,10 @@ public:
     void inc(std::uint64_t n = 1) noexcept { value_ += n; }
     [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
 
+    /// Combine with a counter recorded elsewhere (another worker process):
+    /// the result is exactly the counter a single recorder would hold.
+    void merge(const Counter& other) noexcept { value_ += other.value_; }
+
 private:
     std::uint64_t value_ = 0;
 };
@@ -52,6 +56,32 @@ public:
         return samples_ != 0 ? sum_ / static_cast<double>(samples_) : 0.0;
     }
     [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+
+    /// Combine with a gauge recorded elsewhere. min/max/sum/samples (and so
+    /// mean) merge exactly; `last` has no global order across recorders, so
+    /// the other side's last wins when it recorded anything — deterministic
+    /// as long as the merge order is (workers are merged by worker index).
+    void merge(const Gauge& other) noexcept {
+        if (other.samples_ == 0) return;
+        if (samples_ == 0 || other.min_ < min_) min_ = other.min_;
+        if (samples_ == 0 || other.max_ > max_) max_ = other.max_;
+        sum_ += other.sum_;
+        samples_ += other.samples_;
+        last_ = other.last_;
+    }
+
+    /// Rebuild a gauge from transported state (shard wire protocol).
+    [[nodiscard]] static Gauge from_parts(double last, double min, double max,
+                                          double sum, std::uint64_t samples) noexcept {
+        Gauge g;
+        g.last_ = last;
+        g.min_ = min;
+        g.max_ = max;
+        g.sum_ = sum;
+        g.samples_ = samples;
+        return g;
+    }
 
 private:
     double last_ = 0, min_ = 0, max_ = 0, sum_ = 0;
@@ -100,6 +130,26 @@ public:
     [[nodiscard]] double p90() const { return quantile(0.90); }
     [[nodiscard]] double p99() const { return quantile(0.99); }
 
+    /// Combine with a histogram recorded elsewhere (another worker process).
+    /// Log-bucketed histograms merge *exactly*: bucket counts add, min/max/
+    /// sum/count combine, so the merged histogram is bit-identical — buckets
+    /// and every derived quantile — to one that recorded both sample
+    /// streams itself. This is what makes per-worker shard metrics safe to
+    /// aggregate without any loss.
+    void merge(const Histogram& other);
+
+    /// Raw bucket counts (empty until the first record()).
+    [[nodiscard]] const std::vector<std::uint32_t>& bucket_counts() const noexcept {
+        return buckets_;
+    }
+
+    /// Rebuild a histogram from transported state (shard wire protocol).
+    /// `buckets` may be empty (no samples) or kBuckets long.
+    [[nodiscard]] static Histogram from_parts(std::vector<std::uint32_t> buckets,
+                                              std::uint64_t count,
+                                              std::uint64_t min,
+                                              std::uint64_t max, double sum);
+
 private:
     // constexpr-friendly countl_zero for uint64 (avoid <bit> dependency in
     // the hot path signature; identical to std::countl_zero).
@@ -145,6 +195,13 @@ public:
     /// as .last/.min/.max/.mean, histograms as .count/.p50/.p90/.p99/.max.
     /// The output is deterministic: same recorded data => same samples.
     [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+    /// Fold another registry into this one, metric by metric, by name:
+    /// counters and histograms combine exactly (see Histogram::merge),
+    /// gauges combine min/max/sum/samples. Metrics present only in `other`
+    /// are copied. The shard coordinator uses this to aggregate per-worker
+    /// registries into one campaign-wide registry.
+    void merge(const MetricsRegistry& other);
 
     void clear() {
         counters_.clear();

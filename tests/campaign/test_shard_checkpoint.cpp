@@ -1,0 +1,248 @@
+// Checkpoint journal: append/load round-trips, kill-9 torn-tail tolerance,
+// header keying, first-wins dedup, record-level validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/shard/checkpoint.hpp"
+
+namespace c = rtsc::campaign;
+namespace shard = rtsc::campaign::shard;
+
+namespace {
+
+// Self-deleting journal path under the build dir (unique per test).
+struct TempPath {
+    explicit TempPath(const std::string& tag)
+        : path("shard_ckpt_" + tag + "_" + std::to_string(::getpid()) +
+               ".journal") {
+        std::remove(path.c_str());
+    }
+    ~TempPath() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+[[nodiscard]] std::vector<c::ScenarioSpec> campaign_of(std::size_t n) {
+    std::vector<c::ScenarioSpec> s;
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back({"scn_" + std::to_string(i), [](c::ScenarioContext&) {}});
+    return s;
+}
+
+[[nodiscard]] c::ScenarioResult result_for(const shard::CheckpointKey& key,
+                                           std::size_t index, bool ok) {
+    c::ScenarioResult r;
+    r.name = "scn_" + std::to_string(index);
+    r.index = index;
+    r.seed = c::derive_seed(key.seed, index);
+    r.ok = ok;
+    if (!ok) r.error = "std::runtime_error: boom";
+    r.wall_ms = 1.5;
+    r.metrics = {{"misses", static_cast<double>(index)}};
+    r.notes = {{"engine", index % 2 == 0 ? "procedure_calls" : "rtos_thread"}};
+    return r;
+}
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void dump(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+} // namespace
+
+TEST(ShardCheckpoint, MissingFileStartsFresh) {
+    const TempPath tmp("missing");
+    const auto load = shard::load_checkpoint(tmp.path, {1, 2, 3});
+    EXPECT_FALSE(load.found);
+    EXPECT_FALSE(load.compatible);
+    EXPECT_TRUE(load.results.empty());
+}
+
+TEST(ShardCheckpoint, AppendLoadRoundTrip) {
+    const TempPath tmp("roundtrip");
+    const auto scenarios = campaign_of(5);
+    const shard::CheckpointKey key{42, scenarios.size(),
+                                   shard::scenario_names_digest(scenarios)};
+
+    {
+        shard::CheckpointWriter w;
+        ASSERT_TRUE(w.open(tmp.path, key, /*truncate=*/true));
+        for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{4}})
+            ASSERT_TRUE(w.append(result_for(key, i, i != 2)));
+    }
+
+    const auto load = shard::load_checkpoint(tmp.path, key);
+    ASSERT_TRUE(load.found);
+    ASSERT_TRUE(load.compatible) << load.error;
+    EXPECT_EQ(load.dropped, 0u);
+    ASSERT_EQ(load.results.size(), 3u);
+    for (std::size_t i = 0; i < load.results.size(); ++i) {
+        const auto& got = load.results[i];
+        const auto want = result_for(key, got.index, got.index != 2);
+        EXPECT_EQ(got.name, want.name);
+        EXPECT_EQ(got.seed, want.seed);
+        EXPECT_EQ(got.ok, want.ok);
+        EXPECT_EQ(got.error, want.error);
+        EXPECT_EQ(got.metrics, want.metrics);
+        EXPECT_EQ(got.notes, want.notes);
+    }
+}
+
+TEST(ShardCheckpoint, ReopenWithoutTruncateAppends) {
+    const TempPath tmp("reopen");
+    const auto scenarios = campaign_of(4);
+    const shard::CheckpointKey key{7, scenarios.size(),
+                                   shard::scenario_names_digest(scenarios)};
+    {
+        shard::CheckpointWriter w;
+        ASSERT_TRUE(w.open(tmp.path, key, true));
+        ASSERT_TRUE(w.append(result_for(key, 0, true)));
+    }
+    {
+        // Resume-style reopen: keeps the old record, header not duplicated.
+        shard::CheckpointWriter w;
+        ASSERT_TRUE(w.open(tmp.path, key, false));
+        ASSERT_TRUE(w.append(result_for(key, 1, true)));
+    }
+    const auto load = shard::load_checkpoint(tmp.path, key);
+    ASSERT_TRUE(load.compatible) << load.error;
+    EXPECT_EQ(load.results.size(), 2u);
+    EXPECT_EQ(load.dropped, 0u);
+
+    // ... while a truncate-open discards history (fresh run semantics).
+    {
+        shard::CheckpointWriter w;
+        ASSERT_TRUE(w.open(tmp.path, key, true));
+    }
+    EXPECT_TRUE(shard::load_checkpoint(tmp.path, key).results.empty());
+}
+
+TEST(ShardCheckpoint, TornTailIsDroppedIntactRecordsSurvive) {
+    const TempPath tmp("torn");
+    const auto scenarios = campaign_of(3);
+    const shard::CheckpointKey key{9, scenarios.size(),
+                                   shard::scenario_names_digest(scenarios)};
+    {
+        shard::CheckpointWriter w;
+        ASSERT_TRUE(w.open(tmp.path, key, true));
+        ASSERT_TRUE(w.append(result_for(key, 0, true)));
+        ASSERT_TRUE(w.append(result_for(key, 1, true)));
+    }
+    // Simulate SIGKILL mid-append: a half-written record with no newline.
+    std::string content = slurp(tmp.path);
+    const std::string full = content;
+    dump(tmp.path, content + "R 0123456789abcdef 00ff"); // torn tail
+
+    auto load = shard::load_checkpoint(tmp.path, key);
+    ASSERT_TRUE(load.compatible) << load.error;
+    EXPECT_EQ(load.results.size(), 2u);
+    EXPECT_EQ(load.dropped, 1u);
+
+    // Corrupt checksum on an otherwise well-formed line: dropped too.
+    std::string third_line;
+    {
+        shard::CheckpointWriter w;
+        ASSERT_TRUE(w.open(tmp.path, key, true));
+        ASSERT_TRUE(w.append(result_for(key, 0, true)));
+        ASSERT_TRUE(w.append(result_for(key, 2, true)));
+    }
+    content = slurp(tmp.path);
+    const auto pos = content.rfind("R ");
+    ASSERT_NE(pos, std::string::npos);
+    content[pos + 2] = content[pos + 2] == '0' ? '1' : '0';
+    dump(tmp.path, content);
+    load = shard::load_checkpoint(tmp.path, key);
+    ASSERT_TRUE(load.compatible);
+    EXPECT_EQ(load.results.size(), 1u);
+    EXPECT_EQ(load.dropped, 1u);
+    (void)full;
+}
+
+TEST(ShardCheckpoint, RefusesForeignCampaign) {
+    const TempPath tmp("foreign");
+    const auto scenarios = campaign_of(3);
+    const shard::CheckpointKey key{1, scenarios.size(),
+                                   shard::scenario_names_digest(scenarios)};
+    {
+        shard::CheckpointWriter w;
+        ASSERT_TRUE(w.open(tmp.path, key, true));
+        ASSERT_TRUE(w.append(result_for(key, 0, true)));
+    }
+    // Different master seed, different scenario count, different names —
+    // each alone must make the journal incompatible, never silently mixed.
+    for (const shard::CheckpointKey bad :
+         {shard::CheckpointKey{2, key.scenario_count, key.names_digest},
+          shard::CheckpointKey{1, key.scenario_count + 1, key.names_digest},
+          shard::CheckpointKey{1, key.scenario_count, key.names_digest ^ 1}}) {
+        const auto load = shard::load_checkpoint(tmp.path, bad);
+        EXPECT_TRUE(load.found);
+        EXPECT_FALSE(load.compatible);
+        EXPECT_FALSE(load.error.empty());
+        EXPECT_TRUE(load.results.empty());
+    }
+
+    // Garbage header: found but unusable.
+    dump(tmp.path, "not a checkpoint\n");
+    const auto load = shard::load_checkpoint(tmp.path, key);
+    EXPECT_FALSE(load.compatible);
+}
+
+TEST(ShardCheckpoint, FirstRecordWinsOnDuplicateIndex) {
+    const TempPath tmp("dup");
+    const auto scenarios = campaign_of(2);
+    const shard::CheckpointKey key{5, scenarios.size(),
+                                   shard::scenario_names_digest(scenarios)};
+    shard::CheckpointWriter w;
+    ASSERT_TRUE(w.open(tmp.path, key, true));
+    auto first = result_for(key, 0, true);
+    first.notes = {{"which", "first"}};
+    auto second = result_for(key, 0, true);
+    second.notes = {{"which", "second"}};
+    ASSERT_TRUE(w.append(first));
+    ASSERT_TRUE(w.append(second));
+    w.close();
+
+    const auto load = shard::load_checkpoint(tmp.path, key);
+    ASSERT_TRUE(load.compatible);
+    ASSERT_EQ(load.results.size(), 1u);
+    ASSERT_EQ(load.results[0].notes.size(), 1u);
+    EXPECT_EQ(load.results[0].notes[0].second, "first");
+    EXPECT_EQ(load.dropped, 1u);
+}
+
+TEST(ShardCheckpoint, RejectsRecordsThatContradictTheCampaign) {
+    const TempPath tmp("contradict");
+    const auto scenarios = campaign_of(3);
+    const shard::CheckpointKey key{11, scenarios.size(),
+                                   shard::scenario_names_digest(scenarios)};
+    shard::CheckpointWriter w;
+    ASSERT_TRUE(w.open(tmp.path, key, true));
+
+    auto out_of_range = result_for(key, 0, true);
+    out_of_range.index = 99; // beyond scenario_count
+    out_of_range.seed = c::derive_seed(key.seed, 99);
+    ASSERT_TRUE(w.append(out_of_range));
+
+    auto wrong_seed = result_for(key, 1, true);
+    wrong_seed.seed ^= 1; // disagrees with derive_seed(campaign, index)
+    ASSERT_TRUE(w.append(wrong_seed));
+
+    ASSERT_TRUE(w.append(result_for(key, 2, true))); // the one honest record
+    w.close();
+
+    const auto load = shard::load_checkpoint(tmp.path, key);
+    ASSERT_TRUE(load.compatible);
+    ASSERT_EQ(load.results.size(), 1u);
+    EXPECT_EQ(load.results[0].index, 2u);
+    EXPECT_EQ(load.dropped, 2u);
+}

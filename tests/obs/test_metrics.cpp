@@ -157,3 +157,88 @@ TEST(RegistryTest, FindOrCreateAndSnapshot) {
     EXPECT_TRUE(reg.empty());
     EXPECT_TRUE(reg.snapshot().empty());
 }
+
+TEST(MergeTest, HistogramMergeIsExact) {
+    // The merge contract: merging two histograms is bit-identical — buckets,
+    // stats, every quantile — to one histogram that saw both sample streams.
+    // This is what makes per-worker shard registries safe to aggregate.
+    o::Histogram a, b, combined;
+    std::uint64_t v = 1;
+    for (int i = 0; i < 40; ++i) {
+        a.record(v);
+        combined.record(v);
+        v = v * 3 + 1;
+    }
+    std::uint64_t u = 5;
+    for (int i = 0; i < 25; ++i) {
+        b.record(u);
+        combined.record(u);
+        u = u * 7 + 3;
+    }
+    a.merge(b);
+    EXPECT_EQ(a.bucket_counts(), combined.bucket_counts());
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+
+    // Merging into / from an empty histogram is the identity.
+    o::Histogram empty;
+    auto before = combined.bucket_counts();
+    combined.merge(empty);
+    EXPECT_EQ(combined.bucket_counts(), before);
+    empty.merge(combined);
+    EXPECT_EQ(empty.bucket_counts(), combined.bucket_counts());
+    EXPECT_EQ(empty.min(), combined.min());
+}
+
+TEST(MergeTest, CounterAndGaugeMerge) {
+    o::Counter a, b;
+    a.inc(3);
+    b.inc(39);
+    a.merge(b);
+    EXPECT_EQ(a.value(), 42u);
+
+    o::Gauge g1, g2;
+    g1.set(1.0);
+    g1.set(5.0);
+    g2.set(-2.0);
+    g2.set(0.5);
+    g1.merge(g2);
+    EXPECT_DOUBLE_EQ(g1.min(), -2.0);
+    EXPECT_DOUBLE_EQ(g1.max(), 5.0);
+    EXPECT_EQ(g1.samples(), 4u);
+    EXPECT_DOUBLE_EQ(g1.mean(), (1.0 + 5.0 - 2.0 + 0.5) / 4.0);
+    EXPECT_DOUBLE_EQ(g1.last(), 0.5); // other's last wins when it recorded
+
+    o::Gauge quiet; // merging an empty gauge changes nothing, even `last`
+    g1.merge(quiet);
+    EXPECT_DOUBLE_EQ(g1.last(), 0.5);
+    EXPECT_EQ(g1.samples(), 4u);
+}
+
+TEST(MergeTest, RegistryMergeFoldsByName) {
+    o::MetricsRegistry a, b;
+    a.counter("shared").inc(1);
+    b.counter("shared").inc(2);
+    b.counter("only_b").inc(9);
+    a.gauge("g").set(1.0);
+    b.gauge("g").set(3.0);
+    a.histogram("h").record(10);
+    b.histogram("h").record(20);
+    b.histogram("h2").record(5);
+
+    a.merge(b);
+    EXPECT_EQ(a.find_counter("shared")->value(), 3u);
+    EXPECT_EQ(a.find_counter("only_b")->value(), 9u);
+    EXPECT_EQ(a.find_gauge("g")->samples(), 2u);
+    EXPECT_DOUBLE_EQ(a.find_gauge("g")->max(), 3.0);
+    EXPECT_EQ(a.find_histogram("h")->count(), 2u);
+    EXPECT_EQ(a.find_histogram("h")->max(), 20u);
+    ASSERT_NE(a.find_histogram("h2"), nullptr);
+    EXPECT_EQ(a.find_histogram("h2")->count(), 1u);
+    // b is untouched by the merge.
+    EXPECT_EQ(b.find_counter("shared")->value(), 2u);
+}
