@@ -133,16 +133,35 @@ c::MetricSummary summarize(const std::string& name, std::vector<double> v) {
     return s;
 }
 
-std::vector<double> time_runs(r::EngineKind kind, Lane lane, int reps) {
-    std::vector<double> ms;
-    ms.reserve(static_cast<std::size_t>(reps));
+double time_once(r::EngineKind kind, Lane lane) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(run_ring(kind, 8, 200, lane));
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct LaneTimes {
+    std::vector<double> bare, coll, attr;
+};
+
+/// Warm-up runs first (cold caches and allocator growth otherwise land in
+/// whichever lane happens to run first), then the lanes interleaved per rep
+/// so slow monotonic drift (thermal, frequency scaling) biases all three
+/// equally instead of penalizing the lane timed last.
+LaneTimes time_lanes(r::EngineKind kind, int reps, int warmup) {
+    LaneTimes t;
+    for (int i = 0; i < warmup; ++i)
+        for (Lane lane : {Lane::bare, Lane::collector, Lane::attribution})
+            benchmark::DoNotOptimize(run_ring(kind, 8, 200, lane));
+    t.bare.reserve(static_cast<std::size_t>(reps));
+    t.coll.reserve(static_cast<std::size_t>(reps));
+    t.attr.reserve(static_cast<std::size_t>(reps));
     for (int i = 0; i < reps; ++i) {
-        const auto t0 = std::chrono::steady_clock::now();
-        benchmark::DoNotOptimize(run_ring(kind, 8, 200, lane));
-        const auto t1 = std::chrono::steady_clock::now();
-        ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+        t.bare.push_back(time_once(kind, Lane::bare));
+        t.coll.push_back(time_once(kind, Lane::collector));
+        t.attr.push_back(time_once(kind, Lane::attribution));
     }
-    return ms;
+    return t;
 }
 
 } // namespace
@@ -186,19 +205,20 @@ int main(int argc, char** argv) {
     }
 
     const int reps = 15;
-    const auto bare_ms = time_runs(r::EngineKind::procedure_calls, Lane::bare,
-                                   reps);
-    const auto coll_ms = time_runs(r::EngineKind::procedure_calls,
-                                   Lane::collector, reps);
-    const auto attr_ms = time_runs(r::EngineKind::procedure_calls,
-                                   Lane::attribution, reps);
+    const int warmup = 3;
+    const LaneTimes t =
+        time_lanes(r::EngineKind::procedure_calls, reps, warmup);
+    const auto& bare_ms = t.bare;
+    const auto& coll_ms = t.coll;
+    const auto& attr_ms = t.attr;
     const double coll_delta_pct =
         (median(coll_ms) / median(bare_ms) - 1.0) * 100.0;
     const double attr_delta_pct =
         (median(attr_ms) / median(bare_ms) - 1.0) * 100.0;
 
     std::cout << "\n=== observability hook overhead (procedural, 8 tasks, "
-              << reps << " reps) ===\n"
+              << reps << " reps after " << warmup
+              << " warm-up, lanes interleaved) ===\n"
               << "  bare         median " << median(bare_ms) << " ms\n"
               << "  collector    median " << median(coll_ms) << " ms  ("
               << coll_delta_pct << " %)\n"
@@ -229,5 +249,27 @@ int main(int argc, char** argv) {
     c::write_bench_entry(path != nullptr ? path : "BENCH_obs.json", entry);
     std::cout << "wrote " << (path != nullptr ? path : "BENCH_obs.json")
               << "\n";
+
+    // Perf-smoke gate for CI: RTSC_OBS_GATE_PCT=<limit> fails the run when
+    // the attribution overhead exceeds the limit or the instrumentation
+    // changed simulated behaviour.
+    if (const char* gate = std::getenv("RTSC_OBS_GATE_PCT")) {
+        const double limit = std::atof(gate);
+        int rc = 0;
+        if (!entry.digests_match) {
+            std::cerr << "GATE FAIL: instrumentation changed the dispatch "
+                         "digest\n";
+            rc = 1;
+        }
+        if (attr_delta_pct > limit) {
+            std::cerr << "GATE FAIL: obs.attribution_delta_pct "
+                      << attr_delta_pct << " > " << limit << "\n";
+            rc = 1;
+        }
+        if (rc == 0)
+            std::cout << "gate ok: attribution_delta_pct " << attr_delta_pct
+                      << " <= " << limit << ", digests match\n";
+        return rc;
+    }
     return 0;
 }

@@ -85,11 +85,12 @@ void DeadlineMissHandler::apply(const Entry& e) {
             break;
         case RecoveryAction::restart: {
             if (!t.body_finished()) {
-                k::Event& done = t.done_event();
                 t.kill();
                 ++kills_;
-                if (!t.body_finished()) k::wait(done);
             }
+            // Restart only once the terminal leave settled (engine-
+            // independent instant; see Task::retired_event).
+            if (!t.retired()) k::wait(t.retired_event());
             t.processor().restart_task(t, e.policy.restart_delay);
             ++restarts_;
             break;

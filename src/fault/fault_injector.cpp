@@ -87,13 +87,15 @@ void FaultInjector::arm_task_crash(const TaskCrash& e) {
             const k::Time delay = k::Time::sat_sub(at, sim_.now());
             if (!delay.is_zero()) k::wait(delay);
             if (!t->body_finished()) {
-                k::Event& done = t->done_event();
                 t->kill();
                 ++counters_.tasks_crashed;
                 if (trace_ != nullptr) trace_->mark("fault", "crash:" + t->name());
                 // A killed Running task still pays save + sched during the
-                // unwind; restart only once the incarnation fully ended.
-                if (!t->body_finished()) k::wait(done);
+                // unwind; restart only once the incarnation fully retired.
+                // TaskRetired fires at the same instant on both engines —
+                // the kernel done_event does not (the engines pay the leave
+                // charges in different threads).
+                if (!t->retired()) k::wait(t->retired_event());
             }
             if (restart) {
                 t->processor().restart_task(*t, restart_delay);

@@ -37,7 +37,7 @@ void Watchdog::body() {
         if (policy_.action == RecoveryAction::kill) {
             // The corpse stays dead: wait out the unwind and stop, so the
             // watchdog does not fire forever against it.
-            if (!task_.body_finished()) k::wait(task_.done_event());
+            if (!task_.retired()) k::wait(task_.retired_event());
             return;
         }
     }
@@ -61,11 +61,10 @@ void Watchdog::fire() {
             if (!task_.body_finished()) task_.kill();
             break;
         case RecoveryAction::restart: {
-            if (!task_.body_finished()) {
-                k::Event& done = task_.done_event();
-                task_.kill();
-                if (!task_.body_finished()) k::wait(done);
-            }
+            if (!task_.body_finished()) task_.kill();
+            // Restart only once the terminal leave settled (engine-
+            // independent instant; see Task::retired_event).
+            if (!task_.retired()) k::wait(task_.retired_event());
             task_.processor().restart_task(task_, policy_.restart_delay);
             break;
         }

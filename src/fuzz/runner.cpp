@@ -177,10 +177,12 @@ std::string fmt_double(double v) {
 
 } // namespace
 
-RunResult run_model(const ModelSpec& spec, r::EngineKind kind) {
+RunResult run_model(const ModelSpec& spec, r::EngineKind kind,
+                    bool skip_ahead) {
     RunResult out;
     try {
         k::Simulator sim;
+        sim.set_skip_ahead(skip_ahead);
         Model mdl;
         trace::Recorder rec;
         obs::MetricsRegistry reg;
@@ -484,9 +486,26 @@ Divergence compare(const RunResult& procedural, const RunResult& threaded) {
 
 Divergence diff_engines(const ModelSpec& spec, RunResult* procedural,
                         RunResult* threaded) {
-    RunResult a = run_model(spec, r::EngineKind::procedure_calls);
-    RunResult b = run_model(spec, r::EngineKind::rtos_thread);
-    const Divergence d = compare(a, b);
+    RunResult a = run_model(spec, r::EngineKind::procedure_calls, true);
+    RunResult b = run_model(spec, r::EngineKind::rtos_thread, true);
+    Divergence d = compare(a, b);
+    // The skip-ahead fast path (staged hot timeout + elided empty phases)
+    // must be purely an execution-speed toggle: re-run both engines with it
+    // forced off and require bit-identical traces, metrics, attribution and
+    // digests. A divergence here is a kernel fast-path bug even when the
+    // engines agree with each other.
+    if (!d.diverged) {
+        const RunResult a_exact =
+            run_model(spec, r::EngineKind::procedure_calls, false);
+        d = compare(a, a_exact);
+        if (d.diverged) d.stream += " [procedural: skip-ahead vs exact]";
+    }
+    if (!d.diverged) {
+        const RunResult b_exact =
+            run_model(spec, r::EngineKind::rtos_thread, false);
+        d = compare(b, b_exact);
+        if (d.diverged) d.stream += " [threaded: skip-ahead vs exact]";
+    }
     if (procedural != nullptr) *procedural = std::move(a);
     if (threaded != nullptr) *threaded = std::move(b);
     return d;

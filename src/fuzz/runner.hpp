@@ -42,7 +42,11 @@ struct RunResult {
     std::string error;
 };
 
-[[nodiscard]] RunResult run_model(const ModelSpec& spec, rtos::EngineKind kind);
+/// `skip_ahead` forces the kernel's skip-ahead fast path on or off for this
+/// run (independent of the process-wide default); the result must be
+/// bit-identical either way, and diff_engines checks exactly that.
+[[nodiscard]] RunResult run_model(const ModelSpec& spec, rtos::EngineKind kind,
+                                  bool skip_ahead = true);
 
 /// First point where two runs disagree.
 struct Divergence {
@@ -58,8 +62,10 @@ struct Divergence {
 [[nodiscard]] Divergence compare(const RunResult& procedural,
                                  const RunResult& threaded);
 
-/// Run the spec on both engines and diff. Optional out-params receive the
-/// full results (for reporting).
+/// Run the spec on both engines — each with the skip-ahead fast path forced
+/// on AND forced off — and diff all four runs (engine-vs-engine plus
+/// skip-ahead-vs-exact per engine). Optional out-params receive the full
+/// skip-ahead-enabled results (for reporting).
 [[nodiscard]] Divergence diff_engines(const ModelSpec& spec,
                                       RunResult* procedural = nullptr,
                                       RunResult* threaded = nullptr);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "kernel/time.hpp"
+#include "kernel/timing_wheel.hpp"
 
 namespace rtsc::kernel {
 
@@ -65,7 +66,9 @@ private:
     std::vector<Process*> waiters_;
     Pending pending_ = Pending::none;
     Time timed_at_{};
-    std::uint64_t seq_ = 0; ///< bumped on every re-schedule; stale heap entries are skipped
+    /// Wheel entry of the pending timed notification; cancelled (never left
+    /// to go stale) on every reschedule/cancel and on event destruction.
+    TimingWheel::Handle timed_handle_;
 };
 
 } // namespace rtsc::kernel

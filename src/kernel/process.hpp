@@ -15,6 +15,7 @@
 #include "kernel/context.hpp"
 #include "kernel/event.hpp"
 #include "kernel/time.hpp"
+#include "kernel/timing_wheel.hpp"
 
 namespace rtsc::kernel {
 
@@ -81,7 +82,8 @@ private:
     // --- wait bookkeeping (owned by Simulator) ---
     std::vector<Event*> waiting_on_;     ///< events this process is registered with
     bool timeout_armed_ = false;
-    std::uint64_t timeout_seq_ = 0;      ///< invalidates stale heap entries
+    std::uint64_t timeout_seq_ = 0;      ///< invalidates stale zero-waiter entries
+    TimingWheel::Handle timeout_handle_; ///< wheel entry of the armed timeout
     WakeReason wake_reason_ = WakeReason::none;
     Event* waking_event_ = nullptr;
 };

@@ -7,7 +7,18 @@ namespace rtsc::kernel {
 
 namespace {
 thread_local Simulator* g_current_sim = nullptr;
+// Process-wide default for Simulator::skip_ahead(); relaxed atomic so
+// concurrent campaign threads constructing simulators race cleanly.
+std::atomic<bool> g_skip_ahead_default{true};
 } // namespace
+
+void Simulator::set_skip_ahead_default(bool on) noexcept {
+    g_skip_ahead_default.store(on, std::memory_order_relaxed);
+}
+
+bool Simulator::skip_ahead_default() noexcept {
+    return g_skip_ahead_default.load(std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------- Process
 
@@ -35,14 +46,14 @@ Event::Event(std::string name) : sim_(Simulator::current()), name_(std::move(nam
 Event::~Event() { sim_.purge_event(*this); }
 
 void Event::notify() {
-    ++seq_;               // invalidate any pending timed entry
+    if (pending_ == Pending::timed) sim_.cancel_timed(*this);
     pending_ = Pending::none;
     sim_.trigger(*this);
 }
 
 void Event::notify_delta() {
     if (pending_ == Pending::delta) return;
-    ++seq_;               // invalidate any pending timed entry
+    if (pending_ == Pending::timed) sim_.cancel_timed(*this);
     pending_ = Pending::delta;
     sim_.add_delta_pending(*this);
 }
@@ -55,14 +66,13 @@ void Event::notify(Time delay) {
     if (pending_ == Pending::delta) return; // delta wins over timed
     const Time at = sim_.now() + delay;
     if (pending_ == Pending::timed && timed_at_ <= at) return; // earlier pending wins
-    ++seq_;
     pending_ = Pending::timed;
     timed_at_ = at;
     sim_.schedule_timed(*this, at);
 }
 
 void Event::cancel() {
-    ++seq_;
+    if (pending_ == Pending::timed) sim_.cancel_timed(*this);
     pending_ = Pending::none;
 }
 
@@ -71,6 +81,7 @@ void Event::cancel() {
 Simulator::Simulator() {
     prev_current_ = g_current_sim;
     g_current_sim = this;
+    skip_ahead_ = skip_ahead_default();
 }
 
 Simulator::~Simulator() { g_current_sim = prev_current_; }
@@ -138,17 +149,40 @@ void Simulator::next_trigger(Event& e) {
 // ---- event machinery ----
 
 void Simulator::schedule_timed(Event& e, Time at) {
-    timed_.push(TimedEntry{at, order_counter_++, TimedEntry::Kind::event_notify,
-                           &e, nullptr, e.seq_});
+    // Rescheduling earlier: the previous wheel entry is cancelled through
+    // its handle, never left to go stale.
+    if (e.timed_handle_.valid()) wheel_.cancel(e.timed_handle_);
+    e.timed_handle_ = wheel_.insert(at, now_, order_counter_++,
+                                    TimingWheel::Kind::event_notify, &e, nullptr);
+}
+
+void Simulator::cancel_timed(Event& e) noexcept {
+    if (e.timed_handle_.valid()) {
+        wheel_.cancel(e.timed_handle_);
+        e.timed_handle_.reset();
+    }
 }
 
 void Simulator::add_delta_pending(Event& e) { delta_pending_.push_back(&e); }
 
 void Simulator::trigger(Event& e) {
-    // Waking modifies e.waiters_ via clear_wait_state; iterate over a copy.
-    std::vector<Process*> waiters;
-    waiters.swap(e.waiters_);
-    for (Process* p : waiters) wake(*p, Process::WakeReason::event, &e);
+    if (e.waiters_.empty()) return;
+    // Waking modifies e.waiters_ via clear_wait_state; iterate over a moved-
+    // out copy. The scratch buffer makes the common non-nested notification
+    // allocation-free (wake() runs no user code, so trigger() only re-enters
+    // through exotic observer hooks -- those fall back to a local vector).
+    if (trigger_depth_ == 0) {
+        ++trigger_depth_;
+        trigger_scratch_.clear();
+        trigger_scratch_.swap(e.waiters_);
+        for (Process* p : trigger_scratch_)
+            wake(*p, Process::WakeReason::event, &e);
+        --trigger_depth_;
+    } else {
+        std::vector<Process*> waiters;
+        waiters.swap(e.waiters_);
+        for (Process* p : waiters) wake(*p, Process::WakeReason::event, &e);
+    }
 }
 
 void Simulator::purge_event(Event& e) {
@@ -157,6 +191,10 @@ void Simulator::purge_event(Event& e) {
     for (Process* p : e.waiters_) std::erase(p->waiting_on_, &e);
     e.waiters_.clear();
     std::erase(delta_pending_, &e);
+    // Cancel a pending timed notification through the handle: the wheel
+    // never dereferences the Event, so destroying one mid-schedule is safe
+    // (the old priority queue popped and inspected the dangling pointer).
+    cancel_timed(e);
 }
 
 void Simulator::wake(Process& p, Process::WakeReason reason, Event* ev) {
@@ -172,9 +210,14 @@ void Simulator::clear_wait_state(Process& p) {
     for (Event* e : p.waiting_on_) std::erase(e->waiters_, &p);
     p.waiting_on_.clear();
     if (p.timeout_armed_) {
-        // Leave the stale heap entry; it is skipped via the seq stamp.
-        ++p.timeout_seq_;
+        ++p.timeout_seq_; // invalidates a zero-waiter entry, if any
         p.timeout_armed_ = false;
+        if (hot_.proc == &p) {
+            hot_.proc = nullptr; // staged: dropped in place, no tombstone
+        } else if (p.timeout_handle_.valid()) {
+            wheel_.cancel(p.timeout_handle_);
+            p.timeout_handle_.reset();
+        }
     }
 }
 
@@ -182,10 +225,27 @@ void Simulator::arm_timeout(Process& p, Time timeout) {
     ++p.timeout_seq_;
     p.timeout_armed_ = true;
     const Time at = now_ + timeout; // saturating: Time::max() means "never"
-    if (at == Time::max()) return;  // no heap entry: the timeout cannot fire
-    timed_.push(TimedEntry{at, order_counter_++,
-                           TimedEntry::Kind::process_timeout, nullptr, &p,
-                           p.timeout_seq_});
+    if (at == Time::max()) return;  // no wheel entry: the timeout cannot fire
+    if (skip_ahead_) {
+        // Stage the newest timeout; in the dominant compute/charge pattern
+        // it is also the next to fire and never touches the wheel.
+        if (hot_.proc != nullptr) flush_hot();
+        hot_ = HotTimeout{&p, at, order_counter_++};
+        return;
+    }
+    p.timeout_handle_ = wheel_.insert(
+        at, now_, order_counter_++, TimingWheel::Kind::process_timeout,
+        nullptr, &p);
+}
+
+void Simulator::flush_hot() {
+    Process* p = hot_.proc;
+    hot_.proc = nullptr;
+    // The original order stamp keeps the FIFO tie-break identical to a
+    // direct insert at arm time.
+    p->timeout_handle_ = wheel_.insert(
+        hot_.at, now_, hot_.order, TimingWheel::Kind::process_timeout,
+        nullptr, p);
 }
 
 void Simulator::suspend_current() {
@@ -290,39 +350,61 @@ void Simulator::request_update(UpdateHook& hook) {
 // ---- the scheduling loop ----
 
 bool Simulator::advance_time(Time limit) {
-    // Discard stale entries.
-    auto valid = [](const TimedEntry& te) {
-        if (te.kind == TimedEntry::Kind::event_notify)
-            return te.ev->pending_ == Event::Pending::timed && te.ev->seq_ == te.seq;
-        return te.proc->timeout_armed_ && te.proc->timeout_seq_ == te.seq;
-    };
-    while (!timed_.empty() && !valid(timed_.top())) timed_.pop();
-    if (timed_.empty() || timed_.top().at > limit) return false;
-
-    const Time t = timed_.top().at;
+    if (hot_.proc != nullptr) {
+        if (hot_.at.raw_ps() < wheel_.next_lower_bound()) {
+            // Skip-ahead fast path: the staged timeout fires strictly before
+            // anything the wheel could produce (the bound is conservative:
+            // a tie or a stale bound falls through to the general path,
+            // which restores the event-before-timeout and FIFO ordering).
+            if (hot_.at > limit) return false;
+            Process* p = hot_.proc;
+            hot_.proc = nullptr;
+            if (hot_.at > now_) {
+                now_ = hot_.at;
+                deltas_this_instant_ = 0;
+            }
+            p->timeout_armed_ = false;
+            wake(*p, Process::WakeReason::timeout, nullptr);
+            return true;
+        }
+        flush_hot();
+    }
+    Time t{};
+    if (!wheel_.pop_due(limit, t, fired_batch_)) return false;
     if (t > now_) {
         now_ = t;
         deltas_this_instant_ = 0;
     }
-    while (!timed_.empty() && timed_.top().at == t) {
-        TimedEntry te = timed_.top();
-        timed_.pop();
-        if (!valid(te)) continue;
-        if (te.kind == TimedEntry::Kind::event_notify) {
-            te.ev->pending_ = Event::Pending::none;
-            trigger(*te.ev);
+    for (const TimingWheel::Fired& f : fired_batch_) {
+        // An earlier wake in this batch may have cancelled the entry
+        // (e.g. an event waking a process whose timeout shares the
+        // instant); take() claims it exactly once.
+        if (!wheel_.take(f.h)) continue;
+        if (f.kind == TimingWheel::Kind::event_notify) {
+            f.ev->timed_handle_.reset();
+            f.ev->pending_ = Event::Pending::none;
+            trigger(*f.ev);
         } else {
-            te.proc->timeout_armed_ = false;
-            wake(*te.proc, Process::WakeReason::timeout, nullptr);
+            f.proc->timeout_handle_.reset();
+            f.proc->timeout_armed_ = false;
+            wake(*f.proc, Process::WakeReason::timeout, nullptr);
         }
     }
+    fired_batch_.clear();
     return true;
 }
 
 void Simulator::evaluate_phase() {
-    while (!runnable_.empty()) {
-        Process* p = runnable_.front();
-        runnable_.pop_front();
+    // Index-based FIFO over a plain vector: processes woken mid-phase append
+    // and are picked up by the same sweep. Visited slots are nulled so a
+    // kill_process() erase (which only matches live queue entries) cannot
+    // shift unvisited elements across the cursor. If a process body throws,
+    // the nulls are dropped so only unprocessed entries remain queued.
+    try {
+    for (std::size_t i = 0; i < runnable_.size(); ++i) {
+        Process* p = runnable_[i];
+        if (p == nullptr) continue;
+        runnable_[i] = nullptr;
         p->runnable_ = false;
         if (p->terminated_) continue;
         current_process_ = p;
@@ -356,28 +438,38 @@ void Simulator::evaluate_phase() {
             p->done_event_->notify_delta();
         }
     }
+    } catch (...) {
+        std::erase(runnable_, static_cast<Process*>(nullptr));
+        throw;
+    }
+    runnable_.clear();
 }
 
 void Simulator::update_phase() {
-    std::vector<UpdateHook*> hooks;
-    hooks.swap(update_requests_);
-    for (UpdateHook* h : hooks) h->update();
+    if (update_requests_.empty()) return;
+    update_scratch_.clear();
+    update_scratch_.swap(update_requests_);
+    for (UpdateHook* h : update_scratch_) h->update();
 }
 
 void Simulator::delta_notify_phase() {
-    std::vector<Event*> pend;
-    pend.swap(delta_pending_);
-    for (Event* e : pend) {
-        if (e->pending_ != Event::Pending::delta) continue; // cancelled/overridden
-        e->pending_ = Event::Pending::none;
-        trigger(*e);
+    if (!delta_pending_.empty()) {
+        delta_scratch_.clear();
+        delta_scratch_.swap(delta_pending_);
+        for (Event* e : delta_scratch_) {
+            if (e->pending_ != Event::Pending::delta) continue; // cancelled/overridden
+            e->pending_ = Event::Pending::none;
+            trigger(*e);
+        }
     }
-    std::vector<ZeroWaiter> zw;
-    zw.swap(zero_waiters_);
-    for (const ZeroWaiter& z : zw) {
-        if (z.proc->timeout_armed_ && z.proc->timeout_seq_ == z.seq) {
-            z.proc->timeout_armed_ = false;
-            wake(*z.proc, Process::WakeReason::timeout, nullptr);
+    if (!zero_waiters_.empty()) {
+        zero_scratch_.clear();
+        zero_scratch_.swap(zero_waiters_);
+        for (const ZeroWaiter& z : zero_scratch_) {
+            if (z.proc->timeout_armed_ && z.proc->timeout_seq_ == z.seq) {
+                z.proc->timeout_armed_ = false;
+                wake(*z.proc, Process::WakeReason::timeout, nullptr);
+            }
         }
     }
     ++delta_count_;
@@ -406,6 +498,18 @@ void Simulator::run_loop(Time limit) {
                 if (!advance_time(limit)) break;
             }
             evaluate_phase();
+            if (skip_ahead_ && update_requests_.empty() &&
+                delta_pending_.empty() && zero_waiters_.empty()) {
+                // Skip-ahead: the update and delta-notification phases have
+                // nothing to do; count the empty delta cycle exactly as
+                // delta_notify_phase() would and return to the timed queue.
+                // The per-instant delta guard is not needed here: with no
+                // pending delta activity, time strictly advances (or the run
+                // ends) before the next evaluation.
+                ++delta_count_;
+                ++deltas_this_instant_;
+                continue;
+            }
             update_phase();
             delta_notify_phase();
         }

@@ -11,12 +11,11 @@
 // Events, Processes and channels bind to it on construction, so sequential
 // tests can each build an isolated simulation.
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <initializer_list>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "kernel/process.hpp"
 #include "kernel/report.hpp"
 #include "kernel/time.hpp"
+#include "kernel/timing_wheel.hpp"
 
 namespace rtsc::kernel {
 
@@ -118,6 +118,44 @@ public:
     /// (guards against zero-delay activity loops in models). Default 1M.
     void set_max_deltas_per_instant(std::uint64_t n) noexcept { max_deltas_per_instant_ = n; }
 
+    // ---- timed-queue introspection (timing wheel) ----
+
+    /// Timed entries that can still fire (wheel + the staged hot timeout).
+    [[nodiscard]] std::size_t timed_live() const noexcept {
+        return wheel_.live() + (hot_.proc != nullptr ? 1 : 0);
+    }
+    /// Cancelled entries awaiting lazy reclamation.
+    [[nodiscard]] std::size_t timed_tombstones() const noexcept {
+        return wheel_.tombstones();
+    }
+    /// High-water mark of concurrently stored timed entries.
+    [[nodiscard]] std::size_t timed_arena_size() const noexcept {
+        return wheel_.arena_size();
+    }
+    /// Tombstone compaction sweeps performed so far.
+    [[nodiscard]] std::uint64_t timed_compactions() const noexcept {
+        return wheel_.compactions();
+    }
+
+    // ---- skip-ahead fast path ----
+
+    /// Toggle the skip-ahead fast path for this simulator: empty update/
+    /// delta-notification phases are elided (their counters still advance
+    /// identically) and the newest armed process timeout is staged in a
+    /// one-slot hot buffer that can fire without touching the wheel. Purely
+    /// an execution-speed toggle -- every observable (trace, digests,
+    /// delta_count, attribution) is bit-identical either way; the
+    /// differential tests run both settings to prove it.
+    void set_skip_ahead(bool on) noexcept {
+        if (!on && hot_.proc != nullptr) flush_hot();
+        skip_ahead_ = on;
+    }
+    [[nodiscard]] bool skip_ahead() const noexcept { return skip_ahead_; }
+    /// Process-wide default for newly constructed simulators (on by
+    /// default); lets test harnesses force a mode without plumbing.
+    static void set_skip_ahead_default(bool on) noexcept;
+    [[nodiscard]] static bool skip_ahead_default() noexcept;
+
     // ---- deadlock / stall detection ----
 
     /// One process found blocked when the simulation ran out of activity.
@@ -151,29 +189,9 @@ public:
 private:
     friend class Event;
 
-    struct TimedEntry {
-        Time at;
-        std::uint64_t order; ///< FIFO tie-break for equal times
-        enum class Kind : std::uint8_t { event_notify, process_timeout } kind;
-        Event* ev;
-        Process* proc;
-        std::uint64_t seq; ///< validity stamp (event seq or process timeout seq)
-    };
-    struct TimedEntryLater {
-        bool operator()(const TimedEntry& a, const TimedEntry& b) const noexcept {
-            if (a.at != b.at) return a.at > b.at;
-            // "On an exact tie the event wins": all event notifications at an
-            // instant fire before any process timeout, independent of arming
-            // order. A process whose event and timeout land on the same
-            // instant is woken by the event; the stale timeout entry is then
-            // skipped via its seq stamp.
-            if (a.kind != b.kind) return a.kind == TimedEntry::Kind::process_timeout;
-            return a.order > b.order;
-        }
-    };
-
     // Event internals.
     void schedule_timed(Event& e, Time at);
+    void cancel_timed(Event& e) noexcept;   ///< drop e's pending wheel entry
     void add_delta_pending(Event& e);
     void trigger(Event& e);                 ///< wake all waiters (immediate)
     void purge_event(Event& e);             ///< event destruction cleanup
@@ -181,6 +199,7 @@ private:
     void wake(Process& p, Process::WakeReason reason, Event* ev);
     void clear_wait_state(Process& p);
     void arm_timeout(Process& p, Time timeout);
+    void flush_hot();                       ///< move the staged timeout into the wheel
     void suspend_current();                 ///< yield back to scheduler
     Process& require_process(const char* what) const;
 
@@ -200,11 +219,24 @@ private:
     bool stop_requested_ = false;
     bool running_ = false;
     bool deadlock_detection_ = false;
+    bool skip_ahead_ = true;            ///< initialised from the static default
+    int trigger_depth_ = 0;             ///< guards the trigger scratch buffer
     StallReport stall_report_;
 
     std::vector<std::unique_ptr<Process>> processes_;
-    std::deque<Process*> runnable_;
-    std::priority_queue<TimedEntry, std::vector<TimedEntry>, TimedEntryLater> timed_;
+    std::vector<Process*> runnable_;
+    TimingWheel wheel_;                 ///< timed notifications and timeouts
+    /// One-slot staging buffer for the newest armed process timeout: in the
+    /// common single-runnable pattern (compute / overhead charge) it fires
+    /// on the fast path without ever entering the wheel. `order` preserves
+    /// the FIFO tie-break if the entry has to be flushed into the wheel.
+    struct HotTimeout {
+        Process* proc = nullptr;
+        Time at{};
+        std::uint64_t order = 0;
+    };
+    HotTimeout hot_;
+    std::vector<TimingWheel::Fired> fired_batch_; ///< reused by advance_time
     std::vector<Event*> delta_pending_;
     struct ZeroWaiter {
         Process* proc;
@@ -212,6 +244,12 @@ private:
     };
     std::vector<ZeroWaiter> zero_waiters_; ///< processes in wait(Time::zero())
     std::vector<UpdateHook*> update_requests_;
+    // Reused double buffers: the phases and trigger() iterate a moved-out
+    // snapshot; recycling the vectors keeps the hot loop allocation-free.
+    std::vector<Event*> delta_scratch_;
+    std::vector<ZeroWaiter> zero_scratch_;
+    std::vector<UpdateHook*> update_scratch_;
+    std::vector<Process*> trigger_scratch_;
     Process* current_process_ = nullptr;
     Reporter reporter_;
     Simulator* prev_current_ = nullptr; ///< restored on destruction

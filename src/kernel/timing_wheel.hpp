@@ -1,0 +1,317 @@
+#pragma once
+// Hierarchical timing wheel backing the kernel's timed-notification queue.
+//
+// Replaces the former std::priority_queue of TimedEntry with a calendar
+// structure giving O(1) amortized insert and pop:
+//
+//   - 11 levels x 64 slots cover the full 64-bit picosecond time range; an
+//     entry lands at the lowest level whose slot granularity still separates
+//     it from the cursor (level = highest differing 6-bit digit of at ^ cur).
+//   - Each slot is an intrusive singly-linked list through an arena of
+//     entries; a per-level 64-bit occupancy bitmap finds the next non-empty
+//     slot with one countr_zero.
+//   - Popping advances the cursor to the earliest occupied slot, cascading
+//     higher-level slots down as their time range is entered. Entries within
+//     one instant are sorted to reproduce the priority-queue tie-break
+//     exactly: all event notifications fire before any process timeout, FIFO
+//     by insertion order within a kind.
+//   - Cancellation is generation-checked and lazy: cancel() marks the arena
+//     entry dead through its Handle without touching the slot lists (and
+//     without dereferencing the Event/Process, so destroying an Event with a
+//     pending timed notification is safe). Dead entries are reclaimed when
+//     their slot drains or, if tombstones ever exceed half the live count, by
+//     an immediate compaction sweep -- long fault-injection campaigns used to
+//     accumulate stale heap entries indefinitely.
+//
+// The wheel stores raw picosecond counts; Time::max() entries are legal and
+// simply live in the top level until (and if) the cursor reaches them.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace rtsc::kernel {
+
+class Event;
+class Process;
+
+class TimingWheel {
+public:
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+    static constexpr int kLevelBits = 6;
+    static constexpr int kSlots = 1 << kLevelBits;                        // 64
+    static constexpr int kLevels = (64 + kLevelBits - 1) / kLevelBits;    // 11
+    /// Tombstones tolerated before a sweep, on top of live/2: keeps tiny
+    /// wheels from compacting on every other cancellation.
+    static constexpr std::size_t kCompactSlack = 16;
+
+    enum class Kind : std::uint8_t { event_notify, process_timeout };
+
+    /// Generation-checked reference to an arena entry. A handle from a
+    /// previous occupancy of the slot no-ops on cancel().
+    struct Handle {
+        std::uint32_t idx = kNone;
+        std::uint32_t gen = 0;
+        [[nodiscard]] bool valid() const noexcept { return idx != kNone; }
+        void reset() noexcept { idx = kNone; }
+    };
+
+    /// One expiry produced by pop_due(). Field copies survive mid-batch
+    /// cancellation; take() decides whether the entry still fires.
+    struct Fired {
+        std::uint64_t order;
+        Handle h;
+        Kind kind;
+        Event* ev;
+        Process* proc;
+    };
+
+    /// Schedule an expiry. `now` re-anchors the cursor when the wheel is
+    /// empty (every at, present and future, satisfies at >= now).
+    [[nodiscard]] Handle insert(Time at, Time now, std::uint64_t order,
+                                Kind kind, Event* ev, Process* proc) {
+        std::uint32_t idx;
+        if (free_head_ != kNone) {
+            idx = free_head_;
+            free_head_ = arena_[idx].next;
+        } else {
+            idx = static_cast<std::uint32_t>(arena_.size());
+            arena_.emplace_back();
+        }
+        if (live_ + tombstones_ == 0) {
+            cur_ = now.raw_ps();
+            next_lb_ = ~std::uint64_t{0};
+        }
+        Entry& e = arena_[idx];
+        e.at = at.raw_ps();
+        e.order = order;
+        e.kind = kind;
+        e.dead = false;
+        e.ev = ev;
+        e.proc = proc;
+        place(idx);
+        ++live_;
+        next_lb_ = std::min(next_lb_, e.at);
+        return Handle{idx, e.gen};
+    }
+
+    /// Lazy cancel: tombstone the entry in place. Never dereferences the
+    /// scheduled Event/Process. Stale or reset handles no-op.
+    void cancel(Handle h) noexcept {
+        if (h.idx == kNone || h.idx >= arena_.size()) return;
+        Entry& e = arena_[h.idx];
+        if (e.gen != h.gen || e.dead) return;
+        e.dead = true;
+        --live_;
+        ++tombstones_;
+        if (tombstones_ > live_ / 2 + kCompactSlack) compact();
+    }
+
+    /// True when a live entry expires at or before `limit`: advances the
+    /// cursor to the earliest such instant, returns it through `at`, and
+    /// fills `out` with every entry scheduled there (event notifications
+    /// first, then FIFO by insertion order). Tombstone-only instants along
+    /// the way are reclaimed and skipped.
+    bool pop_due(Time limit, Time& at, std::vector<Fired>& out) {
+        out.clear();
+        if (live_ == 0) return false;
+        const std::uint64_t lim = limit.raw_ps();
+        for (;;) {
+            if (occ_[0] != 0) {
+                const int slot = std::countr_zero(occ_[0]);
+                const std::uint64_t t =
+                    (cur_ & ~std::uint64_t(kSlots - 1)) | unsigned(slot);
+                if (t > lim) {
+                    update_next_lb();
+                    return false;
+                }
+                cur_ = t;
+                occ_[0] &= occ_[0] - 1;
+                std::uint32_t idx = head(0, slot);
+                head(0, slot) = kNone;
+                while (idx != kNone) {
+                    Entry& e = arena_[idx];
+                    const std::uint32_t next = e.next;
+                    if (e.dead) {
+                        free_entry(idx);
+                        --tombstones_;
+                    } else {
+                        out.push_back(
+                            {e.order, Handle{idx, e.gen}, e.kind, e.ev, e.proc});
+                    }
+                    idx = next;
+                }
+                if (out.empty()) continue; // tombstone-only instant
+                std::sort(out.begin(), out.end(),
+                          [](const Fired& a, const Fired& b) noexcept {
+                              if (a.kind != b.kind)
+                                  return a.kind == Kind::event_notify;
+                              return a.order < b.order;
+                          });
+                at = Time::ps(t);
+                update_next_lb();
+                return true;
+            }
+            // Level 0 exhausted: cascade the earliest occupied higher-level
+            // slot down. Lower levels always hold earlier regions (they share
+            // more high digits with the cursor), so the first occupied level
+            // is the one to open.
+            int lvl = 1;
+            while (lvl < kLevels && occ_[lvl] == 0) ++lvl;
+            if (lvl == kLevels) return false; // unreachable while live_ > 0
+            const int slot = std::countr_zero(occ_[lvl]);
+            const unsigned shift = unsigned(lvl) * kLevelBits;
+            const std::uint64_t above =
+                shift + kLevelBits >= 64
+                    ? 0
+                    : (cur_ >> (shift + kLevelBits)) << (shift + kLevelBits);
+            const std::uint64_t base = above | (std::uint64_t(slot) << shift);
+            if (base > lim) {
+                update_next_lb();
+                return false; // every remaining entry is past the limit
+            }
+            cur_ = base;
+            occ_[lvl] &= occ_[lvl] - 1;
+            std::uint32_t idx = head(lvl, slot);
+            head(lvl, slot) = kNone;
+            while (idx != kNone) {
+                const std::uint32_t next = arena_[idx].next;
+                if (arena_[idx].dead) {
+                    free_entry(idx);
+                    --tombstones_;
+                } else {
+                    place(idx); // re-lands strictly below `lvl`: progress
+                }
+                idx = next;
+            }
+        }
+    }
+
+    /// Claim a popped entry: true exactly once, when it is still live (a
+    /// wake earlier in the same batch may have cancelled it). Frees the
+    /// arena slot either way; every Fired must be taken exactly once.
+    bool take(Handle h) noexcept {
+        Entry& e = arena_[h.idx];
+        const bool was_live = !e.dead;
+        if (was_live)
+            --live_;
+        else
+            --tombstones_;
+        free_entry(h.idx);
+        return was_live;
+    }
+
+    /// Lower bound on the earliest expiry still stored (live or dead);
+    /// Time::max().raw_ps() when the wheel is empty. Exact right after a
+    /// pop_due(); inserts keep it exact, cancellations may leave it low.
+    [[nodiscard]] std::uint64_t next_lower_bound() const noexcept {
+        return next_lb_;
+    }
+
+    [[nodiscard]] std::size_t live() const noexcept { return live_; }
+    [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
+    /// Arena slots ever allocated (high-water mark of concurrent entries).
+    [[nodiscard]] std::size_t arena_size() const noexcept { return arena_.size(); }
+    [[nodiscard]] std::uint64_t compactions() const noexcept { return compactions_; }
+
+private:
+    struct Entry {
+        std::uint64_t at = 0;
+        std::uint64_t order = 0;
+        std::uint32_t gen = 0;
+        std::uint32_t next = kNone; ///< slot list / free list link
+        Kind kind = Kind::event_notify;
+        bool dead = false;
+        Event* ev = nullptr;
+        Process* proc = nullptr;
+    };
+
+    [[nodiscard]] std::uint32_t& head(int lvl, int slot) noexcept {
+        return heads_[std::size_t(lvl) * kSlots + std::size_t(slot)];
+    }
+
+    void place(std::uint32_t idx) noexcept {
+        Entry& e = arena_[idx];
+        // at >= cur_ by construction; clamp defensively so a violation fires
+        // the entry immediately instead of scheduling it in the far future.
+        const std::uint64_t a = e.at < cur_ ? cur_ : e.at;
+        const std::uint64_t x = a ^ cur_;
+        const int lvl = x == 0 ? 0 : (std::bit_width(x) - 1) / kLevelBits;
+        const int slot = int((a >> (lvl * kLevelBits)) & (kSlots - 1));
+        e.next = head(lvl, slot);
+        head(lvl, slot) = idx;
+        occ_[lvl] |= std::uint64_t(1) << slot;
+    }
+
+    void free_entry(std::uint32_t idx) noexcept {
+        Entry& e = arena_[idx];
+        ++e.gen; // stale handles from this occupancy now mismatch
+        e.next = free_head_;
+        free_head_ = idx;
+    }
+
+    /// Sweep every slot list, unlinking and reclaiming dead entries.
+    void compact() noexcept {
+        for (int lvl = 0; lvl < kLevels; ++lvl) {
+            std::uint64_t bits = occ_[lvl];
+            while (bits != 0) {
+                const int slot = std::countr_zero(bits);
+                bits &= bits - 1;
+                std::uint32_t* link = &head(lvl, slot);
+                while (*link != kNone) {
+                    Entry& e = arena_[*link];
+                    if (e.dead) {
+                        const std::uint32_t idx = *link;
+                        *link = e.next;
+                        free_entry(idx);
+                        --tombstones_;
+                    } else {
+                        link = &e.next;
+                    }
+                }
+                if (head(lvl, slot) == kNone)
+                    occ_[lvl] &= ~(std::uint64_t(1) << slot);
+            }
+        }
+        ++compactions_;
+    }
+
+    /// Recompute the bound from the occupancy bitmaps: exact for level 0,
+    /// the slot base (a true lower bound) for higher levels.
+    void update_next_lb() noexcept {
+        if (occ_[0] != 0) {
+            next_lb_ = (cur_ & ~std::uint64_t(kSlots - 1)) |
+                       unsigned(std::countr_zero(occ_[0]));
+            return;
+        }
+        for (int lvl = 1; lvl < kLevels; ++lvl) {
+            if (occ_[lvl] == 0) continue;
+            const unsigned shift = unsigned(lvl) * kLevelBits;
+            const std::uint64_t above =
+                shift + kLevelBits >= 64
+                    ? 0
+                    : (cur_ >> (shift + kLevelBits)) << (shift + kLevelBits);
+            next_lb_ = above | (std::uint64_t(std::countr_zero(occ_[lvl]))
+                                << shift);
+            return;
+        }
+        next_lb_ = ~std::uint64_t{0};
+    }
+
+    std::vector<Entry> arena_;
+    std::vector<std::uint32_t> heads_ =
+        std::vector<std::uint32_t>(std::size_t(kLevels) * kSlots, kNone);
+    std::uint64_t occ_[kLevels] = {};
+    std::uint64_t cur_ = 0;
+    std::uint64_t next_lb_ = ~std::uint64_t{0};
+    std::uint32_t free_head_ = kNone;
+    std::size_t live_ = 0;
+    std::size_t tombstones_ = 0;
+    std::uint64_t compactions_ = 0;
+};
+
+} // namespace rtsc::kernel

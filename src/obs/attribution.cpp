@@ -31,17 +31,40 @@ Attribution::CpuCtx& Attribution::cpu_ctx(const r::Processor& cpu) {
         if (c.cpu == &cpu) return c;
     cpus_.emplace_back();
     cpus_.back().cpu = &cpu;
+    cpus_.back().log.reserve(1024);
     return cpus_.back();
 }
 
 Attribution::TaskCtx& Attribution::task_ctx(const r::Task& t) {
-    for (auto& c : tasks_)
-        if (c.task == &t) return c;
-    tasks_.emplace_back();
-    TaskCtx& c = tasks_.back();
-    c.task = &t;
-    c.cpu = &cpu_ctx(t.processor());
-    return c;
+    if (cached_task_ == &t) return *cached_ctx_;
+    if (cached_task2_ == &t) {
+        // Promote: a context switch alternates between two tasks, so the
+        // pair covers the common hook bursts.
+        std::swap(cached_task_, cached_task2_);
+        std::swap(cached_ctx_, cached_ctx2_);
+        return *cached_ctx_;
+    }
+    TaskCtx* c = nullptr;
+    for (std::size_t i = 0; i < task_index_.size(); ++i) {
+        if (task_index_[i].first != &t) continue;
+        c = task_index_[i].second;
+        if (i > 0) std::swap(task_index_[i - 1], task_index_[i]);
+        break;
+    }
+    if (c == nullptr) {
+        tasks_.emplace_back();
+        c = &tasks_.back();
+        c->task = &t;
+        c->cpu = &cpu_ctx(t.processor());
+        c->slot = c->cpu->slot_tasks.size();
+        c->cpu->slot_tasks.push_back(&t);
+        task_index_.emplace_back(&t, c);
+    }
+    cached_task2_ = cached_task_;
+    cached_ctx2_ = cached_ctx_;
+    cached_task_ = &t;
+    cached_ctx_ = c;
+    return *c;
 }
 
 // ----------------------------------------------------- overhead integration
@@ -57,14 +80,23 @@ Attribution::OvMark Attribution::ov_upto(const CpuCtx& c, k::Time t) const {
     return m;
 }
 
+kernel::Time Attribution::ov_total_upto(const CpuCtx& c, k::Time t) const {
+    k::Time total = c.ov_done_total;
+    if (c.cur_kind >= 0 && t > c.cur_start)
+        total += std::min(t, c.cur_end) - c.cur_start;
+    return total;
+}
+
 void Attribution::on_overhead(const r::Processor& cpu, r::OverheadKind kind,
                               k::Time start, k::Time duration, const r::Task*) {
     CpuCtx& c = cpu_ctx(cpu);
     // Fold the previous charge: charges never overlap per CPU, so by the
     // time a new one is announced the old one has fully elapsed.
-    if (c.cur_kind >= 0)
-        c.ov_done[static_cast<std::size_t>(c.cur_kind)] +=
-            c.cur_end - c.cur_start;
+    if (c.cur_kind >= 0) {
+        const k::Time d = c.cur_end - c.cur_start;
+        c.ov_done[static_cast<std::size_t>(c.cur_kind)] += d;
+        c.ov_done_total += d;
+    }
     c.cur_kind = static_cast<int>(kind);
     c.cur_start = start;
     c.cur_end = start + duration;
@@ -72,35 +104,39 @@ void Attribution::on_overhead(const r::Processor& cpu, r::OverheadKind kind,
 
 // ------------------------------------------------------------- segmentation
 
-void Attribution::begin_segment(TaskCtx& c, SliceKind kind, k::Time now) {
+void Attribution::begin_segment_with(TaskCtx& c, SliceKind kind, k::Time now,
+                                     const OvMark& m, k::Time total) {
     c.seg = kind;
     c.seg_start = now;
-    c.seg_runner = c.cpu->runner;
-    c.seg_mark = ov_upto(*c.cpu, now);
+    c.seg_mark = m;
+    c.seg_ov_total = total;
+    SkelSeg s;
+    s.start = now;
+    s.ov_at_start = total;
+    s.kind = kind;
+    if (kind == SliceKind::blocked) s.rel = c.blocked_rel;
+    c.skel.push_back(s);
+    if (kind == SliceKind::ready) {
+        // Remember where the runner log stands; the close walks only the
+        // edges appended inside the window.
+        c.seg_log_idx = c.cpu->log.size();
+        c.seg_runner_slot = c.cpu->runner_slot;
+    }
 }
 
-void Attribution::close_segment(TaskCtx& c, k::Time now) {
+void Attribution::close_segment_with(TaskCtx& c, k::Time now, const OvMark& m,
+                                     k::Time total_now) {
     const k::Time dur = now - c.seg_start;
-    Slice s;
-    s.start = c.seg_start;
-    s.end = now;
-    s.kind = c.seg;
     if (c.seg == SliceKind::blocked) {
         // The whole wait is the resource's fault, including any RTOS
         // charges that happen to run on the CPU meanwhile: the job is off
         // the CPU for exactly this long because of the resource.
-        if (c.blocked_rel != nullptr) {
-            s.culprit = c.blocked_rel->name();
-            if (!dur.is_zero()) c.blocked_on[s.culprit] += dur;
-        } else if (!dur.is_zero()) {
-            c.blocked_on["?"] += dur;
-            s.culprit = "?";
-        }
-        if (!dur.is_zero()) c.slices.push_back(std::move(s));
+        if (!dur.is_zero())
+            c.blocked_on[c.blocked_rel != nullptr ? c.blocked_rel->name()
+                                                  : "?"] += dur;
         return;
     }
     // Exact overhead time inside [seg_start, now] on this CPU, per kind.
-    const OvMark m = ov_upto(*c.cpu, now);
     k::Time ov_total{};
     for (std::size_t i = 0; i < kOvKinds; ++i) {
         const k::Time d = m.upto[i] - c.seg_mark.upto[i];
@@ -108,23 +144,63 @@ void Attribution::close_segment(TaskCtx& c, k::Time now) {
         ov_total += d;
     }
     const k::Time rest = dur - ov_total;
-    s.overhead = ov_total;
     if (c.seg == SliceKind::exec) {
         c.exec += rest;
-    } else if (!rest.is_zero()) {
-        if (c.seg_runner != nullptr) {
-            if (c.seg_runner->isr_task()) {
-                c.interrupt += rest;
-                s.culprit = c.seg_runner->name();
-            } else {
-                s.culprit = c.seg_runner->name();
-                c.preempted_by[s.culprit] += rest;
-            }
-        } else {
-            c.residual += rest;
-        }
+        return;
     }
-    if (!dur.is_zero()) c.slices.push_back(std::move(s));
+    // Ready: walk the runner edges appended inside the window, charging each
+    // span's net time (duration minus the overhead integral's advance) to
+    // the task that held the CPU — the exact per-edge subdivision, only
+    // deferred to the close. Zero-length spans contribute zero (the ov
+    // integral cannot advance without elapsed time), so same-instant edge
+    // ordering is immaterial.
+    const CpuCtx& cpu = *c.cpu;
+    if (c.pre.size() < cpu.slot_tasks.size())
+        c.pre.resize(cpu.slot_tasks.size());
+    k::Time attributed{};
+    const auto charge = [&c, &attributed](int slot, k::Time d) {
+        if (d.is_zero()) return;
+        const auto s = static_cast<std::size_t>(slot);
+        if (c.pre[s].is_zero())
+            c.pre_touched.push_back(static_cast<std::uint32_t>(slot));
+        c.pre[s] += d;
+        attributed += d;
+    };
+    k::Time x = c.seg_start;
+    k::Time ov_x = c.seg_ov_total;
+    int rs = c.seg_runner_slot;
+    for (std::size_t i = c.seg_log_idx; i < cpu.log.size(); ++i) {
+        const CpuCtx::RunnerEdge& e = cpu.log[i];
+        if (rs >= 0) charge(rs, (e.at - x) - (e.ov_total - ov_x));
+        x = e.at;
+        ov_x = e.ov_total;
+        rs = e.slot;
+    }
+    if (rs >= 0) charge(rs, (now - x) - (total_now - ov_x));
+    c.residual += rest - attributed;
+}
+
+void Attribution::begin_segment(TaskCtx& c, SliceKind kind, k::Time now) {
+    const OvMark m = ov_upto(*c.cpu, now);
+    k::Time total{};
+    for (std::size_t i = 0; i < kOvKinds; ++i) total += m.upto[i];
+    begin_segment_with(c, kind, now, m, total);
+}
+
+kernel::Time Attribution::close_segment(TaskCtx& c, k::Time now) {
+    const OvMark m = ov_upto(*c.cpu, now);
+    k::Time total{};
+    for (std::size_t i = 0; i < kOvKinds; ++i) total += m.upto[i];
+    close_segment_with(c, now, m, total);
+    return total;
+}
+
+void Attribution::switch_segment(TaskCtx& c, SliceKind kind, k::Time now) {
+    const OvMark m = ov_upto(*c.cpu, now);
+    k::Time total{};
+    for (std::size_t i = 0; i < kOvKinds; ++i) total += m.upto[i];
+    close_segment_with(c, now, m, total);
+    begin_segment_with(c, kind, now, m, total);
 }
 
 // ------------------------------------------------------------ job lifecycle
@@ -133,44 +209,157 @@ void Attribution::open_job(TaskCtx& c, k::Time now) {
     c.open = true;
     c.index = c.next_index++;
     c.release = now;
-    c.exec = c.interrupt = c.residual = k::Time::zero();
+    c.exec = c.residual = k::Time::zero();
     for (auto& o : c.ov) o = k::Time::zero();
-    c.preempted_by.clear();
+    // c.pre needs no clearing: finish_job re-zeroed exactly the touched
+    // slots, everything else is still zero.
     c.blocked_on.clear();
-    c.slices.clear();
+    c.skel.clear();
     begin_segment(c, SliceKind::ready, now);
 }
 
 void Attribution::finish_job(TaskCtx& c, k::Time now, bool aborted) {
-    close_segment(c, now);
+    const k::Time ov_at_end = close_segment(c, now);
     if (c.episode != SIZE_MAX) end_episode(c, now);
     c.open = false;
 
-    JobRecord j;
-    j.task = c.task->name();
+    // Append the compact core only — no strings, no per-job vectors. The
+    // public JobRecord is materialized lazily in jobs(); the job rate was
+    // the analyzer's highest-frequency allocation site.
+    if (cores_.size() == cores_.capacity()) {
+        cores_.reserve(cores_.empty() ? 256 : cores_.capacity() * 4);
+        skel_pool_.reserve(cores_.capacity() * 4);
+        pre_pool_.reserve(cores_.capacity());
+    }
+    cores_.emplace_back();
+    JobCore& j = cores_.back();
+    j.task = c.task;
     j.index = c.index;
     j.release = c.release;
     j.end = now;
     j.aborted = aborted;
     j.exec = c.exec;
-    j.interrupt = c.interrupt;
-    j.residual = c.residual;
-    j.ov_scheduling = c.ov[static_cast<std::size_t>(r::OverheadKind::scheduling)];
-    j.ov_load = c.ov[static_cast<std::size_t>(r::OverheadKind::context_load)];
-    j.ov_save = c.ov[static_cast<std::size_t>(r::OverheadKind::context_save)];
-    j.overhead = j.ov_scheduling + j.ov_load + j.ov_save + j.residual;
-    for (const auto& [name, t] : c.preempted_by) {
-        j.preemption += t;
-        j.preempted_by.emplace_back(name, t);
+    for (std::size_t i = 0; i < kOvKinds; ++i) j.ov[i] = c.ov[i];
+    // Pack the non-zero per-slot ready shares (exactly the touched slots,
+    // re-zeroed here for the task's next job); ISR slots feed the interrupt
+    // component, the rest the preemption component.
+    const CpuCtx& cpu = *c.cpu;
+    k::Time preemption{}, interrupt{}, blocking{};
+    j.pre_first = static_cast<std::uint32_t>(pre_pool_.size());
+    for (const std::uint32_t s : c.pre_touched) {
+        const k::Time share = c.pre[s];
+        c.pre[s] = k::Time{};
+        if (cpu.slot_tasks[s]->isr_task())
+            interrupt += share;
+        else
+            preemption += share;
+        pre_pool_.emplace_back(cpu.slot_tasks[s], share);
     }
+    c.pre_touched.clear();
+    j.pre_count = static_cast<std::uint32_t>(pre_pool_.size()) - j.pre_first;
+    j.blk_first = static_cast<std::uint32_t>(blk_pool_.size());
     for (const auto& [name, t] : c.blocked_on) {
-        j.blocking += t;
-        j.blocked_on.emplace_back(name, t);
+        blocking += t;
+        blk_pool_.emplace_back(name, t);
     }
-    j.slices = std::move(c.slices);
-    c.slices.clear();
-    jobs_.push_back(std::move(j));
-    if (on_complete_) on_complete_(jobs_.back());
+    j.blk_count = static_cast<std::uint32_t>(blk_pool_.size()) - j.blk_first;
+
+    j.cpu = c.cpu;
+    j.ov_at_release = c.skel.empty() ? k::Time{} : c.skel.front().ov_at_start;
+    j.ov_at_end = ov_at_end;
+    if (c.blocked_on.empty()) {
+        // No (non-zero) blocked segment: the tiling is reconstructible from
+        // the runner log, so don't pay the skeleton copy. Zero-width blocked
+        // segments are dropped by slices_for() anyway, so they don't force
+        // the stored path.
+        j.skel_count = 0;
+    } else {
+        j.skel_first = static_cast<std::uint32_t>(skel_pool_.size());
+        j.skel_count = static_cast<std::uint32_t>(c.skel.size());
+        skel_pool_.insert(skel_pool_.end(), c.skel.begin(), c.skel.end());
+    }
+    c.skel.clear(); // capacity survives for the task's next job
+
+    if (on_complete_lite_) {
+        CompletionView v;
+        v.task = c.task;
+        v.index = j.index;
+        v.release = j.release;
+        v.end = now;
+        v.aborted = aborted;
+        v.exec = j.exec;
+        v.preemption = preemption;
+        v.blocking = blocking;
+        v.overhead = (j.end - j.release) - j.exec - preemption - blocking -
+                     interrupt;
+        v.interrupt = interrupt;
+        v.preemptors = pre_pool_.data() + j.pre_first;
+        v.preemptor_count = j.pre_count;
+        v.blockers = blk_pool_.data() + j.blk_first;
+        v.blocker_count = j.blk_count;
+        on_complete_lite_(v);
+    }
+    if (on_complete_) {
+        materialize(); // eager: the legacy hook wants the full JobRecord
+        on_complete_(jobs_.back());
+    }
+}
+
+void Attribution::materialize() const {
+    if (jobs_.size() == cores_.size()) return;
+    jobs_.reserve(cores_.capacity());
+    for (std::size_t n = jobs_.size(); n < cores_.size(); ++n) {
+        const JobCore& core = cores_[n];
+        jobs_.emplace_back();
+        JobRecord& j = jobs_.back();
+        j.task = core.task->name();
+        j.index = core.index;
+        j.release = core.release;
+        j.end = core.end;
+        j.aborted = core.aborted;
+        j.exec = core.exec;
+        j.ov_scheduling =
+            core.ov[static_cast<std::size_t>(r::OverheadKind::scheduling)];
+        j.ov_load =
+            core.ov[static_cast<std::size_t>(r::OverheadKind::context_load)];
+        j.ov_save =
+            core.ov[static_cast<std::size_t>(r::OverheadKind::context_save)];
+        // The derived sums are recomputed here instead of being carried in
+        // JobCore: preemption/interrupt split the per-preemptor shares on
+        // isr_task(), blocking sums the per-resource shares, and residual
+        // falls out of the conservation identity (response = exec +
+        // preemption + interrupt + blocking + overheads + residual), which
+        // holds exactly by construction of the charging scheme.
+        std::vector<std::pair<std::string, k::Time>>& pre_pairs = pre_scratch_;
+        pre_pairs.clear();
+        const auto* pre = pre_pool_.data() + core.pre_first;
+        for (std::uint32_t i = 0; i < core.pre_count; ++i) {
+            if (pre[i].first->isr_task()) {
+                j.interrupt += pre[i].second;
+                continue;
+            }
+            j.preemption += pre[i].second;
+            pre_pairs.emplace_back(pre[i].first->name(), pre[i].second);
+        }
+        std::sort(
+            pre_pairs.begin(), pre_pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (auto& p : pre_pairs) {
+            if (!j.preempted_by.empty() &&
+                j.preempted_by.back().first == p.first)
+                j.preempted_by.back().second += p.second;
+            else
+                j.preempted_by.push_back(std::move(p));
+        }
+        const auto* blk = blk_pool_.data() + core.blk_first;
+        j.blocked_on.assign(blk, blk + core.blk_count);
+        for (std::uint32_t i = 0; i < core.blk_count; ++i)
+            j.blocking += blk[i].second;
+        j.residual = (core.end - core.release) - core.exec - j.preemption -
+                     j.interrupt - j.blocking - j.ov_scheduling - j.ov_load -
+                     j.ov_save;
+        j.overhead = j.ov_scheduling + j.ov_load + j.ov_save + j.residual;
+    }
 }
 
 // ---------------------------------------------------------- blocking chains
@@ -202,9 +391,9 @@ void Attribution::start_episode(TaskCtx& c, k::Time now) {
             break; // ownership cycle (deadlock): stop at the repeat
         e.chain.push_back(link->name());
         const mcse::Relation* next_rel = nullptr;
-        for (const auto& tc : tasks_)
-            if (tc.task == link) {
-                next_rel = tc.blocked_rel;
+        for (const auto& [lt, lc] : task_index_)
+            if (lt == link) {
+                next_rel = lc->blocked_rel;
                 break;
             }
         if (next_rel == nullptr) break;
@@ -213,11 +402,13 @@ void Attribution::start_episode(TaskCtx& c, k::Time now) {
     }
     c.episode = episodes_.size();
     episodes_.push_back(std::move(e));
+    ++c.cpu->open_episodes;
 }
 
 void Attribution::end_episode(TaskCtx& c, k::Time now) {
     episodes_[c.episode].end = now;
     c.episode = SIZE_MAX;
+    if (c.cpu->open_episodes > 0) --c.cpu->open_episodes;
 }
 
 // ------------------------------------------------------------- probe hooks
@@ -253,26 +444,26 @@ void Attribution::on_task_state(const r::Task& task, r::TaskState from,
     CpuCtx& cpu = *c.cpu;
     const k::Time now = task.processor().simulator().now();
 
-    // 1. Runner edges: when the CPU's occupant changes, every other open job
-    // sitting in Ready on this CPU closes its segment against the old runner
-    // and reopens against the new one (the runner is constant within a
-    // segment by construction).
+    // 1. Runner edges: when the CPU's occupant changes, append one log
+    // entry. Open jobs sitting in Ready are NOT touched — their close walks
+    // the logged edges, and slices_for() subdivides at them on demand. This
+    // turns the former O(open jobs) close/reopen sweep per edge into O(1).
     const bool runner_edge = from == r::TaskState::running ||
                              to == r::TaskState::running;
     if (runner_edge) {
-        for (auto& o : tasks_) {
-            if (&o == &c || !o.open || o.cpu != &cpu) continue;
-            if (o.seg == SliceKind::ready) close_segment(o, now);
+        const k::Time ovt = ov_total_upto(cpu, now);
+        if (to == r::TaskState::running) {
+            cpu.runner = &task;
+            cpu.runner_slot = static_cast<int>(c.slot);
+        } else {
+            cpu.runner = nullptr;
+            cpu.runner_slot = -1;
         }
-        cpu.runner = to == r::TaskState::running ? &task : nullptr;
-        for (auto& o : tasks_) {
-            if (&o == &c || !o.open || o.cpu != &cpu) continue;
-            if (o.seg == SliceKind::ready)
-                begin_segment(o, SliceKind::ready, now);
-        }
+        cpu.log.push_back({now, cpu.runner, cpu.runner_slot, ovt});
         // A middle-priority task taking the CPU while someone sits in a
-        // priority-inverted wait stretches the inversion: record it.
-        if (cpu.runner != nullptr) {
+        // priority-inverted wait stretches the inversion: record it. Only
+        // scanned while an episode is actually open on this CPU.
+        if (cpu.runner != nullptr && cpu.open_episodes > 0) {
             for (auto& o : tasks_) {
                 if (o.episode == SIZE_MAX || o.cpu != &cpu) continue;
                 BlockEpisode& e = episodes_[o.episode];
@@ -308,23 +499,22 @@ void Attribution::on_task_state(const r::Task& task, r::TaskState from,
 
     switch (to) {
         case r::TaskState::running:
-            close_segment(c, now);
-            begin_segment(c, SliceKind::exec, now);
+            switch_segment(c, SliceKind::exec, now);
             return;
         case r::TaskState::ready:
-            // Preemption / yield, or waking from a resource wait.
-            close_segment(c, now);
+            // Preemption / yield, or waking from a resource wait. The close
+            // reads blocked_rel (the closing segment may be a blocked one),
+            // so episode cleanup follows the switch.
+            switch_segment(c, SliceKind::ready, now);
             if (from == r::TaskState::waiting_resource) {
                 end_episode(c, now);
                 c.blocked_rel = nullptr;
             }
-            begin_segment(c, SliceKind::ready, now);
             return;
         case r::TaskState::waiting_resource:
             // Mid-job mutual-exclusion block (blocked_rel was set by
             // on_block just before this transition).
-            close_segment(c, now);
-            begin_segment(c, SliceKind::blocked, now);
+            switch_segment(c, SliceKind::blocked, now);
             start_episode(c, now);
             return;
         case r::TaskState::waiting:
@@ -354,14 +544,117 @@ std::vector<const Attribution::BlockEpisode*> Attribution::inversions() const {
 
 std::vector<const Attribution::JobRecord*> Attribution::jobs_for(
     const std::string& task) const {
+    materialize();
     std::vector<const JobRecord*> out;
     for (const auto& j : jobs_)
         if (j.task == task) out.push_back(&j);
     return out;
 }
 
+std::vector<Attribution::Slice> Attribution::slices_for(
+    const JobRecord& j) const {
+    std::vector<Slice> out;
+    const auto idx = static_cast<std::size_t>(&j - jobs_.data());
+    if (idx >= cores_.size()) return out;
+    const JobCore& core = cores_[idx];
+    const auto& log = core.cpu->log;
+    // Jobs that never blocked store no skeleton (finish_job elides the
+    // copy); their ready/exec tiling is reconstructed from the runner log.
+    // The job starts Ready at release; an edge whose runner is the task is
+    // its dispatch (a task runs at most one job at a time, so an edge in
+    // [release, end) naming the task belongs to this job); while it runs,
+    // the next edge of any kind is the task leaving the CPU — a running
+    // task's leave edge always precedes the successor's dispatch edge.
+    std::vector<SkelSeg> synth;
+    const SkelSeg* skel;
+    std::size_t nseg;
+    if (core.skel_count == 0) {
+        synth.push_back(
+            {core.release, core.ov_at_release, SliceKind::ready, nullptr});
+        auto it = std::lower_bound(
+            log.begin(), log.end(), core.release,
+            [](const CpuCtx::RunnerEdge& e, k::Time t) { return e.at < t; });
+        for (; it != log.end() && it->at < core.end; ++it) {
+            if (synth.back().kind == SliceKind::ready) {
+                if (it->runner == core.task)
+                    synth.push_back(
+                        {it->at, it->ov_total, SliceKind::exec, nullptr});
+            } else {
+                synth.push_back(
+                    {it->at, it->ov_total, SliceKind::ready, nullptr});
+            }
+        }
+        skel = synth.data();
+        nseg = synth.size();
+    } else {
+        skel = skel_pool_.data() + core.skel_first;
+        nseg = core.skel_count;
+    }
+    for (std::size_t i = 0; i < nseg; ++i) {
+        const SkelSeg& s = skel[i];
+        const k::Time end = i + 1 < nseg ? skel[i + 1].start : j.end;
+        const k::Time ov_end =
+            i + 1 < nseg ? skel[i + 1].ov_at_start : core.ov_at_end;
+        if (s.kind == SliceKind::blocked) {
+            if (end == s.start) continue;
+            Slice o;
+            o.start = s.start;
+            o.end = end;
+            o.kind = SliceKind::blocked;
+            o.culprit = s.rel != nullptr ? s.rel->name() : "?";
+            out.push_back(std::move(o));
+            continue;
+        }
+        if (s.kind == SliceKind::exec) {
+            if (end == s.start) continue;
+            Slice o;
+            o.start = s.start;
+            o.end = end;
+            o.kind = SliceKind::exec;
+            o.overhead = ov_end - s.ov_at_start;
+            out.push_back(std::move(o));
+            continue;
+        }
+        // Ready: subdivide at the runner edges strictly inside (start, end),
+        // reproducing the former eager close/reopen tiling. The runner of
+        // the leading sub-slice is whoever held the CPU at the segment
+        // start; every logged edge both closes a sub-slice and installs the
+        // next runner. Zero-width sub-slices are dropped, and a sub-slice
+        // that is pure overhead keeps an empty culprit — exactly the old
+        // close_segment rules.
+        auto it = std::upper_bound(
+            log.begin(), log.end(), s.start,
+            [](k::Time t, const CpuCtx::RunnerEdge& e) { return t < e.at; });
+        const r::Task* runner =
+            it == log.begin() ? nullptr : std::prev(it)->runner;
+        k::Time x = s.start;
+        k::Time ov_x = s.ov_at_start;
+        const auto emit = [&out, &x, &ov_x, &runner](k::Time y, k::Time ov_y) {
+            if (y == x) return;
+            Slice o;
+            o.start = x;
+            o.end = y;
+            o.kind = SliceKind::ready;
+            o.overhead = ov_y - ov_x;
+            const k::Time rest = (y - x) - o.overhead;
+            if (!rest.is_zero() && runner != nullptr)
+                o.culprit = runner->name();
+            out.push_back(std::move(o));
+        };
+        for (; it != log.end() && it->at < end; ++it) {
+            emit(it->at, it->ov_total);
+            x = it->at;
+            ov_x = it->ov_total;
+            runner = it->runner;
+        }
+        emit(end, ov_end);
+    }
+    return out;
+}
+
 std::vector<Attribution::DeadlineMissReport> Attribution::miss_reports(
     const trace::ConstraintMonitor& monitor) const {
+    materialize();
     std::vector<DeadlineMissReport> out;
     for (const auto& v : monitor.violations()) {
         if (v.task == nullptr) continue; // latency rules have no job
@@ -381,7 +674,7 @@ std::vector<Attribution::DeadlineMissReport> Attribution::miss_reports(
             }
         }
         if (r.job != nullptr) {
-            for (const Slice& s : r.job->slices) {
+            for (const Slice& s : slices_for(*r.job)) {
                 DeadlineMissReport::PathItem item;
                 item.start = s.start;
                 item.duration = s.end - s.start;

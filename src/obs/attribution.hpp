@@ -34,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kernel/time.hpp"
@@ -92,9 +93,6 @@ public:
         std::vector<std::pair<std::string, kernel::Time>> preempted_by;
         std::vector<std::pair<std::string, kernel::Time>> blocked_on;
 
-        /// Ordered tiling of [release, end] (the critical path).
-        std::vector<Slice> slices;
-
         [[nodiscard]] kernel::Time response() const noexcept {
             return end - release;
         }
@@ -148,6 +146,27 @@ public:
         std::vector<PathItem> critical_path;
     };
 
+    /// Zero-allocation view of one completed job, handed to the lite
+    /// completion hook straight from the analyzer's compact per-job record —
+    /// no strings, no vectors, no JobRecord materialization. `preemptors`
+    /// holds every slot that took the CPU during the job's ready windows
+    /// (ISR tasks included — split on Task::isr_task); `blockers` are
+    /// name-merged resource shares. Pointers are valid only for the duration
+    /// of the callback.
+    struct CompletionView {
+        const rtos::Task* task = nullptr;
+        std::uint64_t index = 0;
+        kernel::Time release{}, end{};
+        bool aborted = false;
+        kernel::Time exec{}, preemption{}, blocking{}, overhead{},
+            interrupt{};
+        const std::pair<const rtos::Task*, kernel::Time>* preemptors =
+            nullptr;
+        std::size_t preemptor_count = 0;
+        const std::pair<std::string, kernel::Time>* blockers = nullptr;
+        std::size_t blocker_count = 0;
+    };
+
     Attribution() = default;
     Attribution(const Attribution&) = delete;
     Attribution& operator=(const Attribution&) = delete;
@@ -161,7 +180,13 @@ public:
     void attach(rtos::Processor& cpu);
 
     // ---- results ----
-    [[nodiscard]] const std::vector<JobRecord>& jobs() const noexcept {
+    /// All completed jobs in completion order. JobRecords are materialized
+    /// lazily from the analyzer's compact per-job cores on first access (the
+    /// hot path never builds the strings/vectors); the returned reference
+    /// stays valid and grows as more jobs complete. Call while the scenario's
+    /// Task objects are still alive.
+    [[nodiscard]] const std::vector<JobRecord>& jobs() const {
+        materialize();
         return jobs_;
     }
     [[nodiscard]] const std::vector<BlockEpisode>& episodes() const noexcept {
@@ -173,6 +198,15 @@ public:
     [[nodiscard]] std::vector<const JobRecord*> jobs_for(
         const std::string& task) const;
 
+    /// Materialize the ordered tiling of [release, end] for one recorded job
+    /// (the critical path). Built on demand from the job's segment skeleton
+    /// and the CPU's runner log — the hot path only appends to those, which
+    /// is what keeps the online overhead low; reconstructing here yields the
+    /// exact same slices the analyzer used to store eagerly (same
+    /// subdivision at every runner edge, same culprit and overhead shares,
+    /// zero-width slices dropped). `j` must be an element of jobs().
+    [[nodiscard]] std::vector<Slice> slices_for(const JobRecord& j) const;
+
     /// Match every response violation of `monitor` against the recorded job
     /// decompositions and render its critical path. Pointers into jobs()
     /// stay valid while the Attribution lives.
@@ -180,10 +214,19 @@ public:
         const trace::ConstraintMonitor& monitor) const;
 
     /// Invoked on every job completion/abort (after the record is stored).
-    /// One hook; MetricsCollector::set_attribution uses it for the blame
-    /// counters/histograms.
+    /// Forces eager JobRecord materialization on each completion — prefer
+    /// set_completion_hook_lite on hot paths.
     void set_completion_hook(std::function<void(const JobRecord&)> hook) {
         on_complete_ = std::move(hook);
+    }
+
+    /// Allocation-free variant: receives a CompletionView over the compact
+    /// per-job record instead of a materialized JobRecord.
+    /// MetricsCollector::set_attribution uses it for the blame
+    /// counters/histograms.
+    void set_completion_hook_lite(
+        std::function<void(const CompletionView&)> hook) {
+        on_complete_lite_ = std::move(hook);
     }
 
     // ---- EngineProbe ----
@@ -205,10 +248,21 @@ public:
 private:
     static constexpr std::size_t kOvKinds = 3;
 
-    /// Per-processor context: who runs, and the exact integral of overhead
+    /// Per-processor context: who runs, the exact integral of overhead
     /// charge time per kind (charges never overlap on one CPU and are
     /// announced at their start with the full duration, so the integral up
-    /// to any instant inside a charge is exact).
+    /// to any instant inside a charge is exact), and the append-only runner
+    /// log the ready-time attribution walks.
+    ///
+    /// A runner edge appends one log entry — O(1), open jobs sitting in
+    /// Ready are never touched. A job's ready window remembers the log
+    /// length when it opens and, on close, walks only the edges that were
+    /// appended inside the window, charging each span's net time
+    /// (duration minus overhead inside the span) to the task that held the
+    /// CPU. That walk is the exact per-edge subdivision the eager
+    /// implementation performed, with the same uint64 subtractions, so the
+    /// per-slot totals are bit-identical; slices_for() reuses the same log
+    /// to materialize tilings on demand.
     struct CpuCtx {
         const rtos::Processor* cpu = nullptr;
         const rtos::Task* runner = nullptr;
@@ -216,16 +270,45 @@ private:
         int cur_kind = -1;
         kernel::Time cur_start{};
         kernel::Time cur_end{};
+
+        std::vector<const rtos::Task*> slot_tasks; ///< slot -> task
+        kernel::Time ov_done_total{};       ///< sum of ov_done (kept folded)
+        int runner_slot = -1;               ///< slot of `runner` (-1 = idle)
+        /// Every runner change, in time order; ready-window closes and
+        /// slices_for() subdivide at these edges.
+        struct RunnerEdge {
+            kernel::Time at{};
+            const rtos::Task* runner = nullptr;
+            int slot = -1;                  ///< slot of `runner` (-1 = idle)
+            kernel::Time ov_total{};        ///< total ov integral at `at`
+        };
+        std::vector<RunnerEdge> log;
+        std::size_t open_episodes = 0;      ///< gates the aggravator scan
     };
 
     struct OvMark {
         kernel::Time upto[kOvKinds]{};
     };
 
+    /// One entry of a job's segment skeleton: where a segment started and
+    /// what the job was doing. Segment ends are implicit (the next entry's
+    /// start, or the job end); ready segments are subdivided at the CPU's
+    /// runner edges only when slices_for() materializes the tiling.
+    /// Trivially copyable on purpose — the hot path memcpys these into the
+    /// shared arena; the blocked culprit is the Relation pointer (nullptr =
+    /// unknown, rendered "?"), its name materialized only in slices_for().
+    struct SkelSeg {
+        kernel::Time start{};
+        kernel::Time ov_at_start{};  ///< CPU total ov integral at `start`
+        SliceKind kind = SliceKind::exec;
+        const mcse::Relation* rel = nullptr; ///< blocked: the resource
+    };
+
     /// Per-task context: the open job (if any) and its current segment.
     struct TaskCtx {
         const rtos::Task* task = nullptr;
         CpuCtx* cpu = nullptr;
+        std::size_t slot = 0;        ///< index into cpu->slot_tasks
         std::uint64_t next_index = 0;
 
         bool open = false;
@@ -234,38 +317,111 @@ private:
 
         SliceKind seg = SliceKind::exec;
         kernel::Time seg_start{};
-        const rtos::Task* seg_runner = nullptr;
         OvMark seg_mark;
+        kernel::Time seg_ov_total{}; ///< sum of seg_mark at segment open
+        /// Ready segments: the log length and runner when the window opened;
+        /// the close walks the edges appended since.
+        std::size_t seg_log_idx = 0;
+        int seg_runner_slot = -1;
 
         const mcse::Relation* blocked_rel = nullptr; ///< set by on_block
         std::size_t episode = SIZE_MAX; ///< open episode index or SIZE_MAX
 
         // accumulators
-        kernel::Time exec, interrupt, residual;
+        kernel::Time exec, residual;
         kernel::Time ov[kOvKinds];
-        std::map<std::string, kernel::Time> preempted_by;
+        std::vector<kernel::Time> pre;  ///< slot -> ready time while it ran
+        /// Slots with a non-zero pre entry, in first-charge order; the
+        /// finish reads and re-zeroes exactly these instead of sweeping (and
+        /// the open does not have to clear the whole vector).
+        std::vector<std::uint32_t> pre_touched;
         std::map<std::string, kernel::Time> blocked_on;
-        std::vector<Slice> slices;
+        std::vector<SkelSeg> skel;      ///< segment skeleton of the open job
+    };
+
+    /// Compact completed-job record — plain data, appended on the hot path;
+    /// deliberately small, since writing it is the per-job memory traffic.
+    /// The public JobRecord (strings, sorted per-culprit vectors, derived
+    /// sums) is materialized from this lazily, in jobs():
+    ///   preemption/interrupt = the pre span split on Task::isr_task,
+    ///   blocking             = sum of the blk span,
+    ///   residual             = response minus every other component (exact
+    ///                          by the conservation invariant).
+    /// skel_count == 0 means the job had no (non-zero) blocked segment and
+    /// its exec/ready tiling is reconstructed from the CPU's runner log
+    /// instead of a stored skeleton: a job's segment boundaries inside
+    /// (release, end] are exactly the edges that install the task as runner
+    /// (exec begins) or remove it (ready begins).
+    struct JobCore {
+        const rtos::Task* task = nullptr;
+        std::uint64_t index = 0;
+        kernel::Time release{}, end{};
+        kernel::Time exec{};
+        kernel::Time ov[kOvKinds]{};
+        const CpuCtx* cpu = nullptr;
+        kernel::Time ov_at_release{}; ///< CPU total ov integral at release
+        kernel::Time ov_at_end{};     ///< CPU total ov integral at job end
+        std::uint32_t pre_first = 0, pre_count = 0;  ///< span in pre_pool_
+        std::uint32_t blk_first = 0, blk_count = 0;  ///< span in blk_pool_
+        std::uint32_t skel_first = 0, skel_count = 0; ///< span in skel_pool_
+        bool aborted = false;
     };
 
     [[nodiscard]] CpuCtx& cpu_ctx(const rtos::Processor& cpu);
     [[nodiscard]] TaskCtx& task_ctx(const rtos::Task& t);
     [[nodiscard]] OvMark ov_upto(const CpuCtx& c, kernel::Time t) const;
+    [[nodiscard]] kernel::Time ov_total_upto(const CpuCtx& c,
+                                             kernel::Time t) const;
 
+    void begin_segment_with(TaskCtx& c, SliceKind kind, kernel::Time now,
+                            const OvMark& m, kernel::Time total);
+    void close_segment_with(TaskCtx& c, kernel::Time now, const OvMark& m,
+                            kernel::Time total);
     void begin_segment(TaskCtx& c, SliceKind kind, kernel::Time now);
-    void close_segment(TaskCtx& c, kernel::Time now);
+    /// Returns the CPU total ov integral at `now` (the close computes it
+    /// anyway; finish_job stores it as the job's ov_at_end).
+    kernel::Time close_segment(TaskCtx& c, kernel::Time now);
+    /// close + begin sharing one overhead-mark computation — every mid-job
+    /// transition is such a pair.
+    void switch_segment(TaskCtx& c, SliceKind kind, kernel::Time now);
     void open_job(TaskCtx& c, kernel::Time now);
     void finish_job(TaskCtx& c, kernel::Time now, bool aborted);
     void start_episode(TaskCtx& c, kernel::Time now);
     void end_episode(TaskCtx& c, kernel::Time now);
+    /// Build jobs_ (the public JobRecords) from cores_ for every job not yet
+    /// materialized. Idempotent; called by every results accessor.
+    void materialize() const;
 
     // deques: contexts cross-reference each other, references must be stable
     std::deque<CpuCtx> cpus_;
     std::deque<TaskCtx> tasks_;
+    /// Transposition-ordered task lookup behind the two-entry cache: a hit
+    /// swaps one step toward the front, so the handful of live tasks settle
+    /// in rough access-frequency order and a miss of the cache pair costs a
+    /// few pointer compares instead of a hash probe.
+    std::vector<std::pair<const rtos::Task*, TaskCtx*>> task_index_;
+    // Two-entry lookup cache: hook bursts alternate between the outgoing
+    // and incoming task of a context switch (deque references are stable,
+    // so the pointers stay valid).
+    const rtos::Task* cached_task_ = nullptr;
+    TaskCtx* cached_ctx_ = nullptr;
+    const rtos::Task* cached_task2_ = nullptr;
+    TaskCtx* cached_ctx2_ = nullptr;
+    std::vector<SkelSeg> skel_pool_;  ///< finished jobs' skeletons, packed
+    std::vector<JobCore> cores_;      ///< completed jobs, completion order
+    /// Per-culprit shares of finished jobs, packed arenas referenced by
+    /// JobCore spans. pre_pool_ keeps ISR entries too (the materializer and
+    /// the lite hook split on Task::isr_task); blk_pool_ is name-merged and
+    /// name-sorted already (map iteration order at finish time).
+    std::vector<std::pair<const rtos::Task*, kernel::Time>> pre_pool_;
+    std::vector<std::pair<std::string, kernel::Time>> blk_pool_;
+    /// materialize() scratch (kept across jobs to avoid per-job allocation)
+    mutable std::vector<std::pair<std::string, kernel::Time>> pre_scratch_;
     std::map<const mcse::Relation*, const rtos::Task*> owner_of_;
-    std::vector<JobRecord> jobs_;
+    mutable std::vector<JobRecord> jobs_;  ///< lazy cache over cores_
     std::vector<BlockEpisode> episodes_;
     std::function<void(const JobRecord&)> on_complete_;
+    std::function<void(const CompletionView&)> on_complete_lite_;
     std::vector<rtos::Processor*> attached_;
 };
 

@@ -1,5 +1,7 @@
 #include "obs/collector.hpp"
 
+
+#include <algorithm>
 #include "obs/attribution.hpp"
 #include "rtos/engine.hpp"
 
@@ -42,38 +44,48 @@ MetricsCollector::CpuMetrics& MetricsCollector::cpu_metrics(
 
 MetricsCollector::TaskMetrics& MetricsCollector::task_metrics(
     const r::Task& t) {
-    for (auto& m : tasks_)
-        if (m.task == &t) return m;
+    // Transposition scan: a hit swaps one step toward the front, so the
+    // busiest tasks (ISRs completing thousands of jobs) quickly settle at
+    // the head without paying a full move-to-front rotate per lookup.
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].task != &t) continue;
+        if (i == 0) return tasks_[0];
+        std::swap(tasks_[i - 1], tasks_[i]);
+        return tasks_[i - 1];
+    }
     const std::string p = "task." + t.name() + ".";
     tasks_.push_back({&t, &reg_.counter(p + "activations"),
                       &reg_.histogram(p + "response_ps")});
     return tasks_.back();
 }
 
+// on_scheduler_run / on_dispatch / on_preempt are NOT forwarded to the
+// attribution: it keeps the EngineProbe no-op defaults for all three (its
+// segmentation derives entirely from state transitions, blocks and overhead
+// charges), and these are the highest-frequency probe hooks. If Attribution
+// ever overrides one of them, forward it here again.
+
 void MetricsCollector::on_scheduler_run(const r::Processor& cpu,
                                         std::size_t ready_len) {
     CpuMetrics& m = cpu_metrics(cpu);
     m.scheduler_runs->inc();
     m.ready_queue_len->record(static_cast<std::uint64_t>(ready_len));
-    if (attr_) attr_->on_scheduler_run(cpu, ready_len);
 }
 
-void MetricsCollector::on_dispatch(const r::Processor& cpu, const r::Task& t,
+void MetricsCollector::on_dispatch(const r::Processor& cpu, const r::Task&,
                                    k::Time sched_latency,
                                    k::Time dispatch_latency) {
     CpuMetrics& m = cpu_metrics(cpu);
     m.ctx_switches->inc();
     m.sched_latency->record(sched_latency);
     m.dispatch_latency->record(dispatch_latency);
-    if (attr_) attr_->on_dispatch(cpu, t, sched_latency, dispatch_latency);
 }
 
-void MetricsCollector::on_preempt(const r::Processor& cpu, const r::Task& t,
+void MetricsCollector::on_preempt(const r::Processor& cpu, const r::Task&,
                                   std::size_t depth) {
     CpuMetrics& m = cpu_metrics(cpu);
     m.preemptions->inc();
     m.preempt_depth->record(static_cast<std::uint64_t>(depth));
-    if (attr_) attr_->on_preempt(cpu, t, depth);
 }
 
 void MetricsCollector::on_block(const r::Processor& cpu, const r::Task& t,
@@ -103,24 +115,77 @@ void MetricsCollector::on_overhead(const r::Processor& cpu,
     if (attr_) attr_->on_overhead(cpu, kind, start, duration, about);
 }
 
+MetricsCollector::BlameMetrics& MetricsCollector::blame_metrics(
+    const r::Task& t) {
+    // Move-to-front scan: job completions cluster per task (ISR tasks in
+    // particular complete far more jobs than anyone else), so the hot entry
+    // sits at the head.
+    for (auto it = blame_order_.begin(); it != blame_order_.end(); ++it) {
+        if ((*it)->task == &t) {
+            if (it != blame_order_.begin())
+                std::rotate(blame_order_.begin(), it, it + 1);
+            return *blame_order_.front();
+        }
+    }
+    const std::string p = "task." + t.name() + ".";
+    blames_.push_back({&t, p, &reg_.histogram(p + "blame.exec_ps"),
+                       &reg_.histogram(p + "blame.preempt_ps"),
+                       &reg_.histogram(p + "blame.block_ps"),
+                       &reg_.histogram(p + "blame.overhead_ps"),
+                       &reg_.histogram(p + "blame.interrupt_ps"),
+                       {},
+                       {}});
+    blame_order_.insert(blame_order_.begin(), &blames_.back());
+    return blames_.back();
+}
+
+Counter& MetricsCollector::preemptor_counter(BlameMetrics& m,
+                                             const r::Task& by) {
+    for (auto& [t, c] : m.preempted_by)
+        if (t == &by) return *c;
+    Counter& c = reg_.counter(m.prefix + "preempted_by." + by.name());
+    m.preempted_by.emplace_back(&by, &c);
+    return c;
+}
+
+Counter& MetricsCollector::culprit_counter(
+    std::vector<std::pair<std::string, Counter*>>& cache,
+    const std::string& prefix, const char* group, const std::string& name) {
+    for (auto& [n, c] : cache)
+        if (n == name) return *c;
+    Counter& c = reg_.counter(prefix + group + name);
+    cache.emplace_back(name, &c);
+    return c;
+}
+
 void MetricsCollector::set_attribution(Attribution* a) {
     attr_ = a;
     if (a == nullptr) return;
-    a->set_completion_hook([this](const Attribution::JobRecord& j) {
-        const std::string p = "task." + j.task + ".";
-        for (const auto& [name, t] : j.preempted_by) {
-            (void)t;
-            reg_.counter(p + "preempted_by." + name).inc();
+    a->set_completion_hook_lite([this](const Attribution::CompletionView& v) {
+        BlameMetrics& m = blame_metrics(*v.task);
+        // The preemptor view is per-slot (Task identity); the catalogue
+        // counts one inc per job per *name* (duplicate-named tasks merge
+        // into one counter), so dedup by resolved Counter identity.
+        culprits_seen_.clear();
+        for (std::size_t i = 0; i < v.preemptor_count; ++i) {
+            const r::Task* by = v.preemptors[i].first;
+            if (by->isr_task()) continue; // ISR share is `interrupt`
+            Counter& c = preemptor_counter(m, *by);
+            if (std::find(culprits_seen_.begin(), culprits_seen_.end(), &c) ==
+                culprits_seen_.end()) {
+                culprits_seen_.push_back(&c);
+                c.inc();
+            }
         }
-        for (const auto& [name, t] : j.blocked_on) {
-            (void)t;
-            reg_.counter(p + "blocked_on." + name).inc();
-        }
-        reg_.histogram(p + "blame.exec_ps").record(j.exec);
-        reg_.histogram(p + "blame.preempt_ps").record(j.preemption);
-        reg_.histogram(p + "blame.block_ps").record(j.blocking);
-        reg_.histogram(p + "blame.overhead_ps").record(j.overhead);
-        reg_.histogram(p + "blame.interrupt_ps").record(j.interrupt);
+        for (std::size_t i = 0; i < v.blocker_count; ++i)
+            culprit_counter(m.blocked_on, m.prefix, "blocked_on.",
+                            v.blockers[i].first)
+                .inc();
+        m.exec->record(v.exec);
+        m.preempt->record(v.preemption);
+        m.block->record(v.blocking);
+        m.overhead->record(v.overhead);
+        m.interrupt->record(v.interrupt);
     });
 }
 
@@ -128,27 +193,33 @@ void MetricsCollector::on_task_state(const r::Task& task, r::TaskState from,
                                      r::TaskState to) {
     if (attr_) attr_->on_task_state(task, from, to);
     if (from == to) return; // creation announcement
+    // Release: leaving a synchronization wait (or creation) for Ready starts
+    // a response episode — same rule as trace::ConstraintMonitor. Completion:
+    // the running task blocks again or terminates. Every other transition
+    // (dispatch, preemption, resource waits) records nothing, so the metric
+    // lookup and the now() query only run on the two episode edges.
+    const bool release =
+        to == r::TaskState::ready &&
+        (from == r::TaskState::waiting || from == r::TaskState::created);
+    const bool completion =
+        from == r::TaskState::running &&
+        (to == r::TaskState::waiting || to == r::TaskState::terminated);
+    if (!release && !completion) return;
     TaskMetrics& m = task_metrics(task);
     const k::Time now = task.processor().simulator().now();
-    // Release: leaving a synchronization wait (or creation) for Ready starts
-    // a response episode — same rule as trace::ConstraintMonitor.
-    if (to == r::TaskState::ready &&
-        (from == r::TaskState::waiting || from == r::TaskState::created)) {
+    if (release) {
         m.activations->inc();
         m.active = true;
         m.released = now;
         return;
     }
-    // Completion: the running task blocks again or terminates. A kill/crash
-    // leaves the episode open — an aborted activation has no response time.
-    if (m.active && from == r::TaskState::running &&
-        (to == r::TaskState::waiting || to == r::TaskState::terminated)) {
-        if (to == r::TaskState::terminated && (task.killed() || task.crashed())) {
-            m.active = false;
-            return;
-        }
+    // A kill/crash leaves the episode open — an aborted activation has no
+    // response time.
+    if (m.active) {
         m.active = false;
-        m.response->record(now - m.released);
+        if (!(to == r::TaskState::terminated &&
+              (task.killed() || task.crashed())))
+            m.response->record(now - m.released);
     }
 }
 

@@ -28,6 +28,7 @@
 // engine-equivalent (procedural vs threaded) and bit-identical across runs.
 // When no collector is attached the hooks cost one untaken branch each.
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -105,13 +106,43 @@ private:
         bool active = false;       ///< a response episode is open
         kernel::Time released{};
     };
+    /// Cached blame-metric pointers for one completing task. The completion
+    /// hook fires once per job — resolving five histograms plus per-culprit
+    /// counters through string-keyed registry lookups every time dominated
+    /// the attribution overhead, so the pointers are resolved once and the
+    /// per-culprit counters accumulate in small pointer caches. Keyed by
+    /// Task identity; two tasks sharing a name get two cache entries whose
+    /// pointers land on the same registry objects, preserving the name-merged
+    /// catalogue.
+    struct BlameMetrics {
+        const rtos::Task* task;
+        std::string prefix;        ///< "task.<name>."
+        Histogram* exec;
+        Histogram* preempt;
+        Histogram* block;
+        Histogram* overhead;
+        Histogram* interrupt;
+        std::vector<std::pair<const rtos::Task*, Counter*>> preempted_by;
+        std::vector<std::pair<std::string, Counter*>> blocked_on;
+    };
 
     [[nodiscard]] CpuMetrics& cpu_metrics(const rtos::Processor& cpu);
     [[nodiscard]] TaskMetrics& task_metrics(const rtos::Task& t);
+    [[nodiscard]] BlameMetrics& blame_metrics(const rtos::Task& t);
+    [[nodiscard]] Counter& preemptor_counter(BlameMetrics& m,
+                                             const rtos::Task& by);
+    [[nodiscard]] Counter& culprit_counter(
+        std::vector<std::pair<std::string, Counter*>>& cache,
+        const std::string& prefix, const char* group, const std::string& name);
 
     MetricsRegistry& reg_;
     std::vector<CpuMetrics> cpus_;
     std::vector<TaskMetrics> tasks_;
+    std::deque<BlameMetrics> blames_; ///< deque: blame_order_ holds pointers,
+                                      ///< growth must not invalidate them
+    std::vector<BlameMetrics*> blame_order_; ///< move-to-front scan order
+    std::vector<Counter*> culprits_seen_; ///< per-job dedup scratch
+
     std::vector<rtos::Processor*> attached_;
     Attribution* attr_ = nullptr;
 };

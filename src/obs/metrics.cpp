@@ -4,15 +4,6 @@
 
 namespace rtsc::obs {
 
-void Histogram::record(std::uint64_t v) {
-    if (buckets_.empty()) buckets_.resize(kBuckets, 0);
-    ++buckets_[bucket_index(v)];
-    if (count_ == 0 || v < min_) min_ = v;
-    if (v > max_) max_ = v;
-    sum_ += static_cast<double>(v);
-    ++count_;
-}
-
 void Histogram::merge(const Histogram& other) {
     if (other.count_ == 0) return;
     if (buckets_.empty()) buckets_.resize(kBuckets, 0);

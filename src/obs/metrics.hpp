@@ -112,7 +112,17 @@ public:
         return bucket_lo(i) + (std::uint64_t{1} << (exp - 3)) - 1;
     }
 
-    void record(std::uint64_t v);
+    // Inline on purpose: the collector records several histograms per
+    // dispatch and per job completion; an out-of-line call here is
+    // measurable in the observability-overhead bench.
+    void record(std::uint64_t v) {
+        if (buckets_.empty()) buckets_.resize(kBuckets, 0);
+        ++buckets_[bucket_index(v)];
+        if (count_ == 0 || v < min_) min_ = v;
+        if (v > max_) max_ = v;
+        sum_ += static_cast<double>(v);
+        ++count_;
+    }
     void record(kernel::Time t) { record(t.raw_ps()); }
 
     [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
@@ -151,9 +161,12 @@ public:
                                               std::uint64_t max, double sum);
 
 private:
-    // constexpr-friendly countl_zero for uint64 (avoid <bit> dependency in
-    // the hot path signature; identical to std::countl_zero).
+    // Identical to std::countl_zero; kept as a named helper so bucket_index
+    // stays constexpr on toolchains where <bit> is incomplete.
     [[nodiscard]] static constexpr int countl_zero(std::uint64_t v) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+        return v == 0 ? 64 : __builtin_clzll(v);
+#else
         int n = 0;
         if (v == 0) return 64;
         while ((v & (std::uint64_t{1} << 63)) == 0) {
@@ -161,6 +174,7 @@ private:
             ++n;
         }
         return n;
+#endif
     }
 
     std::vector<std::uint32_t> buckets_; ///< lazily sized to kBuckets

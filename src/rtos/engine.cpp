@@ -499,6 +499,9 @@ void SchedulerEngine::kill(Task& t) {
         case TaskState::waiting_resource:
             t.set_state(TaskState::terminated);
             sim.kill_process(*t.proc_);
+            // A never-started process is terminated in place: no unwind will
+            // run, so the incarnation is already fully retired.
+            if (t.proc_->terminated()) retire_if_terminated(t);
             break;
         case TaskState::terminated:
             break; // unreachable (guarded above)
@@ -521,7 +524,17 @@ void SchedulerEngine::on_body_unwound(Task& t, bool crashed) {
     if (t.redispatch_on_unwind_) {
         t.redispatch_on_unwind_ = false;
         reschedule_after_leave(t, /*charge_save=*/false, /*sync=*/false);
+    } else {
+        // Charge-free unwind (killed while Waiting / Ready-in-queue): the
+        // incarnation retires the moment the stack finished unwinding.
+        retire_if_terminated(t);
     }
+}
+
+void SchedulerEngine::retire_if_terminated(Task& t) {
+    if (t.state() != TaskState::terminated || t.retired_) return;
+    t.retired_ = true;
+    t.ev_retired_.notify();
 }
 
 void SchedulerEngine::recheck_preemption() {

@@ -159,6 +159,15 @@ protected:
     /// thread; the processor is in the overhead phase for the duration.
     void charge(OverheadKind kind, const Task* about);
 
+    /// Mark a terminated task's incarnation as fully retired and fire its
+    /// TaskRetired event. Both engines call this at the instant the terminal
+    /// leave settled — after the save + sched charges of the pass the leaver
+    /// triggered — so the event's timing is engine-independent (done_event's
+    /// is not: the engines pay those charges in different threads). Also
+    /// called from the charge-free unwind paths (killed while Waiting/Ready).
+    /// Idempotent; a no-op on live tasks.
+    void retire_if_terminated(Task& t);
+
     /// Run the scheduling policy, remove the winner from the ready queue and
     /// grant it the CPU (sets granted_ + notifies TaskRun). Returns the
     /// winner; nullptr leaves the CPU idle.

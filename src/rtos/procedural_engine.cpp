@@ -12,6 +12,7 @@ void ProceduralEngine::reschedule_after_leave(Task& leaver, bool charge_save,
     // and the Scheduling portion of the RTOS overhead).
     if (charge_save) charge(OverheadKind::context_save, &leaver);
     schedule_pass(&leaver);
+    retire_if_terminated(leaver);
 }
 
 void ProceduralEngine::kick_idle_dispatch(Task& target) {

@@ -22,6 +22,7 @@ Task::Task(Processor& processor, TaskConfig config, Body body)
       ev_run_(config_.name + ".TaskRun"),
       ev_preempt_(config_.name + ".TaskPreempt"),
       ev_ack_(config_.name + ".TaskAck"),
+      ev_retired_(config_.name + ".TaskRetired"),
       start_delay_(config_.start_time) {
     state_since_ = processor_.simulator().now();
     spawn_process();
@@ -87,6 +88,7 @@ bool Task::body_finished() const noexcept { return proc_->terminated(); }
 void Task::prepare_restart(kernel::Time delay) {
     killed_ = false;
     crashed_ = false;
+    retired_ = false;
     granted_ = false;
     kicked_ = false;
     preempt_pending_ = false;
@@ -98,6 +100,7 @@ void Task::prepare_restart(kernel::Time delay) {
     ev_run_.cancel();
     ev_preempt_.cancel();
     ev_ack_.cancel();
+    ev_retired_.cancel();
     ++restarts_;
     start_delay_ = delay;
     set_state(TaskState::created);

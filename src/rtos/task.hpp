@@ -117,6 +117,18 @@ public:
     /// a killed Running task is terminated before its unwind finishes.
     [[nodiscard]] bool body_finished() const noexcept;
 
+    /// Fires when the current incarnation has fully retired: the body
+    /// returned or unwound AND the engine finished charging the terminal
+    /// context-save + scheduling pass. Unlike done_event(), whose instant is
+    /// an engine implementation detail (the procedural engine pays the leave
+    /// charges in the leaving task's own thread, the threaded engine in the
+    /// RTOS thread), this fires at the same simulated time on both engines.
+    /// Recovery code (FaultInjector, Watchdog, DeadlineMissHandler) waits on
+    /// this before Processor::restart_task().
+    [[nodiscard]] kernel::Event& retired_event() noexcept { return ev_retired_; }
+    /// The current incarnation has fully retired (see retired_event()).
+    [[nodiscard]] bool retired() const noexcept { return retired_; }
+
     /// Mark the task as infrastructure that legitimately waits forever (ISR
     /// loops, server tasks): the kernel deadlock/stall detector skips it.
     /// Sticky across restarts.
@@ -223,6 +235,7 @@ private:
     kernel::Event ev_run_;        ///< TaskRun: dispatch grant / scheduler kick
     kernel::Event ev_preempt_;    ///< TaskPreempt: preemption + slice timer
     kernel::Event ev_ack_;        ///< threaded engine: synchronous-call ack
+    kernel::Event ev_retired_;    ///< TaskRetired: terminal leave settled
     bool granted_ = false;        ///< selected by the scheduler, may load+run
     kernel::Time granted_at_{};   ///< when granted_ was last set (probe latency)
     bool kicked_ = false;         ///< must execute a scheduling pass (procedural)
@@ -234,6 +247,7 @@ private:
     bool daemon_ = false;                ///< exempt from stall diagnostics
     bool isr_ = false;                   ///< interrupt-service task (blame class)
     bool killed_ = false;                ///< kill() initiated (sticky until restart)
+    bool retired_ = false;               ///< incarnation fully retired (ev_retired_)
     bool crashed_ = false;               ///< body exited via unhandled exception
     bool redispatch_on_unwind_ = false;  ///< killed while granted/loading: rerun sched
     std::uint64_t restarts_ = 0;

@@ -42,6 +42,7 @@ void ThreadedEngine::process(const Request& r) {
             // first runs the leaver's thread before the grantee's.
             if (r.ack) ack_event(*r.task).notify();
             select_and_grant();
+            retire_if_terminated(*r.task);
             break;
         case Request::Kind::idle_dispatch:
             schedule_pass(r.task);

@@ -55,11 +55,22 @@ public:
     void attach(rtos::Processor& cpu) {
         cpu.add_observer(*this);
         processors_.push_back(&cpu);
+        reserve(kDefaultReserve);
     }
     /// Observe a communication relation.
     void attach(mcse::Relation& rel) {
         rel.add_observer(*this);
         relations_.push_back(&rel);
+        reserve(kDefaultReserve);
+    }
+
+    /// Pre-size the append buffers so the first thousands of records never
+    /// reallocate mid-simulation; attach() applies a default, callers with
+    /// a known trace volume can ask for more. Never shrinks.
+    void reserve(std::size_t records) {
+        states_.reserve(records);
+        overheads_.reserve(records);
+        comms_.reserve(records / 4);
     }
 
     // TaskObserver
@@ -126,6 +137,8 @@ public:
     }
 
 private:
+    static constexpr std::size_t kDefaultReserve = 4096;
+
     std::vector<StateRecord> states_;
     std::vector<OverheadRecord> overheads_;
     std::vector<CommRecord> comms_;

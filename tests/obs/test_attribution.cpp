@@ -70,7 +70,7 @@ void expect_conserving(const o::Attribution& a, const char* label) {
         // The slices tile [release, end] without gaps or overlap.
         Time covered{};
         Time cursor = j.release;
-        for (const auto& s : j.slices) {
+        for (const auto& s : a.slices_for(j)) {
             EXPECT_EQ(s.start, cursor)
                 << label << ": gap in " << j.task << " #" << j.index;
             covered += s.end - s.start;

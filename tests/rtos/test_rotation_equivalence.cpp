@@ -29,8 +29,10 @@ struct Scenario {
     std::function<void(r::Processor&)> build; ///< create tasks on the cpu
 };
 
-std::vector<std::string> run_scenario(const Scenario& s, r::EngineKind kind) {
+std::vector<std::string> run_scenario(const Scenario& s, r::EngineKind kind,
+                                      bool skip_ahead) {
     k::Simulator sim;
+    sim.set_skip_ahead(skip_ahead);
     r::Processor cpu("cpu", s.policy(), kind);
     RecordingObserver rec;
     cpu.add_observer(rec);
@@ -39,11 +41,19 @@ std::vector<std::string> run_scenario(const Scenario& s, r::EngineKind kind) {
     return rec.strings();
 }
 
-/// Run on both engines; the logs must match exactly. Returns the common log.
+/// Run on both engines, each with the skip-ahead fast path force-enabled
+/// and force-disabled; all four transition logs must match exactly
+/// (skip-ahead is a speed toggle, never an ordering one). Returns the
+/// common log.
 std::vector<std::string> run_both(const Scenario& s) {
-    auto proc = run_scenario(s, r::EngineKind::procedure_calls);
-    auto thrd = run_scenario(s, r::EngineKind::rtos_thread);
-    EXPECT_EQ(proc, thrd) << "engines diverged";
+    auto proc = run_scenario(s, r::EngineKind::procedure_calls, true);
+    for (const bool skip : {true, false}) {
+        auto thrd = run_scenario(s, r::EngineKind::rtos_thread, skip);
+        EXPECT_EQ(proc, thrd)
+            << "engines diverged (skip_ahead=" << skip << ")";
+    }
+    auto proc_slow = run_scenario(s, r::EngineKind::procedure_calls, false);
+    EXPECT_EQ(proc, proc_slow) << "skip-ahead changed the procedural log";
     return proc;
 }
 
