@@ -125,7 +125,39 @@ ModelSpec generate(std::uint64_t seed, const GenKnobs& knobs) {
             c.save_ps = rng.range(0, 2) * 250'000;
             c.formula_overheads = c.sched_ps != 0 && rng.chance(25);
         }
-        spec.cpus.push_back(c);
+        // DVFS: upgrade EDF / fixed-priority CPUs to an RT-DVS policy about
+        // a third of the time, and sometimes give a plain-policy CPU an
+        // operating-point table anyway (the default dvfs_level keeps level 0,
+        // exercising pure energy accounting with no level changes).
+        const bool upgrade = rng.chance(35);
+        if (upgrade && c.policy == PolicyKind::edf) {
+            switch (rng.below(3)) {
+                case 0: c.policy = PolicyKind::static_edf; break;
+                case 1: c.policy = PolicyKind::cc_edf; break;
+                default: c.policy = PolicyKind::la_edf; break;
+            }
+        } else if (upgrade && c.policy == PolicyKind::priority_preemptive) {
+            c.policy = rng.chance(50) ? PolicyKind::static_rm
+                                      : PolicyKind::cc_rm;
+        }
+        const bool dvfs_policy = c.policy >= PolicyKind::static_edf;
+        if (dvfs_policy || rng.chance(15)) {
+            const std::uint32_t f_max =
+                static_cast<std::uint32_t>(rng.range(1, 4)) * 500'000; // kHz
+            const std::uint32_t v_max =
+                static_cast<std::uint32_t>(rng.range(9, 13)) * 100;   // mV
+            const auto n_levels = dvfs_policy ? rng.range(2, 4) : rng.range(1, 3);
+            for (std::uint64_t lvl = 0; lvl < n_levels; ++lvl) {
+                // Evenly spaced grid, fastest first; voltage tracks frequency.
+                const auto num = static_cast<std::uint32_t>(n_levels - lvl);
+                const auto den = static_cast<std::uint32_t>(n_levels);
+                c.dvfs_points.emplace_back(f_max / den * num,
+                                           600 + (v_max - 600) / den * num);
+            }
+            if (rng.chance(50))
+                c.fswitch_ps = rng.range(1, 8) * 250'000; // 0.25-2 us
+        }
+        spec.cpus.push_back(std::move(c));
     }
 
     const auto n_sems = rng.below(knobs.max_sems + 1);

@@ -18,6 +18,7 @@
 #include "obs/attribution.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
+#include "rtos/dvfs.hpp"
 #include "rtos/interrupt.hpp"
 #include "rtos/overhead.hpp"
 #include "rtos/policy.hpp"
@@ -53,8 +54,32 @@ std::unique_ptr<r::SchedulingPolicy> make_policy(const CpuSpec& c) {
             return std::make_unique<r::RoundRobinPolicy>(k::Time::ps(
                 c.quantum_ps != 0 ? c.quantum_ps : 10'000'000));
         case PolicyKind::edf: return std::make_unique<r::EdfPolicy>();
+        case PolicyKind::static_edf:
+            return std::make_unique<r::StaticEdfPolicy>();
+        case PolicyKind::cc_edf: return std::make_unique<r::CcEdfPolicy>();
+        case PolicyKind::la_edf: return std::make_unique<r::LaEdfPolicy>();
+        case PolicyKind::static_rm:
+            return std::make_unique<r::StaticRmPolicy>();
+        case PolicyKind::cc_rm: return std::make_unique<r::CcRmPolicy>();
     }
     return std::make_unique<r::PriorityPreemptivePolicy>();
+}
+
+/// Nominal full-speed work of a task body: compute durations plus shared-
+/// variable access times, repeats included. Only a WCET *estimate* for the
+/// RT-DVS budget tables — any deterministic value is valid for the
+/// differential (both engines see the same table).
+std::uint64_t body_work_ps(const std::vector<OpSpec>& ops) {
+    std::uint64_t sum = 0;
+    for (const OpSpec& op : ops) {
+        std::uint64_t one = 0;
+        if (op.kind == OpKind::compute || op.kind == OpKind::sv_read ||
+            op.kind == OpKind::sv_write)
+            one = op.dur_ps;
+        one += body_work_ps(op.body);
+        sum += one * op.repeat;
+    }
+    return sum;
 }
 
 r::OverheadModel make_overhead(std::uint64_t fixed_ps, bool formula) {
@@ -201,7 +226,15 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind,
             cpu.set_overheads(
                 {make_overhead(c.sched_ps, c.formula_overheads),
                  make_overhead(c.load_ps, c.formula_overheads),
-                 make_overhead(c.save_ps, c.formula_overheads)});
+                 make_overhead(c.save_ps, c.formula_overheads),
+                 make_overhead(c.fswitch_ps, false)});
+            if (!c.dvfs_points.empty()) {
+                std::vector<r::OperatingPoint> pts;
+                pts.reserve(c.dvfs_points.size());
+                for (const auto& [f, v] : c.dvfs_points)
+                    pts.push_back({f, v});
+                cpu.set_dvfs(r::DvfsModel(std::move(pts)));
+            }
             rec.attach(cpu);
             coll.attach(cpu);
         }
@@ -292,6 +325,19 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind,
                     (void)sp;
                 });
             mdl.tasks.push_back(&task);
+            // RT-DVS budget table: WCET from the body's nominal work, period
+            // from the spec (aperiodic tasks get the horizon — or 1 ms — as a
+            // stand-in; declare_task rejects zero). ISR tasks stay
+            // undeclared: the policies treat unknown tasks as zero-budget.
+            if (auto* set = dynamic_cast<r::DvfsTaskSet*>(&cpu.policy())) {
+                const std::uint64_t period =
+                    t.period_ps != 0
+                        ? t.period_ps
+                        : (spec.horizon_ps != 0 ? spec.horizon_ps
+                                                : 1'000'000'000);
+                set->declare_task(task, k::Time::ps(body_work_ps(t.body)),
+                                  k::Time::ps(period));
+            }
         }
 
         // Fault plan: resolve spec indices to live objects. Entries whose
@@ -378,6 +424,30 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind,
         flush_sorted(out.markers);
         for (const auto& sample : reg.snapshot())
             out.metrics.push_back(sample.name + "=" + fmt_double(sample.value));
+        // Per-CPU energy ledger and its conservation check, in exact model
+        // units. The rows feed the digest and the engine diff, so the 4-way
+        // comparison pins the energy arithmetic bit-for-bit; a ledger that
+        // fails to balance is flagged even when both engines agree.
+        for (const auto& cpu : mdl.cpus) {
+            if (!cpu.dvfs_enabled()) continue;
+            const auto& led = cpu.energy();
+            r::Energy attributed = 0;
+            for (const auto& t : cpu.tasks())
+                attributed += t->energy_exec() + t->energy_overhead();
+            const std::string p = "energy." + cpu.name() + ".";
+            out.metrics.push_back(p + "busy=" + r::energy_to_string(led.busy));
+            out.metrics.push_back(p + "overhead=" +
+                                  r::energy_to_string(led.overhead));
+            out.metrics.push_back(p + "unattributed=" +
+                                  r::energy_to_string(led.unattributed));
+            out.metrics.push_back(p + "tasks=" +
+                                  r::energy_to_string(attributed));
+            if (led.busy + led.overhead != attributed + led.unattributed)
+                out.metrics.push_back(
+                    p + "BROKEN-ENERGY total=" +
+                    r::energy_to_string(led.busy + led.overhead) + " split=" +
+                    r::energy_to_string(attributed + led.unattributed));
+        }
         // Attribution rows: jobs_ is completion-ordered, which can differ
         // across engines when several jobs end in one instant — canonicalize
         // by (release, task, index). Jobs still open at the end of the run
@@ -393,6 +463,11 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind,
                                   std::to_string(j.ov_scheduling.raw_ps()) +
                                   " ovl=" + std::to_string(j.ov_load.raw_ps()) +
                                   " ovv=" + std::to_string(j.ov_save.raw_ps()) +
+                                  " ovf=" +
+                                  std::to_string(j.ov_switch.raw_ps()) +
+                                  " ee=" + r::energy_to_string(j.energy_exec) +
+                                  " eo=" +
+                                  r::energy_to_string(j.energy_overhead) +
                                   " resid=" +
                                   std::to_string(j.residual.raw_ps()) +
                                   " intr=" +

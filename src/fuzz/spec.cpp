@@ -13,6 +13,11 @@ const char* to_string(PolicyKind p) noexcept {
         case PolicyKind::priority_preemptive: return "priority";
         case PolicyKind::round_robin: return "rr";
         case PolicyKind::edf: return "edf";
+        case PolicyKind::static_edf: return "static_edf";
+        case PolicyKind::cc_edf: return "cc_edf";
+        case PolicyKind::la_edf: return "la_edf";
+        case PolicyKind::static_rm: return "static_rm";
+        case PolicyKind::cc_rm: return "cc_rm";
     }
     return "?";
 }
@@ -106,11 +111,55 @@ std::string get_str(const Line& ln, const std::string& key) {
     return it->second;
 }
 
+/// Optional key with a default, for fields added after corpus files were
+/// already checked in (pre-DVFS cpu lines must keep parsing).
+std::uint64_t get_u64_or(const Line& ln, const std::string& key,
+                         std::uint64_t fallback) {
+    return ln.kv.find(key) == ln.kv.end() ? fallback : get_u64(ln, key);
+}
+
+std::uint32_t parse_u32_span(const Line& ln, const std::string& s,
+                             std::size_t begin, std::size_t end) {
+    errno = 0;
+    char* stop = nullptr;
+    const std::string piece = s.substr(begin, end - begin);
+    const std::uint64_t v = std::strtoull(piece.c_str(), &stop, 10);
+    if (errno != 0 || stop == nullptr || *stop != '\0' || piece.empty() ||
+        v > 0xffffffffull)
+        fail(ln, "bad dvfs number '" + piece + "'");
+    return static_cast<std::uint32_t>(v);
+}
+
+/// `dvfs=` value: "-" for no model, else comma-separated freq:volt pairs
+/// ("800000:1100,400000:900").
+std::vector<std::pair<std::uint32_t, std::uint32_t>> parse_dvfs(
+    const Line& ln, const std::string& s) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> points;
+    if (s == "-" || s.empty()) return points;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) comma = s.size();
+        const std::size_t colon = s.find(':', pos);
+        if (colon == std::string::npos || colon >= comma)
+            fail(ln, "bad dvfs point '" + s.substr(pos, comma - pos) + "'");
+        points.emplace_back(parse_u32_span(ln, s, pos, colon),
+                            parse_u32_span(ln, s, colon + 1, comma));
+        pos = comma + 1;
+    }
+    return points;
+}
+
 PolicyKind parse_policy(const Line& ln, const std::string& s) {
     if (s == "fifo") return PolicyKind::fifo;
     if (s == "priority") return PolicyKind::priority_preemptive;
     if (s == "rr") return PolicyKind::round_robin;
     if (s == "edf") return PolicyKind::edf;
+    if (s == "static_edf") return PolicyKind::static_edf;
+    if (s == "cc_edf") return PolicyKind::cc_edf;
+    if (s == "la_edf") return PolicyKind::la_edf;
+    if (s == "static_rm") return PolicyKind::static_rm;
+    if (s == "cc_rm") return PolicyKind::cc_rm;
     fail(ln, "unknown policy '" + s + "'");
 }
 
@@ -150,11 +199,21 @@ void place_op(std::vector<std::vector<OpSpec>*>& stack, const Line& ln,
 std::string to_text(const ModelSpec& spec) {
     std::ostringstream os;
     os << "model seed=" << spec.seed << " horizon=" << spec.horizon_ps << "\n";
-    for (const CpuSpec& c : spec.cpus)
+    for (const CpuSpec& c : spec.cpus) {
         os << "cpu policy=" << to_string(c.policy) << " quantum=" << c.quantum_ps
            << " preemptive=" << (c.preemptive ? 1 : 0) << " sched=" << c.sched_ps
            << " load=" << c.load_ps << " save=" << c.save_ps
-           << " formula=" << (c.formula_overheads ? 1 : 0) << "\n";
+           << " formula=" << (c.formula_overheads ? 1 : 0)
+           << " fswitch=" << c.fswitch_ps << " dvfs=";
+        if (c.dvfs_points.empty()) {
+            os << "-";
+        } else {
+            for (std::size_t i = 0; i < c.dvfs_points.size(); ++i)
+                os << (i != 0 ? "," : "") << c.dvfs_points[i].first << ":"
+                   << c.dvfs_points[i].second;
+        }
+        os << "\n";
+    }
     for (const SemSpec& s : spec.sems)
         os << "sem initial=" << s.initial
            << " prio=" << (s.priority_order ? 1 : 0) << "\n";
@@ -227,7 +286,11 @@ ModelSpec from_text(const std::string& text) {
             c.load_ps = get_u64(ln, "load");
             c.save_ps = get_u64(ln, "save");
             c.formula_overheads = get_u64(ln, "formula") != 0;
-            spec.cpus.push_back(c);
+            // Both keys are absent from pre-DVFS corpus files.
+            c.fswitch_ps = get_u64_or(ln, "fswitch", 0);
+            if (auto it = ln.kv.find("dvfs"); it != ln.kv.end())
+                c.dvfs_points = parse_dvfs(ln, it->second);
+            spec.cpus.push_back(std::move(c));
         } else if (ln.kind == "sem") {
             spec.sems.push_back({get_u64(ln, "initial"), get_u64(ln, "prio") != 0});
         } else if (ln.kind == "queue") {

@@ -17,16 +17,24 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rtsc::fuzz {
 
-/// Scheduling policy of one processor.
+/// Scheduling policy of one processor. The last five are the DVFS-aware
+/// RT-DVS policies (rtos/dvfs.hpp); they schedule exactly like their plain
+/// base (EDF or fixed-priority) and additionally pick operating points.
 enum class PolicyKind : std::uint8_t {
     fifo,
     priority_preemptive,
     round_robin,
     edf,
+    static_edf,
+    cc_edf,
+    la_edf,
+    static_rm,
+    cc_rm,
 };
 
 /// One step of a task body. Ops referencing a relation address it by index
@@ -88,6 +96,11 @@ struct CpuSpec {
     /// scheduling = sched_ps + ready_tasks * (sched_ps / 4), exercising the
     /// paper's state-dependent overhead modelling (§3.2).
     bool formula_overheads = false;
+    /// DVFS operating points as {freq_khz, volt_mv} pairs; empty = no model
+    /// installed (a DVFS policy on such a CPU degrades to its plain base).
+    /// The runner sorts nothing — DvfsModel orders the table itself.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> dvfs_points;
+    std::uint64_t fswitch_ps = 0;   ///< frequency-switch overhead
 };
 
 struct SemSpec {

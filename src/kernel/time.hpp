@@ -56,8 +56,12 @@ public:
 
     [[nodiscard]] friend constexpr Time operator+(Time a, Time b) noexcept { return Time{add_sat(a.ps_, b.ps_)}; }
     [[nodiscard]] friend constexpr Time operator-(Time a, Time b) noexcept { return Time{a.ps_ - b.ps_}; }
-    [[nodiscard]] friend constexpr Time operator*(Time a, rep k) noexcept { return Time{a.ps_ * k}; }
-    [[nodiscard]] friend constexpr Time operator*(rep k, Time a) noexcept { return Time{a.ps_ * k}; }
+    // Multiplication saturates for the same reason additions do: overhead
+    // formulas scale durations by live counts (`Time::ns(200) * ready_tasks`)
+    // and DVFS scaling stretches them by a frequency ratio, so a wrapping
+    // product would silently travel back in time.
+    [[nodiscard]] friend constexpr Time operator*(Time a, rep k) noexcept { return Time{mul_sat(a.ps_, k)}; }
+    [[nodiscard]] friend constexpr Time operator*(rep k, Time a) noexcept { return Time{mul_sat(a.ps_, k)}; }
     [[nodiscard]] friend constexpr Time operator/(Time a, rep k) noexcept { return Time{a.ps_ / k}; }
     /// How many whole `b` fit in `a` (e.g. periods elapsed).
     [[nodiscard]] friend constexpr rep operator/(Time a, Time b) noexcept { return a.ps_ / b.ps_; }
@@ -76,6 +80,10 @@ private:
     constexpr explicit Time(rep ps) noexcept : ps_{ps} {}
     [[nodiscard]] static constexpr rep add_sat(rep a, rep b) noexcept {
         return a > ~rep{0} - b ? ~rep{0} : a + b;
+    }
+    [[nodiscard]] static constexpr rep mul_sat(rep a, rep b) noexcept {
+        if (a == 0 || b == 0) return 0;
+        return a > ~rep{0} / b ? ~rep{0} : a * b;
     }
     rep ps_ = 0;
 };

@@ -240,6 +240,13 @@ void Attribution::finish_job(TaskCtx& c, k::Time now, bool aborted) {
     j.aborted = aborted;
     j.exec = c.exec;
     for (std::size_t i = 0; i < kOvKinds; ++i) j.ov[i] = c.ov[i];
+    // Energy blame: the engine folds the running slice and books its last
+    // attributed overhead charge before the state notification that lands
+    // here, so the per-job accumulators are final for this job (the terminal
+    // context-save of a completed job is charged after this instant and is
+    // excluded by design — conservation is checked at task level).
+    j.energy_exec = c.task->job_energy_exec();
+    j.energy_ov = c.task->job_energy_overhead();
     // Pack the non-zero per-slot ready shares (exactly the touched slots,
     // re-zeroed here for the task's next job); ISR slots feed the interrupt
     // component, the rest the preemption component.
@@ -293,6 +300,8 @@ void Attribution::finish_job(TaskCtx& c, k::Time now, bool aborted) {
         v.overhead = (j.end - j.release) - j.exec - preemption - blocking -
                      interrupt;
         v.interrupt = interrupt;
+        v.energy_exec = j.energy_exec;
+        v.energy_overhead = j.energy_ov;
         v.preemptors = pre_pool_.data() + j.pre_first;
         v.preemptor_count = j.pre_count;
         v.blockers = blk_pool_.data() + j.blk_first;
@@ -324,6 +333,10 @@ void Attribution::materialize() const {
             core.ov[static_cast<std::size_t>(r::OverheadKind::context_load)];
         j.ov_save =
             core.ov[static_cast<std::size_t>(r::OverheadKind::context_save)];
+        j.ov_switch = core.ov[static_cast<std::size_t>(
+            r::OverheadKind::frequency_switch)];
+        j.energy_exec = core.energy_exec;
+        j.energy_overhead = core.energy_ov;
         // The derived sums are recomputed here instead of being carried in
         // JobCore: preemption/interrupt split the per-preemptor shares on
         // isr_task(), blocking sums the per-resource shares, and residual
@@ -357,8 +370,9 @@ void Attribution::materialize() const {
             j.blocking += blk[i].second;
         j.residual = (core.end - core.release) - core.exec - j.preemption -
                      j.interrupt - j.blocking - j.ov_scheduling - j.ov_load -
-                     j.ov_save;
-        j.overhead = j.ov_scheduling + j.ov_load + j.ov_save + j.residual;
+                     j.ov_save - j.ov_switch;
+        j.overhead =
+            j.ov_scheduling + j.ov_load + j.ov_save + j.ov_switch + j.residual;
     }
 }
 

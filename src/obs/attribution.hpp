@@ -87,7 +87,16 @@ public:
         kernel::Time ov_scheduling{};
         kernel::Time ov_load{};
         kernel::Time ov_save{};
+        kernel::Time ov_switch{};    ///< DVFS frequency-switch charges
         kernel::Time residual{};     ///< ready with idle CPU; expected zero
+
+        // Energy blame (DVFS processors; zero otherwise). Captured from the
+        // engine's per-job accumulators at the completion instant — exec
+        // covers the job's Running slices, overhead the RTOS charges
+        // attributed to it. Exact integers: per-task sums reconcile with the
+        // Processor::EnergyLedger bit-for-bit (Σ f·V²·Δt, rtos/dvfs.hpp).
+        rtos::Energy energy_exec = 0;
+        rtos::Energy energy_overhead = 0;
 
         /// Per-culprit shares, name-sorted, only non-zero entries.
         std::vector<std::pair<std::string, kernel::Time>> preempted_by;
@@ -160,6 +169,8 @@ public:
         bool aborted = false;
         kernel::Time exec{}, preemption{}, blocking{}, overhead{},
             interrupt{};
+        rtos::Energy energy_exec = 0;     ///< DVFS: job execution energy
+        rtos::Energy energy_overhead = 0; ///< DVFS: attributed overhead energy
         const std::pair<const rtos::Task*, kernel::Time>* preemptors =
             nullptr;
         std::size_t preemptor_count = 0;
@@ -246,7 +257,7 @@ public:
                      const rtos::Task* about) override;
 
 private:
-    static constexpr std::size_t kOvKinds = 3;
+    static constexpr std::size_t kOvKinds = 4;
 
     /// Per-processor context: who runs, the exact integral of overhead
     /// charge time per kind (charges never overlap on one CPU and are
@@ -358,6 +369,8 @@ private:
         kernel::Time release{}, end{};
         kernel::Time exec{};
         kernel::Time ov[kOvKinds]{};
+        rtos::Energy energy_exec = 0; ///< job energy at completion (DVFS)
+        rtos::Energy energy_ov = 0;
         const CpuCtx* cpu = nullptr;
         kernel::Time ov_at_release{}; ///< CPU total ov integral at release
         kernel::Time ov_at_end{};     ///< CPU total ov integral at job end

@@ -186,6 +186,14 @@ void MetricsCollector::set_attribution(Attribution* a) {
         m.block->record(v.blocking);
         m.overhead->record(v.overhead);
         m.interrupt->record(v.interrupt);
+        if (v.task->processor().dvfs_enabled()) {
+            if (m.energy_exec == nullptr) {
+                m.energy_exec = &reg_.gauge(m.prefix + "energy_exec_j");
+                m.energy_ov = &reg_.gauge(m.prefix + "energy_overhead_j");
+            }
+            m.energy_exec->set(r::energy_to_joules(v.energy_exec));
+            m.energy_ov->set(r::energy_to_joules(v.energy_overhead));
+        }
     });
 }
 

@@ -24,6 +24,12 @@
 //   task.<n>.blame.overhead_ps      histogram RTOS overhead share per job
 //   task.<n>.blame.interrupt_ps     histogram ISR-stolen share per job
 //
+// On DVFS-enabled processors (Processor::set_dvfs) two per-job energy gauges
+// join the catalogue, in joules (mean/min/max/last over the task's jobs):
+//
+//   task.<n>.energy_exec_j          gauge     job execution energy
+//   task.<n>.energy_overhead_j      gauge     job attributed-overhead energy
+//
 // All values are simulated-time quantities: the registry contents are
 // engine-equivalent (procedural vs threaded) and bit-identical across runs.
 // When no collector is attached the hooks cost one untaken branch each.
@@ -124,6 +130,10 @@ private:
         Histogram* interrupt;
         std::vector<std::pair<const rtos::Task*, Counter*>> preempted_by;
         std::vector<std::pair<std::string, Counter*>> blocked_on;
+        /// Resolved on first job of a DVFS processor only — non-DVFS runs
+        /// keep the catalogue free of dead-zero energy metrics.
+        Gauge* energy_exec = nullptr;
+        Gauge* energy_ov = nullptr;
     };
 
     [[nodiscard]] CpuMetrics& cpu_metrics(const rtos::Processor& cpu);

@@ -1,12 +1,14 @@
 #include "obs/perfetto.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 
 #include "kernel/report.hpp"
+#include "rtos/dvfs.hpp"
 #include "trace/csv.hpp"
 #include "trace/timeline.hpp"
 
@@ -107,6 +109,13 @@ private:
 
 bool visible_state(rtos::TaskState s) {
     return s != rtos::TaskState::created && s != rtos::TaskState::terminated;
+}
+
+/// Energy in joules as a round-trippable JSON number.
+std::string format_joules(rtos::Energy e) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", rtos::energy_to_joules(e));
+    return buf;
 }
 
 } // namespace
@@ -242,7 +251,18 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
                                    ", \"ov_sched_ps\": " + ps(j->ov_scheduling) +
                                    ", \"ov_load_ps\": " + ps(j->ov_load) +
                                    ", \"ov_save_ps\": " + ps(j->ov_save) +
+                                   ", \"ov_switch_ps\": " + ps(j->ov_switch) +
                                    ", \"residual_ps\": " + ps(j->residual) +
+                                   // Raw model units as strings (128-bit,
+                                   // exact); joules as doubles for humans.
+                                   ", \"energy_exec_fj\": \"" +
+                                   rtos::energy_to_string(j->energy_exec) +
+                                   "\", \"energy_overhead_fj\": \"" +
+                                   rtos::energy_to_string(j->energy_overhead) +
+                                   "\", \"energy_exec_j\": " +
+                                   format_joules(j->energy_exec) +
+                                   ", \"energy_overhead_j\": " +
+                                   format_joules(j->energy_overhead) +
                                    ", \"preempted_by\": " +
                                    time_map(j->preempted_by) +
                                    ", \"blocked_on\": " +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -13,8 +14,10 @@ namespace rtsc::obs::query {
 
 namespace {
 
+// Single-line messages on purpose: tools/trace_query prefixes them with
+// "trace_query: " and they are the tool's whole error output.
 [[noreturn]] void bad(const std::string& what) {
-    throw std::runtime_error("trace query: " + what);
+    throw std::runtime_error(what);
 }
 
 const json::Value& need(const json::Value& obj, const std::string& key) {
@@ -89,6 +92,13 @@ std::string ips(double ps) {
 
 std::string q(const std::string& s) { return "\"" + json_escape(s) + "\""; }
 
+/// Round-trippable JSON number for joule doubles.
+std::string jnum(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
 std::string json_time_map(
     const std::vector<std::pair<std::string, double>>& m) {
     std::string out = "{";
@@ -155,6 +165,15 @@ TraceData load(const std::string& path) {
             r.block_ps = need_num(*args, "block_ps");
             r.overhead_ps = need_num(*args, "overhead_ps");
             r.interrupt_ps = need_num(*args, "interrupt_ps");
+            // Energy fields joined the schema with the DVFS model; older
+            // exports lack them, so they parse as optional as a group.
+            if (args->get("energy_exec_j") != nullptr) {
+                r.has_energy = true;
+                r.energy_exec_j = need_num(*args, "energy_exec_j");
+                r.energy_overhead_j = need_num(*args, "energy_overhead_j");
+                r.energy_exec_fj = need_str(*args, "energy_exec_fj");
+                r.energy_overhead_fj = need_str(*args, "energy_overhead_fj");
+            }
             r.preempted_by = need_time_map(*args, "preempted_by");
             r.blocked_on = need_time_map(*args, "blocked_on");
             d.jobs.push_back(std::move(r));
@@ -225,6 +244,8 @@ std::string render_blame(const TraceData& d, const std::string& task_filter,
         std::size_t aborted = 0;
         double worst = 0;
         double exec = 0, preempt = 0, block = 0, overhead = 0, interrupt = 0;
+        bool has_energy = false;
+        double energy_exec_j = 0, energy_overhead_j = 0;
     };
     std::vector<Sum> sums;
     for (const JobRow* j : rows) {
@@ -243,6 +264,11 @@ std::string render_blame(const TraceData& d, const std::string& task_filter,
         it->block += j->block_ps;
         it->overhead += j->overhead_ps;
         it->interrupt += j->interrupt_ps;
+        if (j->has_energy) {
+            it->has_energy = true;
+            it->energy_exec_j += j->energy_exec_j;
+            it->energy_overhead_j += j->energy_overhead_j;
+        }
     }
 
     std::ostringstream os;
@@ -260,8 +286,13 @@ std::string render_blame(const TraceData& d, const std::string& task_filter,
                << ", \"preempt_ps\": " << ips(j.preempt_ps)
                << ", \"block_ps\": " << ips(j.block_ps)
                << ", \"overhead_ps\": " << ips(j.overhead_ps)
-               << ", \"interrupt_ps\": " << ips(j.interrupt_ps)
-               << ", \"preempted_by\": " << json_time_map(j.preempted_by)
+               << ", \"interrupt_ps\": " << ips(j.interrupt_ps);
+            if (j.has_energy)
+                os << ", \"energy_exec_fj\": " << q(j.energy_exec_fj)
+                   << ", \"energy_overhead_fj\": " << q(j.energy_overhead_fj)
+                   << ", \"energy_exec_j\": " << jnum(j.energy_exec_j)
+                   << ", \"energy_overhead_j\": " << jnum(j.energy_overhead_j);
+            os << ", \"preempted_by\": " << json_time_map(j.preempted_by)
                << ", \"blocked_on\": " << json_time_map(j.blocked_on) << "}";
         }
         os << "], \"summary\": [";
@@ -275,7 +306,11 @@ std::string render_blame(const TraceData& d, const std::string& task_filter,
                << ", \"preempt_ps\": " << ips(s.preempt)
                << ", \"block_ps\": " << ips(s.block)
                << ", \"overhead_ps\": " << ips(s.overhead)
-               << ", \"interrupt_ps\": " << ips(s.interrupt) << "}";
+               << ", \"interrupt_ps\": " << ips(s.interrupt);
+            if (s.has_energy)
+                os << ", \"energy_exec_j\": " << jnum(s.energy_exec_j)
+                   << ", \"energy_overhead_j\": " << jnum(s.energy_overhead_j);
+            os << "}";
         }
         os << "]}\n";
         return os.str();
@@ -296,6 +331,9 @@ std::string render_blame(const TraceData& d, const std::string& task_filter,
            << fmt_us(j.preempt_ps) << "us, blocked " << fmt_us(j.block_ps)
            << "us, rtos " << fmt_us(j.overhead_ps) << "us, interrupt "
            << fmt_us(j.interrupt_ps) << "us\n";
+        if (j.has_energy)
+            os << "    energy " << jnum(j.energy_exec_j) << " J exec + "
+               << jnum(j.energy_overhead_j) << " J rtos\n";
         if (!j.preempted_by.empty())
             os << "    preempted by: " << culprit_line(j.preempted_by) << "\n";
         if (!j.blocked_on.empty())
@@ -309,7 +347,11 @@ std::string render_blame(const TraceData& d, const std::string& task_filter,
            << fmt_us(s.exec) << "us, preempted " << fmt_us(s.preempt)
            << "us, blocked " << fmt_us(s.block) << "us, rtos "
            << fmt_us(s.overhead) << "us, interrupt " << fmt_us(s.interrupt)
-           << "us\n";
+           << "us";
+        if (s.has_energy)
+            os << " | energy " << jnum(s.energy_exec_j) << " J exec + "
+               << jnum(s.energy_overhead_j) << " J rtos";
+        os << "\n";
     }
     return os.str();
 }

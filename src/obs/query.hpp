@@ -38,6 +38,15 @@ struct JobRow {
     double block_ps = 0;
     double overhead_ps = 0;
     double interrupt_ps = 0;
+    /// Energy blame, present in exports of DVFS runs (absent keys in older
+    /// exports leave has_energy false and the fields zero / empty). The _fj
+    /// strings carry the exact 128-bit model units; the _j doubles are the
+    /// human-scale joule rendering.
+    bool has_energy = false;
+    std::string energy_exec_fj;
+    std::string energy_overhead_fj;
+    double energy_exec_j = 0;
+    double energy_overhead_j = 0;
     std::vector<std::pair<std::string, double>> preempted_by;
     std::vector<std::pair<std::string, double>> blocked_on;
 };

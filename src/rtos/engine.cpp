@@ -35,7 +35,29 @@ void SchedulerEngine::set_phase(Phase p) {
         case Phase::overhead: stats_.overhead_time += d; break;
         case Phase::running: stats_.busy_time += d; break;
     }
+    // Energy folding (DVFS): the elapsed slice burned f·V² at the level that
+    // was current for its whole duration — select_and_grant re-folds before
+    // flipping the level, so a slice never straddles an operating point.
+    // Idle is free; a running slice is charged to the CPU ledger and,
+    // simultaneously and with the identical product, to the running task —
+    // that shared arithmetic is what makes conservation bit-exact.
+    if (processor_.dvfs_enabled() && !d.is_zero()) {
+        const Energy e =
+            static_cast<Energy>(processor_.dvfs_power()) * d.raw_ps();
+        if (phase_ == Phase::overhead) {
+            processor_.energy_.overhead += e;
+        } else if (phase_ == Phase::running) {
+            processor_.energy_.busy += e;
+            if (phase_task_ != nullptr) {
+                phase_task_->energy_exec_ += e;
+                phase_task_->job_energy_exec_ += e;
+            } else {
+                processor_.energy_.unattributed += e; // defensive: never expected
+            }
+        }
+    }
     phase_ = p;
+    if (p == Phase::running) phase_task_ = running_;
     phase_since_ = now;
 }
 
@@ -110,16 +132,54 @@ void SchedulerEngine::arm_slice(Task& t) {
 
 void SchedulerEngine::cancel_slice(Task& t) { t.ev_preempt_.cancel(); }
 
-void SchedulerEngine::charge(OverheadKind kind, const Task* about) {
+void SchedulerEngine::charge(OverheadKind kind, Task* about) {
     const k::Time start = processor_.simulator().now();
-    const k::Time d = processor_.overhead_duration(kind);
+    k::Time d = processor_.overhead_duration(kind);
+    const bool dvfs = processor_.dvfs_enabled();
+    // RTOS code executes on the scaled core, so overhead durations stretch
+    // with the operating point — except the frequency-switch cost itself,
+    // which models a fixed hardware PLL/regulator relock latency.
+    if (dvfs && kind != OverheadKind::frequency_switch)
+        d = processor_.dvfs_scale(d);
     processor_.notify_overhead(kind, start, d, about);
     if (d.is_zero()) return;
+    if (dvfs) {
+        // Book the overhead energy charge-wise (the time-based fold of the
+        // overhead phase in set_phase covers the identical interval — the
+        // conservation check verifies exactly that).
+        const Energy e =
+            static_cast<Energy>(processor_.dvfs_power()) * d.raw_ps();
+        if (about != nullptr) {
+            about->energy_ov_ += e;
+            about->job_energy_ov_ += e;
+        } else {
+            processor_.energy_.unattributed += e;
+        }
+    }
     set_phase(Phase::overhead);
     k::wait(d);
 }
 
 // --------------------------------------------------------------- scheduling
+
+void SchedulerEngine::apply_dvfs_level(Task* about) {
+    if (!processor_.dvfs_enabled()) return;
+    // The policy decides the operating point; the engine applies it, paying
+    // the frequency-switch overhead. This happens at the start of the pass,
+    // BEFORE the scheduling charge: the threaded engine acks a synchronous
+    // leaver right after the scheduling charge, and the procedural leaver
+    // resumes after the whole pass — select_and_grant must therefore consume
+    // no simulated time, or the two resume instants diverge.
+    const std::size_t want = processor_.policy().dvfs_level(processor_, about);
+    if (want >= processor_.dvfs().levels())
+        engine_error("policy returned an out-of-range DVFS level");
+    if (want != processor_.dvfs_level()) {
+        // Fold the energy ledgers at the old power before flipping.
+        set_phase(phase_);
+        processor_.dvfs_level_ = want;
+        charge(OverheadKind::frequency_switch, about);
+    }
+}
 
 Task* SchedulerEngine::select_and_grant() {
     Task* next = processor_.scheduling_policy(ready_);
@@ -146,8 +206,9 @@ void SchedulerEngine::note_scheduler_run() {
     if (probe_) probe_->on_scheduler_run(processor_, ready_.size());
 }
 
-void SchedulerEngine::schedule_pass(const Task* about) {
+void SchedulerEngine::schedule_pass(Task* about) {
     note_scheduler_run();
+    apply_dvfs_level(about);
     charge(OverheadKind::scheduling, about);
     select_and_grant();
 }
@@ -177,6 +238,12 @@ void SchedulerEngine::leave_running(Task& t, TaskState to, PreemptReason reason)
         probe_->on_block(processor_, t, to, block_context_);
         block_context_ = nullptr;
     }
+    // Job boundary for the RT-DVS policies: waiting = job done until the next
+    // release; terminated = final job done. waiting_resource is mid-job
+    // blocking and does not complete the job.
+    if (processor_.dvfs_enabled() &&
+        (to == TaskState::waiting || to == TaskState::terminated))
+        processor_.policy().on_job_completion(t, processor_.simulator().now());
     t.set_state(to);
 }
 
@@ -226,6 +293,11 @@ void SchedulerEngine::await_dispatch(Task& t) {
             if (t.killed_) throw k::ProcessKilled(t.name());
             continue;
         }
+        // A kill that landed while this thread was deferring its own leave
+        // pass (pass_runner_ protection in the procedural engine) left the
+        // task terminated without unwinding the thread; no grant can ever
+        // arrive, so unwind here.
+        if (t.killed_) throw k::ProcessKilled(t.name());
         k::wait(t.ev_run_);
     }
     charge(OverheadKind::context_load, &t);
@@ -244,6 +316,16 @@ void SchedulerEngine::consume(Task& t, k::Time d) {
     if (current_task() != &t)
         engine_error("compute() must be called from the task's own thread: " +
                      t.name());
+    // DVFS stretches the nominal (full-speed) duration to the current
+    // operating point; job_work_ accumulates the *nominal* demand the CC
+    // policies compare against the declared WCET. The fault-injection
+    // exec-jitter hook composes after scaling — scale first, then jitter —
+    // identically in both engines (pinned by tests).
+    if (processor_.dvfs_enabled()) {
+        t.job_work_ += d;
+        d = processor_.dvfs_scale(d);
+    }
+    if (t.compute_hook_) d = t.compute_hook_(t, d);
     k::Time remaining = d;
     for (;;) {
         if (t.preempt_pending_) {
@@ -337,6 +419,9 @@ bool SchedulerEngine::block_timed(Task& t, TaskState kind, k::Time timeout) {
             if (t.killed_) throw k::ProcessKilled(t.name());
             continue;
         }
+        // See await_dispatch: a kill during this thread's own deferred leave
+        // pass terminates the task without an unwind — no grant will come.
+        if (t.killed_) throw k::ProcessKilled(t.name());
         if (t.state() != kind) {
             // Someone already delivered (made us ready): just await the grant.
             k::wait(t.ev_run_);
@@ -363,6 +448,9 @@ void SchedulerEngine::sleep_for(Task& t, k::Time d) {
     // before the scheduling pass triggered by its own blocking completed
     // (keeps both engines time-identical).
     reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/true);
+    // A kill during the deferred leave pass (see await_dispatch) terminated
+    // the task without unwinding this thread: don't arm the wake timer.
+    if (t.killed_) throw k::ProcessKilled(t.name());
     const k::Time remain = k::Time::sat_sub(wake_at, processor_.simulator().now());
     if (!remain.is_zero()) k::wait(remain);
     make_ready(t);
@@ -401,6 +489,16 @@ void SchedulerEngine::make_ready(Task& t) {
         case TaskState::waiting:
         case TaskState::waiting_resource:
             break;
+    }
+    // Job boundary for the RT-DVS policies: a wake out of created/waiting
+    // releases a fresh job (reset the per-job accumulators before the policy
+    // sees it); waking from waiting_resource resumes the same job.
+    if (processor_.dvfs_enabled() &&
+        (t.state() == TaskState::created || t.state() == TaskState::waiting)) {
+        t.job_work_ = k::Time::zero();
+        t.job_energy_exec_ = 0;
+        t.job_energy_ov_ = 0;
+        processor_.policy().on_job_release(t, processor_.simulator().now());
     }
     t.entered_ready_preempted_ = false;
     ++t.stats_.activations;
@@ -445,10 +543,13 @@ void SchedulerEngine::kill(Task& t) {
     k::Simulator& sim = processor_.simulator();
 
     if (pass_runner_ == &t) {
-        // Its thread is executing the in-flight kicked scheduling pass
-        // (procedural engine). Let the pass complete — both engines always
-        // finish a started pass — and the kicked branch rechecks killed_
-        // right after it; here we only take the task out of contention.
+        // Its thread is executing an in-flight scheduling pass (procedural
+        // engine: the kicked idle-dispatch pass, or its own deferred leave
+        // pass including the save/sched charges). Let the pass complete —
+        // both engines always finish a started pass, and the threaded
+        // engine's queued reschedule request cannot be retracted either.
+        // The wait sites recheck killed_ right after the pass; here we only
+        // take the task out of contention.
         const auto it = std::find(ready_.begin(), ready_.end(), &t);
         if (it != ready_.end()) ready_.erase(it);
         t.set_state(TaskState::terminated);

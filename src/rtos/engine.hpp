@@ -156,8 +156,13 @@ protected:
     void inline_preempt(Task& caller);
 
     /// Charge one overhead component as simulated time in the *current*
-    /// thread; the processor is in the overhead phase for the duration.
-    void charge(OverheadKind kind, const Task* about);
+    /// thread; the processor is in the overhead phase for the duration. On a
+    /// DVFS processor the duration is stretched to the current operating
+    /// point (RTOS code runs on the scaled core too — except the
+    /// frequency-switch cost itself, a fixed hardware relock latency) and
+    /// the consumed energy is booked to `about` (or the per-CPU
+    /// unattributed bucket when null).
+    void charge(OverheadKind kind, Task* about);
 
     /// Mark a terminated task's incarnation as fully retired and fire its
     /// TaskRetired event. Both engines call this at the instant the terminal
@@ -170,11 +175,19 @@ protected:
 
     /// Run the scheduling policy, remove the winner from the ready queue and
     /// grant it the CPU (sets granted_ + notifies TaskRun). Returns the
-    /// winner; nullptr leaves the CPU idle.
+    /// winner; nullptr leaves the CPU idle. Consumes no simulated time (all
+    /// pass charges happen before it — see apply_dvfs_level).
     Task* select_and_grant();
 
-    /// charge(sched) + select_and_grant(). One scheduling pass.
-    void schedule_pass(const Task* about);
+    /// Query the policy for the operating point and apply a level change,
+    /// paying the frequency-switch charge (about-attributed). Runs at the
+    /// start of every scheduling pass, before the scheduling charge. No-op
+    /// without a DVFS model.
+    void apply_dvfs_level(Task* about);
+
+    /// apply_dvfs_level + charge(sched) + select_and_grant(). One scheduling
+    /// pass.
+    void schedule_pass(Task* about);
 
     /// Move the running task out of the Running state. `to` is ready
     /// (preemption/yield), waiting, waiting_resource or terminated.
@@ -219,6 +232,11 @@ protected:
     Task* running_ = nullptr;
     Phase phase_ = Phase::idle;
     kernel::Time phase_since_{};
+    /// Task the current running phase is attributed to (energy folding):
+    /// captured at every set_phase(Phase::running), where running_ is always
+    /// the dispatched task — including the inline-scheduling charges, where
+    /// the phase briefly flips to overhead while the task stays Running.
+    Task* phase_task_ = nullptr;
     bool dispatch_in_progress_ = false; ///< an idle-kick scheduling pass is pending
     /// Task whose thread is currently executing a kicked scheduling pass
     /// (procedural engine). kill() must not unwind it mid-pass: the pass

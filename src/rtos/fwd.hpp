@@ -9,6 +9,14 @@ class Task;
 class Processor;
 class SchedulerEngine;
 class SchedulingPolicy;
+class DvfsModel;
+
+/// Accumulated energy in model units of kHz·mV²·ps (see rtos/dvfs.hpp).
+/// 128-bit because a full-speed point (f·V² ≈ 2.5e13 units) sustained over a
+/// millisecond-scale run (1e9 ps) already overflows 64 bits. All energy
+/// arithmetic is exact integer math — the conservation invariant (per-task
+/// energies summing to the per-CPU ledger) holds bit-exactly.
+__extension__ typedef unsigned __int128 Energy;
 
 /// Task states from the paper's §4 (Buttazzo [10]): Waiting / Ready /
 /// Running, extended with the TimeLine-chart states of §5 (Creation,
@@ -43,14 +51,22 @@ enum class PreemptReason : std::uint8_t {
     yielded,         ///< the task invoked yield_cpu()
 };
 
-/// The three RTOS overhead components of §3.2.
-enum class OverheadKind : std::uint8_t { scheduling, context_load, context_save };
+/// The three RTOS overhead components of §3.2, plus the DVFS
+/// frequency-switch cost (charged when a policy changes the operating
+/// point; kept explicit rather than folded into exec time, per CHRONOS).
+enum class OverheadKind : std::uint8_t {
+    scheduling,
+    context_load,
+    context_save,
+    frequency_switch,
+};
 
 [[nodiscard]] constexpr const char* to_string(OverheadKind k) noexcept {
     switch (k) {
         case OverheadKind::scheduling: return "scheduling";
         case OverheadKind::context_load: return "context_load";
         case OverheadKind::context_save: return "context_save";
+        case OverheadKind::frequency_switch: return "frequency_switch";
     }
     return "?";
 }

@@ -60,11 +60,16 @@ struct RtosOverheads {
     OverheadModel scheduling;
     OverheadModel context_load;
     OverheadModel context_save;
+    /// Cost of changing the DVFS operating point (zero unless configured;
+    /// only ever charged on processors with a DVFS model installed).
+    OverheadModel frequency_switch;
 
-    /// Convenience: all three components fixed to the same value, as in the
-    /// paper's running example (5 us each).
+    /// Convenience: the three §3.2 components fixed to the same value, as in
+    /// the paper's running example (5 us each). The frequency-switch cost is
+    /// deliberately left at zero — it belongs to the DVFS extension, not the
+    /// paper's overhead triple.
     [[nodiscard]] static RtosOverheads uniform(kernel::Time t) {
-        return RtosOverheads{t, t, t};
+        return RtosOverheads{t, t, t, {}};
     }
     [[nodiscard]] static RtosOverheads none() { return RtosOverheads{}; }
 };

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <numeric>
 
+#include "rtos/processor.hpp"
 #include "rtos/task.hpp"
 
 namespace rtsc::rtos {
 
 bool SchedulingPolicy::before(const Task&, const Task&) const { return false; }
+
+std::size_t SchedulingPolicy::dvfs_level(const Processor& cpu, const Task*) {
+    return cpu.dvfs_level();
+}
+
+void SchedulingPolicy::on_job_release(const Task&, kernel::Time) {}
+void SchedulingPolicy::on_job_completion(const Task&, kernel::Time) {}
 
 Task* PriorityPreemptivePolicy::select(const ReadyQueue& ready) const {
     Task* best = nullptr;

@@ -65,13 +65,31 @@ public:
     /// ordered() is true. Equal-rank FIFO is handled by the engine's stable
     /// insertion, not by this predicate.
     [[nodiscard]] virtual bool before(const Task& a, const Task& b) const;
+
+    // ---- DVFS support (rtos/dvfs.hpp) ----
+    // Only consulted on processors with a DVFS model installed; the engine
+    // applies level changes (including the frequency-switch overhead), the
+    // policy merely decides.
+
+    /// Operating-point level the processor should run at, queried at the
+    /// start of every scheduling pass — before the scheduling charge, so a
+    /// level change's frequency-switch cost precedes the point where a
+    /// synchronous leaver resumes (both engines must agree on that instant).
+    /// `about` is the task the pass is charged about (leaver or woken task;
+    /// may be null). Default: keep the current level.
+    [[nodiscard]] virtual std::size_t dvfs_level(const Processor& cpu,
+                                                 const Task* about);
+    /// A new job of `t` was released (Created/Waiting -> Ready).
+    virtual void on_job_release(const Task& t, kernel::Time now);
+    /// The current job of `t` completed (Running -> Waiting/Terminated).
+    virtual void on_job_completion(const Task& t, kernel::Time now);
 };
 
 /// Fixed-priority preemptive scheduling — "the most widely used" (§3.1) and
 /// the policy of the paper's running example. Bigger number = more urgent
 /// (Function_1 with priority 5 preempts Function_3 with priority 2).
 /// Ties resolve in queue order (FIFO within a priority level).
-class PriorityPreemptivePolicy final : public SchedulingPolicy {
+class PriorityPreemptivePolicy : public SchedulingPolicy {
 public:
     [[nodiscard]] std::string name() const override { return "priority_preemptive"; }
     [[nodiscard]] Task* select(const ReadyQueue& ready) const override;
@@ -110,7 +128,7 @@ private:
 
 /// Earliest-Deadline-First: dynamic priorities from absolute deadlines
 /// (Task::set_absolute_deadline). Tasks without a deadline rank last.
-class EdfPolicy final : public SchedulingPolicy {
+class EdfPolicy : public SchedulingPolicy {
 public:
     [[nodiscard]] std::string name() const override { return "edf"; }
     [[nodiscard]] Task* select(const ReadyQueue& ready) const override;

@@ -64,6 +64,11 @@ void Processor::unlock_preemption() {
         engine_->recheck_preemption();
 }
 
+void Processor::set_dvfs(DvfsModel model) {
+    dvfs_ = std::make_unique<DvfsModel>(std::move(model));
+    dvfs_level_ = 0;
+}
+
 kernel::Time Processor::overhead_duration(OverheadKind kind) const {
     const SystemState state{simulator().now(), engine_->ready_queue().size(),
                             tasks_.size(), this, kind};
@@ -71,6 +76,8 @@ kernel::Time Processor::overhead_duration(OverheadKind kind) const {
         case OverheadKind::scheduling: return overheads_.scheduling.evaluate(state);
         case OverheadKind::context_load: return overheads_.context_load.evaluate(state);
         case OverheadKind::context_save: return overheads_.context_save.evaluate(state);
+        case OverheadKind::frequency_switch:
+            return overheads_.frequency_switch.evaluate(state);
     }
     return kernel::Time::zero();
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "kernel/module.hpp"
+#include "rtos/dvfs.hpp"
 #include "rtos/engine.hpp"
 #include "rtos/overhead.hpp"
 #include "rtos/policy.hpp"
@@ -95,6 +96,36 @@ public:
     [[nodiscard]] const RtosOverheads& overheads() const noexcept { return overheads_; }
     [[nodiscard]] kernel::Time overhead_duration(OverheadKind kind) const;
 
+    // ---- DVFS (optional; rtos/dvfs.hpp) ----
+    /// Install a DVFS model. The processor starts at level 0 (full speed).
+    /// Must be called before the simulation runs — switching models mid-run
+    /// would corrupt the energy ledger.
+    void set_dvfs(DvfsModel model);
+    [[nodiscard]] bool dvfs_enabled() const noexcept { return dvfs_ != nullptr; }
+    /// The installed model; only valid when dvfs_enabled().
+    [[nodiscard]] const DvfsModel& dvfs() const noexcept { return *dvfs_; }
+    [[nodiscard]] std::size_t dvfs_level() const noexcept { return dvfs_level_; }
+    /// Dynamic power at the current level (kHz·mV²); 0 with no model.
+    [[nodiscard]] std::uint64_t dvfs_power() const noexcept {
+        return dvfs_ ? dvfs_->power(dvfs_level_) : 0;
+    }
+    /// Stretch a full-speed duration to the current level (identity with no
+    /// model installed or at full speed).
+    [[nodiscard]] kernel::Time dvfs_scale(kernel::Time d) const noexcept {
+        return dvfs_ ? dvfs_->scale(d, dvfs_level_) : d;
+    }
+
+    /// Per-CPU energy ledger (model units, rtos/dvfs.hpp), folded by the
+    /// engine. Conservation: busy == Σ task energy_exec() and
+    /// overhead == Σ task energy_overhead() + unattributed, bit-exactly.
+    struct EnergyLedger {
+        Energy busy = 0;         ///< running phase (a task executing)
+        Energy overhead = 0;     ///< overhead phase (RTOS charges); idle is free
+        Energy unattributed = 0; ///< overhead charges with no `about` task
+        [[nodiscard]] Energy total() const noexcept { return busy + overhead; }
+    };
+    [[nodiscard]] const EnergyLedger& energy() const noexcept { return energy_; }
+
     // ---- engine / runtime state ----
     [[nodiscard]] SchedulerEngine& engine() noexcept { return *engine_; }
     [[nodiscard]] const SchedulerEngine& engine() const noexcept { return *engine_; }
@@ -111,6 +142,8 @@ public:
                          const Task* about) const;
 
 private:
+    friend class SchedulerEngine; // level application + energy folding
+
     std::unique_ptr<SchedulingPolicy> policy_;
     EngineKind engine_kind_;
     std::unique_ptr<SchedulerEngine> engine_;
@@ -119,6 +152,11 @@ private:
     RtosOverheads overheads_;
     bool preemptive_ = true;
     int preemption_lock_depth_ = 0;
+
+    // DVFS state (engine-managed once the simulation runs)
+    std::unique_ptr<DvfsModel> dvfs_;
+    std::size_t dvfs_level_ = 0;
+    EnergyLedger energy_;
 };
 
 } // namespace rtsc::rtos

@@ -158,7 +158,8 @@ void Task::clear_deadline() {
 }
 
 void Task::compute(k::Time duration) {
-    if (compute_hook_) duration = compute_hook_(*this, duration);
+    // The compute hook is applied inside consume(), after DVFS scaling, so
+    // the scale-then-jitter order is identical in both engines.
     processor_.engine().consume(*this, duration);
 }
 

@@ -176,6 +176,18 @@ public:
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+    // ---- energy accounting (DVFS processors only; rtos/dvfs.hpp) ----
+    /// Energy consumed executing this task (all jobs), model units (fJ).
+    [[nodiscard]] Energy energy_exec() const noexcept { return energy_exec_; }
+    /// Energy of RTOS overhead charges attributed to this task.
+    [[nodiscard]] Energy energy_overhead() const noexcept { return energy_ov_; }
+    /// Per-job accumulators, reset at each job release (Waiting -> Ready).
+    [[nodiscard]] Energy job_energy_exec() const noexcept { return job_energy_exec_; }
+    [[nodiscard]] Energy job_energy_overhead() const noexcept { return job_energy_ov_; }
+    /// Nominal (full-speed) CPU demand consumed by the current job — what the
+    /// cycle-conserving policies compare against the declared WCET.
+    [[nodiscard]] kernel::Time job_work() const noexcept { return job_work_; }
+
     /// stats() with the in-progress state episode folded in up to `now`
     /// (use while the simulation is still running or a task never ended).
     [[nodiscard]] Stats stats_at(kernel::Time now) const noexcept {
@@ -253,6 +265,13 @@ private:
     std::uint64_t restarts_ = 0;
     kernel::Time start_delay_{};         ///< release delay of the current incarnation
     ComputeHook compute_hook_;
+
+    // energy accounting (engine-managed, only written on DVFS processors)
+    Energy energy_exec_ = 0;      ///< lifetime execution energy
+    Energy energy_ov_ = 0;        ///< lifetime attributed-overhead energy
+    Energy job_energy_exec_ = 0;  ///< current job's execution energy
+    Energy job_energy_ov_ = 0;    ///< current job's attributed-overhead energy
+    kernel::Time job_work_{};     ///< current job's nominal CPU demand
 
     Stats stats_;
 };

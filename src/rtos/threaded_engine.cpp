@@ -31,6 +31,7 @@ void ThreadedEngine::process(const Request& r) {
         case Request::Kind::reschedule:
             if (r.charge_save) charge(OverheadKind::context_save, r.task);
             note_scheduler_run();
+            apply_dvfs_level(r.task);
             charge(OverheadKind::scheduling, r.task);
             // Ack before the grant: a synchronous leaver (sleep_for /
             // block_timed) whose wake time already passed during this pass

@@ -221,3 +221,34 @@ TEST(FaultInjection, ExecJitterScalesComputeDurations) {
     EXPECT_EQ(inj.counters().jittered_computes, 1u);
     EXPECT_EQ(t.stats().running_time, 20_us);
 }
+
+class ExecJitterDvfsTest : public ::testing::TestWithParam<r::EngineKind> {};
+
+TEST_P(ExecJitterDvfsTest, JitterComposesAfterDvfsScaling) {
+    // Composition order is scale-first-then-jitter, pinned to the exact
+    // picosecond on both engines. 1'000'001 ps at a 1.5x stretch rounds half
+    // up to 1'500'002, and the x2 jitter doubles that to 3'000'004 — whereas
+    // jitter-first would give 2'000'002 * 1.5 = 3'000'003 exactly.
+    k::Simulator sim;
+    r::Processor cpu("cpu", std::make_unique<r::StaticEdfPolicy>(), GetParam());
+    cpu.set_dvfs(r::DvfsModel({{300'000, 1000}, {200'000, 1000}}));
+    auto& pol = dynamic_cast<r::StaticEdfPolicy&>(cpu.policy());
+    r::Task& t = cpu.create_task(
+        {.name = "t", .priority = 1},
+        [](r::Task& self) { self.compute(k::Time::ps(1'000'001)); });
+    pol.declare_task(t, 1_us, 2_us); // U = 0.5 -> the 200 MHz point
+    f::FaultPlan plan;
+    plan.exec_jitter.push_back({&t, 1.0, 2.0, 2.0});
+    f::FaultInjector inj(sim, plan, 5);
+    inj.arm();
+    sim.run();
+    EXPECT_EQ(sim.now(), k::Time::ps(3'000'004));
+    EXPECT_EQ(t.stats().running_time, k::Time::ps(3'000'004));
+    // The stretched-and-jittered wall time all burns at the slow point.
+    EXPECT_EQ(t.energy_exec(),
+              r::Energy(200'000) * 1000 * 1000 * 3'000'004);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, ExecJitterDvfsTest,
+                         ::testing::Values(r::EngineKind::procedure_calls,
+                                           r::EngineKind::rtos_thread));

@@ -105,6 +105,29 @@ TEST(TimeTest, SaturatingAddition) {
     EXPECT_EQ(t, 3_us);
 }
 
+TEST(TimeTest, SaturatingMultiplication) {
+    // Overhead formulas scale durations by live counts (Time::ns(200) *
+    // ready_tasks) and DVFS stretches them by frequency ratios: a wrapping
+    // product would silently travel back in time, just like a wrapping add.
+    EXPECT_EQ(Time::max() * 2u, Time::max());
+    EXPECT_EQ(2u * Time::max(), Time::max());
+    EXPECT_EQ(Time::ps(~Time::rep{0} / 2 + 1) * 2u, Time::max());
+    EXPECT_EQ(Time::ps(~Time::rep{0} / 3) * 4u, Time::max());
+
+    // Largest exact products are preserved, one step beyond saturates.
+    EXPECT_EQ(Time::ps(~Time::rep{0} / 2) * 2u, Time::ps(~Time::rep{0} - 1));
+    EXPECT_EQ(Time::ps(~Time::rep{0} / 3) * 3u, Time::ps(~Time::rep{0} / 3 * 3));
+
+    // Zero factors stay exact (no saturation path).
+    EXPECT_EQ(Time::max() * 0u, Time::zero());
+    EXPECT_EQ(0u * Time::max(), Time::zero());
+    EXPECT_EQ(Time::zero() * 7u, Time::zero());
+
+    // Ordinary products are unaffected.
+    EXPECT_EQ(2_us * 3u, 6_us);
+    EXPECT_EQ(3u * 2_us, 6_us);
+}
+
 TEST(TimeTest, NeverSentinelStaysTerminal) {
     // now + Time::max() used as an absolute deadline keeps comparing larger
     // than any reachable simulation time.

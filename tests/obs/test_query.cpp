@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 
@@ -200,4 +202,76 @@ TEST(TraceQuery, PlainExportYieldsEmptyRowSetsAndBadFilesThrow) {
         std::remove("query_plain.perfetto.json");
     }
     EXPECT_THROW(q::load("definitely-not-here.json"), std::runtime_error);
+}
+
+TEST(TraceQuery, DvfsEnergyFieldsSurviveTheRoundTripWithEscapedNames) {
+    // A DVFS run attaches energy to every job row; a task name full of JSON
+    // metacharacters must survive export -> load -> --json re-render intact.
+    const std::string weird = "t\"quo\\te\tx";
+    const std::string path = "query_energy.perfetto.json";
+    {
+        k::Simulator sim;
+        r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                         r::EngineKind::procedure_calls);
+        cpu.set_dvfs(r::DvfsModel::single(500'000, 900));
+        tr::Recorder rec;
+        rec.attach(cpu);
+        o::Attribution attr;
+        attr.attach(cpu);
+        cpu.create_task({.name = weird, .priority = 1},
+                        [](r::Task& self) { self.compute(10_us); });
+        sim.run();
+        o::write_perfetto_file(path, rec, {.attribution = &attr});
+    }
+    const q::TraceData d = q::load(path);
+    ASSERT_EQ(d.jobs.size(), 1u);
+    const q::JobRow& j = d.jobs[0];
+    EXPECT_EQ(j.task, weird);
+    ASSERT_TRUE(j.has_energy);
+    // 10 us at 500 MHz / 0.9 V, exactly f * V^2 * t model units.
+    EXPECT_EQ(j.energy_exec_fj, rtsc::rtos::energy_to_string(
+                                    rtsc::rtos::Energy(500'000) * 900 * 900 *
+                                    10'000'000));
+    EXPECT_EQ(j.energy_overhead_fj, "0");
+    EXPECT_GT(j.energy_exec_j, 0.0);
+
+    // --json re-parses as valid JSON with the weird name and energy intact.
+    const auto doc = o::json::parse(q::render_blame(d, "", true));
+    ASSERT_TRUE(doc->is_object());
+    const o::json::Value* jobs = doc->get("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_EQ(jobs->arr.size(), 1u);
+    const o::json::Value* task = jobs->arr[0]->get("task");
+    ASSERT_NE(task, nullptr);
+    EXPECT_EQ(task->str, weird);
+    ASSERT_NE(jobs->arr[0]->get("energy_exec_fj"), nullptr);
+    EXPECT_EQ(jobs->arr[0]->get("energy_exec_fj")->str, j.energy_exec_fj);
+    std::remove(path.c_str());
+}
+
+TEST(TraceQuery, TruncatedExportFailsInsteadOfReturningPartialData) {
+    const std::string path = "query_truncated.perfetto.json";
+    {
+        k::Simulator sim;
+        r::Processor cpu("cpu", std::make_unique<r::PriorityPreemptivePolicy>(),
+                         r::EngineKind::procedure_calls);
+        tr::Recorder rec;
+        rec.attach(cpu);
+        o::Attribution attr;
+        attr.attach(cpu);
+        cpu.create_task({.name = "a", .priority = 1},
+                        [](r::Task& self) { self.compute(10_us); });
+        sim.run();
+        o::write_perfetto_file(path, rec, {.attribution = &attr});
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(text.size(), 10u);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(text.size() / 2));
+    out.close();
+    EXPECT_THROW(q::load(path), std::runtime_error);
+    std::remove(path.c_str());
 }
