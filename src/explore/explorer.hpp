@@ -1,0 +1,115 @@
+#pragma once
+// Bounded exhaustive schedule-space exploration (ROADMAP item 5): enumerate
+// every reachable resolution of the model's same-instant ready-queue
+// tie-breaks, running an arbitrary checker on each one.
+//
+// The explorer is generic over a RunCheck functor so the same DFS drives
+// both ModelSpec checking (explore/model_check.hpp: the 4-way differential
+// runner plus conservation/decision invariants) and hand-built scenarios
+// (the rotation-equivalence suite runs its nine pinned schedules through
+// it). A RunCheck executes the model once under the given DecisionTrace and
+// returns what it observed: the full decision log, a violation verdict and
+// a digest of the schedule.
+//
+// Enumeration (stateless DFS by replay): pop a trace, run it; every *free*
+// decision (past the prescribed per-CPU prefix) with more than one slot
+// spawns children — one per non-default slot, each child prescribing the
+// per-CPU decisions observed up to that point with the flipped slot last.
+// A child's trace always ends in a non-default choice, so each choice
+// string has exactly one generating parent (cut at its last non-default
+// position): every schedule is visited exactly once, and draining the
+// frontier proves the enumeration complete.
+//
+// DPOR-style pruning (`Bounds::prune`, on by default): a free decision is
+// only branched on when the run marked it `mattered` — some dispatch picked
+// a group member while another member was still co-resident in the ready
+// queue (or a rare front-reading path consumed the order outside a pass).
+// Dispatch is the only point where queue order becomes behaviour: overhead
+// formulas see the ready *count*, requeue/kill preserve the relative order
+// of the others, and preemption checks compare candidate against running
+// only. Reorderings of never-co-dispatched groups are therefore
+// commutative and explored once. docs/EXPLORE.md carries the full
+// soundness argument.
+//
+// The frontier (pending traces + progress counters) serializes to a text
+// stream, so a bounded run can stop at its budget and resume later.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "explore/decision.hpp"
+
+namespace rtsc::explore {
+
+/// What one checked run reports back to the explorer.
+struct RunOutcome {
+    DecisionLog log;         ///< every tie-break the run consumed
+    bool violation = false;  ///< an invariant broke under this schedule
+    std::string diagnosis;   ///< first failure description when violation
+    std::uint64_t digest = 0; ///< schedule identity (uniqueness checks)
+    std::string error;       ///< run failure text (empty = ran to completion)
+};
+
+/// Execute the model once under `trace`; must be deterministic.
+using RunCheck = std::function<RunOutcome(const DecisionTrace&)>;
+
+struct Bounds {
+    std::uint64_t max_schedules = 1u << 20; ///< run budget for this call
+    std::size_t max_decisions = 4096; ///< branch only on the first N decisions
+    std::size_t max_group = 16;       ///< widest window branched on (slots-1)
+    bool prune = true;                ///< DPOR-style mattered pruning
+    bool stop_at_violation = true;    ///< abort the DFS on the first finding
+    bool collect_digests = false;     ///< keep every schedule digest
+};
+
+struct ExploreResult {
+    std::uint64_t schedules = 0;       ///< runs executed (distinct schedules)
+    std::uint64_t pruned_branches = 0; ///< alternatives skipped as commutative
+    std::uint64_t clipped_branches = 0;///< alternatives dropped by max_* bounds
+    bool complete = false;   ///< frontier drained and nothing clipped
+    bool violation = false;
+    DecisionTrace counterexample; ///< trace of the violating schedule
+    std::string diagnosis;
+    std::vector<std::uint64_t> digests; ///< when Bounds::collect_digests
+};
+
+class Explorer {
+public:
+    Explorer(RunCheck check, Bounds bounds)
+        : check_(std::move(check)), bounds_(bounds) {
+        frontier_.push_back({});
+    }
+
+    /// Run the DFS until the frontier drains, the schedule budget is spent
+    /// or (by default) a violation is found. Callable again after a bounded
+    /// stop: continues from the saved frontier with a fresh budget.
+    ExploreResult run();
+
+    [[nodiscard]] bool frontier_empty() const noexcept {
+        return frontier_.empty();
+    }
+
+    /// Persist the pending frontier + progress counters ("explore-frontier
+    /// v1" header, one trace per line). Round-trips through load_frontier.
+    void save_frontier(std::ostream& os) const;
+    /// Replace the frontier with a previously saved one. Throws
+    /// std::runtime_error on malformed input.
+    void load_frontier(std::istream& is);
+
+private:
+    void expand(const DecisionTrace& parent, const RunOutcome& outcome,
+                ExploreResult& result);
+
+    RunCheck check_;
+    Bounds bounds_;
+    std::deque<DecisionTrace> frontier_;
+    std::uint64_t schedules_total_ = 0; ///< across resumed runs
+    std::uint64_t pruned_total_ = 0;
+    std::uint64_t clipped_total_ = 0;
+};
+
+} // namespace rtsc::explore

@@ -1,0 +1,262 @@
+#include "explore/model_check.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "fuzz/runner.hpp"
+
+namespace rtsc::explore {
+
+namespace {
+
+/// One engine/skip-ahead leg of the 4-way check.
+struct Leg {
+    const char* name;
+    rtos::EngineKind kind;
+    bool skip_ahead;
+};
+
+constexpr Leg kLegs[] = {
+    {"procedural/skip", rtos::EngineKind::procedure_calls, true},
+    {"threaded/skip", rtos::EngineKind::rtos_thread, true},
+    {"procedural/exact", rtos::EngineKind::procedure_calls, false},
+    {"threaded/exact", rtos::EngineKind::rtos_thread, false},
+};
+
+bool has_broken_row(const fuzz::RunResult& r, std::string* which) {
+    for (const auto* stream : {&r.metrics, &r.attribution})
+        for (const std::string& row : *stream)
+            if (row.find("BROKEN") != std::string::npos) {
+                *which = row;
+                return true;
+            }
+    return false;
+}
+
+} // namespace
+
+RunOutcome check_model_once(const fuzz::ModelSpec& spec,
+                            const DecisionTrace& trace,
+                            const std::string& baseline_error) {
+    RunOutcome out;
+    fuzz::RunResult results[4];
+    DecisionLog logs[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        TraceOracle oracle(&trace);
+        results[i] = fuzz::run_model(spec, kLegs[i].kind, kLegs[i].skip_ahead,
+                                     &oracle);
+        logs[i] = oracle.take_log();
+        if (!oracle.replay_ok() && !out.violation) {
+            out.violation = true;
+            out.diagnosis = std::string("replay desync on ") + kLegs[i].name +
+                            ": " + oracle.replay_error();
+        }
+    }
+    out.log = std::move(logs[0]);
+    out.digest = fuzz::fnv1a(results[0].digest, to_text(trace));
+    out.error = results[0].error;
+
+    if (out.violation) return out;
+
+    // Engine equivalence + skip-ahead neutrality, every stream bit-for-bit.
+    const std::pair<std::size_t, std::size_t> pairs[] = {{0, 1}, {0, 2}, {1, 3}};
+    for (const auto& [l, r] : pairs) {
+        const fuzz::Divergence d = fuzz::compare(results[l], results[r]);
+        if (d.diverged) {
+            out.violation = true;
+            out.diagnosis = std::string(kLegs[l].name) + " vs " +
+                            kLegs[r].name + ": " + d.to_string();
+            return out;
+        }
+    }
+    // Decision-stream invariant: all four runs must have consumed identical
+    // per-CPU tie-break sequences — otherwise the equivalence above held by
+    // luck and replayed alternatives would flip different decisions.
+    const std::vector<std::string> rows0 = decision_rows(out.log);
+    for (std::size_t i = 1; i < 4; ++i) {
+        const std::vector<std::string> rows = decision_rows(logs[i]);
+        if (rows != rows0) {
+            std::size_t k = 0;
+            while (k < rows.size() && k < rows0.size() && rows[k] == rows0[k])
+                ++k;
+            out.violation = true;
+            out.diagnosis =
+                std::string("decision streams diverged: procedural/skip vs ") +
+                kLegs[i].name + " at decision " + std::to_string(k) + ": '" +
+                (k < rows0.size() ? rows0[k] : "<missing>") + "' vs '" +
+                (k < rows.size() ? rows[k] : "<missing>") + "'";
+            return out;
+        }
+    }
+    // Conservation invariants that broke identically on both engines.
+    std::string broken;
+    if (has_broken_row(results[0], &broken)) {
+        out.violation = true;
+        out.diagnosis = "conservation invariant broke: " + broken;
+        return out;
+    }
+    // A schedule that fails where the default schedule did not (or vice
+    // versa): a tie-break order flipped a deadlock / stall / lost-wakeup
+    // diagnostic.
+    if (results[0].error != baseline_error) {
+        out.violation = true;
+        out.diagnosis = "schedule-dependent failure: default run error '" +
+                        baseline_error + "' vs '" + results[0].error + "'";
+        return out;
+    }
+    return out;
+}
+
+RunCheck make_model_check(const fuzz::ModelSpec& spec) {
+    // The baseline error is captured from the first default-trace run (the
+    // fresh DFS always starts there); a resumed frontier derives it with
+    // one extra default run.
+    struct State {
+        bool have_baseline = false;
+        std::string baseline_error;
+    };
+    auto state = std::make_shared<State>();
+    return [spec, state](const DecisionTrace& trace) {
+        if (!state->have_baseline) {
+            bool default_trace = true;
+            for (const auto& [cpu, slots] : trace)
+                if (!slots.empty()) default_trace = false;
+            if (default_trace) {
+                // The default run *defines* the baseline: a model that
+                // fails identically on both engines under its pinned
+                // schedule is model behaviour, not a finding.
+                RunOutcome out = check_model_once(spec, trace, "");
+                state->baseline_error = out.error;
+                state->have_baseline = true;
+                if (out.violation &&
+                    out.diagnosis.rfind("schedule-dependent failure", 0) == 0) {
+                    out.violation = false;
+                    out.diagnosis.clear();
+                }
+                return out;
+            }
+            // Resumed frontier: derive the baseline with one default run.
+            state->baseline_error =
+                fuzz::run_model(spec, rtos::EngineKind::procedure_calls).error;
+            state->have_baseline = true;
+        }
+        return check_model_once(spec, trace, state->baseline_error);
+    };
+}
+
+namespace {
+
+/// One spec-level dial: applies position k (0 = base) to a variant spec.
+struct Dial {
+    std::string label;
+    std::uint32_t positions;
+    std::function<void(fuzz::ModelSpec&, std::uint32_t)> apply;
+    std::function<std::string(std::uint32_t)> describe;
+};
+
+std::vector<Dial> make_dials(const fuzz::ModelSpec& spec,
+                             const ModelCheckConfig& cfg) {
+    std::vector<Dial> dials;
+    if (cfg.offsets > 1 && cfg.offset_window_ps > 0) {
+        for (std::size_t t = 0; t < spec.tasks.size(); ++t) {
+            const fuzz::TaskSpec& ts = spec.tasks[t];
+            // Sporadic shape: one time-triggered release whose exact
+            // arrival instant is an environment choice, not a model one.
+            if (ts.period_ps != 0 || ts.trigger_event != 0 ||
+                ts.activations > 1)
+                continue;
+            const std::uint64_t step = cfg.offset_window_ps / cfg.offsets;
+            if (step == 0) continue;
+            dials.push_back(
+                {spec.tasks[t].name, cfg.offsets,
+                 [t, step](fuzz::ModelSpec& s, std::uint32_t k) {
+                     s.tasks[t].start_ps += step * k;
+                 },
+                 [name = ts.name, step](std::uint32_t k) {
+                     return name + "+" + std::to_string(step * k) + "ps";
+                 }});
+        }
+    }
+    if (cfg.crash_offsets > 1 && cfg.crash_window_ps > 0) {
+        for (std::size_t c = 0; c < spec.faults.crashes.size(); ++c) {
+            const std::uint64_t step = cfg.crash_window_ps / cfg.crash_offsets;
+            if (step == 0) continue;
+            dials.push_back(
+                {"crash" + std::to_string(c), cfg.crash_offsets,
+                 [c, step](fuzz::ModelSpec& s, std::uint32_t k) {
+                     s.faults.crashes[c].at_ps += step * k;
+                 },
+                 [c, step](std::uint32_t k) {
+                     return "crash" + std::to_string(c) + "+" +
+                            std::to_string(step * k) + "ps";
+                 }});
+        }
+    }
+    return dials;
+}
+
+} // namespace
+
+ModelReport explore_model(const fuzz::ModelSpec& spec,
+                          const ModelCheckConfig& cfg) {
+    ModelReport report;
+    report.complete = true;
+
+    const std::vector<Dial> dials = make_dials(spec, cfg);
+    std::vector<std::uint32_t> counter(dials.size(), 0);
+    std::size_t variants_run = 0;
+    bool more = true;
+    while (more) {
+        if (variants_run >= cfg.max_variants) {
+            report.complete = false; // variant space clipped
+            break;
+        }
+        fuzz::ModelSpec variant = spec;
+        std::string name;
+        for (std::size_t i = 0; i < dials.size(); ++i) {
+            dials[i].apply(variant, counter[i]);
+            if (counter[i] != 0)
+                name += (name.empty() ? "" : ",") +
+                        dials[i].describe(counter[i]);
+        }
+        if (name.empty()) name = "base";
+        ++variants_run;
+
+        Explorer explorer(make_model_check(variant), cfg.bounds);
+        ExploreResult result = explorer.run();
+        report.schedules += result.schedules;
+        report.pruned_branches += result.pruned_branches;
+        report.clipped_branches += result.clipped_branches;
+        if (!result.complete) report.complete = false;
+        if (result.violation && !report.violation) {
+            report.violation = true;
+            report.diagnosis = result.diagnosis;
+            report.violating_variant = name;
+            report.violating_spec = variant;
+            report.counterexample = result.counterexample;
+        }
+        report.variants.push_back({std::move(name), std::move(result)});
+        if (report.violation && cfg.bounds.stop_at_violation) break;
+
+        // Mixed-radix increment over the dial positions.
+        more = false;
+        for (std::size_t i = 0; i < counter.size(); ++i) {
+            if (++counter[i] < dials[i].positions) {
+                more = true;
+                break;
+            }
+            counter[i] = 0;
+        }
+    }
+    return report;
+}
+
+bool explore_finds_violation(const fuzz::ModelSpec& spec) {
+    ModelCheckConfig cfg;
+    cfg.bounds.max_schedules = 48; // small budget: predicate runs thousands
+    cfg.bounds.max_decisions = 256;
+    cfg.bounds.stop_at_violation = true;
+    return explore_model(spec, cfg).violation;
+}
+
+} // namespace rtsc::explore

@@ -203,7 +203,7 @@ std::string fmt_double(double v) {
 } // namespace
 
 RunResult run_model(const ModelSpec& spec, r::EngineKind kind,
-                    bool skip_ahead) {
+                    bool skip_ahead, r::ScheduleOracle* oracle) {
     RunResult out;
     try {
         k::Simulator sim;
@@ -235,6 +235,7 @@ RunResult run_model(const ModelSpec& spec, r::EngineKind kind,
                     pts.push_back({f, v});
                 cpu.set_dvfs(r::DvfsModel(std::move(pts)));
             }
+            if (oracle != nullptr) cpu.engine().set_schedule_oracle(oracle);
             rec.attach(cpu);
             coll.attach(cpu);
         }

@@ -15,6 +15,10 @@
 #include "fuzz/spec.hpp"
 #include "rtos/processor.hpp"
 
+namespace rtsc::rtos {
+class ScheduleOracle;
+}
+
 namespace rtsc::fuzz {
 
 struct RunResult {
@@ -45,8 +49,12 @@ struct RunResult {
 /// `skip_ahead` forces the kernel's skip-ahead fast path on or off for this
 /// run (independent of the process-wide default); the result must be
 /// bit-identical either way, and diff_engines checks exactly that.
+/// `oracle`, when non-null, is installed on every processor's engine before
+/// the run: the schedule-space explorer (src/explore/) uses it to record and
+/// replay same-instant ready-queue tie-breaks.
 [[nodiscard]] RunResult run_model(const ModelSpec& spec, rtos::EngineKind kind,
-                                  bool skip_ahead = true);
+                                  bool skip_ahead = true,
+                                  rtos::ScheduleOracle* oracle = nullptr);
 
 /// First point where two runs disagree.
 struct Divergence {

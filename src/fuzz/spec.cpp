@@ -76,10 +76,15 @@ struct Line {
 std::uint64_t get_u64(const Line& ln, const std::string& key) {
     auto it = ln.kv.find(key);
     if (it == ln.kv.end()) fail(ln, "missing key '" + key + "'");
+    // strtoull silently negates "-5" instead of rejecting it — refuse any
+    // sign character so out-of-domain input fails loudly.
+    if (it->second.find_first_of("-+") != std::string::npos)
+        fail(ln, "bad number for '" + key + "': " + it->second);
     errno = 0;
     char* end = nullptr;
     const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
-    if (errno != 0 || end == nullptr || *end != '\0')
+    if (errno != 0 || end == nullptr || end == it->second.c_str() ||
+        *end != '\0')
         fail(ln, "bad number for '" + key + "': " + it->second);
     return v;
 }
@@ -98,9 +103,11 @@ std::int64_t get_i64(const Line& ln, const std::string& key) {
 double get_f64(const Line& ln, const std::string& key) {
     auto it = ln.kv.find(key);
     if (it == ln.kv.end()) fail(ln, "missing key '" + key + "'");
+    errno = 0;
     char* end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
-    if (end == nullptr || *end != '\0')
+    if (errno != 0 || end == nullptr || end == it->second.c_str() ||
+        *end != '\0')
         fail(ln, "bad float for '" + key + "': " + it->second);
     return v;
 }

@@ -283,6 +283,16 @@ void Simulator::kill_process(Process& p) {
 
 // ---- wait services ----
 
+void Simulator::yield() {
+    Process& p = require_process("yield()");
+    // The evaluate sweep already dequeued this process (runnable_ false);
+    // re-appending lets the same index-based FIFO sweep pick it up again
+    // after everything queued ahead of it.
+    p.runnable_ = true;
+    runnable_.push_back(&p);
+    suspend_current();
+}
+
 void Simulator::wait(Time duration) {
     Process& p = require_process("wait(Time)");
     if (duration.is_zero()) {

@@ -100,6 +100,14 @@ public:
     /// timeout instant wins.
     Event* wait_any(Time timeout, const std::vector<Event*>& events);
 
+    /// Re-queue the calling process at the tail of the current evaluate
+    /// sweep and suspend; it resumes in the SAME delta cycle after every
+    /// process currently runnable (including those woken later in this
+    /// sweep) has run. Equivalent to being woken by an immediate notify at
+    /// this point — the RTOS engines use it to start a synchronously
+    /// granted task body at the position a notify-granted one would get.
+    void yield();
+
     /// The process currently executing, or nullptr in scheduler context.
     [[nodiscard]] Process* current_process() const noexcept { return current_process_; }
 
@@ -259,6 +267,7 @@ private:
 
 inline void wait(Time d) { Simulator::current().wait(d); }
 inline void wait(Event& e) { Simulator::current().wait(e); }
+inline void yield() { Simulator::current().yield(); }
 inline Process::WakeReason wait(Time timeout, Event& e) { return Simulator::current().wait(timeout, e); }
 inline Event& wait_any(std::initializer_list<Event*> evs) { return Simulator::current().wait_any(evs); }
 

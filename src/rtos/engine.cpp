@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "kernel/simulator.hpp"
+#include "rtos/oracle.hpp"
 #include "rtos/probe.hpp"
 #include "rtos/processor.hpp"
 #include "rtos/task.hpp"
@@ -75,6 +76,10 @@ SchedulerEngine::PhaseStats SchedulerEngine::phase_stats() const {
 // ------------------------------------------------------------ small helpers
 
 void SchedulerEngine::push_ready(Task& t, bool front) {
+    if (oracle_ != nullptr) {
+        push_ready_oracle(t, front);
+        return;
+    }
     if (!ordered_) {
         if (front)
             ready_.insert(ready_.begin(), &t);
@@ -93,6 +98,59 @@ void SchedulerEngine::push_ready(Task& t, bool front) {
         front ? std::lower_bound(ready_.begin(), ready_.end(), &t, cmp)
               : std::upper_bound(ready_.begin(), ready_.end(), &t, cmp);
     ready_.insert(it, &t);
+}
+
+void SchedulerEngine::push_ready_oracle(Task& t, bool front) {
+    const k::Time now = processor_.simulator().now();
+    t.ready_enqueued_at_ = now; // only written while an oracle is installed
+    const SchedulingPolicy& pol = processor_.policy();
+    // Same rank: the policy has no ordering preference either way. Unordered
+    // policies (fifo / round-robin) dispatch in pure queue order, so every
+    // task counts as equal-rank there.
+    const auto equal_rank = [&](const Task* x) {
+        return !ordered_ || (!pol.before(*x, t) && !pol.before(t, *x));
+    };
+    // Default slot, exactly as the oracle-free path computes it.
+    std::size_t pos;
+    if (!ordered_) {
+        pos = front ? 0 : ready_.size();
+    } else {
+        const auto cmp = [&pol](const Task* a, const Task* b) {
+            return pol.before(*a, *b);
+        };
+        const auto it =
+            front ? std::lower_bound(ready_.begin(), ready_.end(), &t, cmp)
+                  : std::upper_bound(ready_.begin(), ready_.end(), &t, cmp);
+        pos = static_cast<std::size_t>(it - ready_.begin());
+    }
+    // The window the new entry may permute with: the contiguous run of
+    // equal-rank tasks adjacent to the default slot that entered the queue
+    // at this same instant. Tasks queued at an earlier instant carry
+    // semantically fixed FIFO seniority — crossing them would change the
+    // model, not the interleaving — so the scan stops at the first one.
+    std::size_t wbegin = pos;
+    std::size_t wend = pos;
+    if (front) {
+        while (wend < ready_.size() && equal_rank(ready_[wend]) &&
+               ready_[wend]->ready_enqueued_at_ == now)
+            ++wend;
+    } else {
+        while (wbegin > 0 && equal_rank(ready_[wbegin - 1]) &&
+               ready_[wbegin - 1]->ready_enqueued_at_ == now)
+            --wbegin;
+    }
+    const std::size_t window_len = wend - wbegin;
+    const std::size_t preset = front ? 0 : window_len;
+    std::size_t slot = preset;
+    if (window_len > 0) {
+        const ReadyInsertDecision d{processor_, t, now, front,
+                                    ready_.data() + wbegin, window_len};
+        slot = oracle_->choose_ready_insert(d, preset);
+        if (slot > window_len) slot = preset;
+    }
+    ready_.insert(ready_.begin() +
+                      static_cast<ReadyQueue::difference_type>(wbegin + slot),
+                  &t);
 }
 
 void SchedulerEngine::requeue_ready(Task& t) {
@@ -143,10 +201,19 @@ void SchedulerEngine::charge(OverheadKind kind, Task* about) {
         d = processor_.dvfs_scale(d);
     processor_.notify_overhead(kind, start, d, about);
     if (d.is_zero()) return;
+    // Book the overhead energy charge-wise only AFTER the wait completes:
+    // the time-based fold of the overhead phase in set_phase covers the
+    // identical interval (the conservation check verifies exactly that),
+    // and the fold only ever happens once the wait has run its course. A
+    // simulation horizon that cuts the run mid-wait must therefore book
+    // nothing on either side — charging up front would leave the attributed
+    // split ahead of the ledger total. The operating point cannot change
+    // during the wait (level flips happen inside a scheduling pass, and a
+    // pass is never re-entered), so reading dvfs_power() afterwards sees
+    // the same level the slice ran at.
+    set_phase(Phase::overhead);
+    k::wait(d);
     if (dvfs) {
-        // Book the overhead energy charge-wise (the time-based fold of the
-        // overhead phase in set_phase covers the identical interval — the
-        // conservation check verifies exactly that).
         const Energy e =
             static_cast<Energy>(processor_.dvfs_power()) * d.raw_ps();
         if (about != nullptr) {
@@ -156,8 +223,6 @@ void SchedulerEngine::charge(OverheadKind kind, Task* about) {
             processor_.energy_.unattributed += e;
         }
     }
-    set_phase(Phase::overhead);
-    k::wait(d);
 }
 
 // --------------------------------------------------------------- scheduling
@@ -192,6 +257,7 @@ Task* SchedulerEngine::select_and_grant() {
         engine_error("scheduling policy selected a task that is not ready: " +
                      next->name());
     ready_.erase(it);
+    if (oracle_) oracle_->on_dispatch(processor_, *next, ready_);
     // Keep the overhead phase alive until the winner finishes its context
     // load; arrivals in between only join the queue.
     set_phase(Phase::overhead);
@@ -271,9 +337,22 @@ void SchedulerEngine::enter_running(Task& t) {
 }
 
 void SchedulerEngine::await_dispatch(Task& t) {
+    // `notified` tracks whether the grant was observed via an ev_run_ wake.
+    // A grant observed *synchronously* — this thread ran the scheduling pass
+    // itself (procedural kicked branch) or continued inline after a sync
+    // leave pass — yields one evaluate-sweep turn first, so the body starts
+    // at the runnable-queue position an immediate grant notify would have
+    // given it. Without this, a self-granted procedural task starts its
+    // body a sweep position earlier than the threaded engine's
+    // notify-granted equivalent, and same-instant task bodies on DIFFERENT
+    // processors interleave differently between the engines (found by the
+    // schedule-space explorer: a cross-CPU release/acquire race at the same
+    // instant resolved differently per engine).
+    bool notified = false;
     for (;;) {
         if (t.granted_) {
             t.granted_ = false;
+            if (!notified) k::Simulator::current().yield();
             break;
         }
         if (t.kicked_) {
@@ -291,6 +370,7 @@ void SchedulerEngine::await_dispatch(Task& t) {
             pass_runner_ = nullptr;
             dispatch_in_progress_ = false;
             if (t.killed_) throw k::ProcessKilled(t.name());
+            notified = false; // a self-grant by this pass is synchronous
             continue;
         }
         // A kill that landed while this thread was deferring its own leave
@@ -299,6 +379,7 @@ void SchedulerEngine::await_dispatch(Task& t) {
         // arrive, so unwind here.
         if (t.killed_) throw k::ProcessKilled(t.name());
         k::wait(t.ev_run_);
+        notified = true;
     }
     charge(OverheadKind::context_load, &t);
     enter_running(t);
@@ -404,9 +485,11 @@ bool SchedulerEngine::block_timed(Task& t, TaskState kind, k::Time timeout) {
     reschedule_after_leave(t, /*charge_save=*/true, /*sync=*/true);
 
     bool timed_out = false;
+    bool notified = false; // see await_dispatch: sync grants yield once
     for (;;) {
         if (t.granted_) {
             t.granted_ = false;
+            if (!notified) k::Simulator::current().yield();
             break;
         }
         if (t.kicked_) {
@@ -417,6 +500,7 @@ bool SchedulerEngine::block_timed(Task& t, TaskState kind, k::Time timeout) {
             pass_runner_ = nullptr;
             dispatch_in_progress_ = false;
             if (t.killed_) throw k::ProcessKilled(t.name());
+            notified = false;
             continue;
         }
         // See await_dispatch: a kill during this thread's own deferred leave
@@ -425,6 +509,7 @@ bool SchedulerEngine::block_timed(Task& t, TaskState kind, k::Time timeout) {
         if (t.state() != kind) {
             // Someone already delivered (made us ready): just await the grant.
             k::wait(t.ev_run_);
+            notified = true;
             continue;
         }
         const k::Time remaining =
@@ -434,7 +519,8 @@ bool SchedulerEngine::block_timed(Task& t, TaskState kind, k::Time timeout) {
             make_ready(t); // self wake-up, normal dispatch rules apply
             continue;
         }
-        (void)k::Simulator::current().wait(remaining, t.ev_run_);
+        notified = k::Simulator::current().wait(remaining, t.ev_run_) ==
+                   k::Process::WakeReason::event;
     }
     charge(OverheadKind::context_load, &t);
     enter_running(t);
@@ -578,11 +664,15 @@ void SchedulerEngine::kill(Task& t) {
                 if (owned_kick) {
                     // The victim was designated to execute an idle-dispatch
                     // pass that has not started yet: hand the kick to another
-                    // ready task, or drop the dispatch.
-                    if (!ready_.empty())
+                    // ready task, or drop the dispatch. Reads the queue front
+                    // outside a scheduling pass — tell the oracle the order
+                    // was consumed.
+                    if (!ready_.empty()) {
+                        if (oracle_) oracle_->on_order_consumed(processor_);
                         kick_idle_dispatch(*ready_.front());
-                    else
+                    } else {
                         dispatch_in_progress_ = false;
+                    }
                 }
             } else {
                 // Granted or mid-context-load: the dispatch decision is

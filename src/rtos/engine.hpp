@@ -37,6 +37,7 @@ class Relation;
 namespace rtsc::rtos {
 
 class EngineProbe;
+class ScheduleOracle;
 
 class SchedulerEngine {
 public:
@@ -122,6 +123,13 @@ public:
     /// leave-Running transition it causes. Callers only set it when a probe
     /// is installed, keeping the uninstrumented path write-free.
     void set_block_context(const mcse::Relation* r) noexcept { block_context_ = r; }
+
+    /// Install (or clear, with nullptr) the schedule-space oracle
+    /// (rtos/oracle.hpp): same-instant equal-rank ready-queue tie-breaks are
+    /// delegated to it instead of taking the pinned default. At most one per
+    /// engine; every hook site costs one branch when none is installed.
+    void set_schedule_oracle(ScheduleOracle* o) noexcept { oracle_ = o; }
+    [[nodiscard]] ScheduleOracle* schedule_oracle() const noexcept { return oracle_; }
 
 protected:
     // -- locus hooks: where the RTOS algorithm executes differs per engine --
@@ -245,7 +253,13 @@ protected:
     Task* pass_runner_ = nullptr;
     PhaseStats stats_;
     EngineProbe* probe_ = nullptr; ///< optional instrumentation, see set_probe
+    ScheduleOracle* oracle_ = nullptr; ///< optional tie-break oracle, see above
     const mcse::Relation* block_context_ = nullptr; ///< see set_block_context
+
+private:
+    /// push_ready with the oracle installed: compute the same-instant
+    /// equal-rank window around the default slot and let the oracle pick.
+    void push_ready_oracle(Task& t, bool front);
 };
 
 } // namespace rtsc::rtos

@@ -254,6 +254,7 @@ private:
     bool preempt_pending_ = false;
     PreemptReason preempt_reason_ = PreemptReason::none;
     bool entered_ready_preempted_ = false; ///< current Ready episode follows a preemption
+    kernel::Time ready_enqueued_at_{};     ///< written only under a ScheduleOracle
 
     // fault-tolerant lifecycle (see SchedulerEngine::kill / on_body_unwound)
     bool daemon_ = false;                ///< exempt from stall diagnostics

@@ -1,0 +1,265 @@
+// The nine pinned schedules of tests/rtos/test_rotation_equivalence.cpp,
+// run through the explorer's exhaustive mode: instead of checking only the
+// engines' pinned default tie-break, enumerate EVERY reachable same-instant
+// ready-queue resolution of each scenario and require all four legs
+// (threaded/procedural x skip-ahead on/off) to agree on the transition log
+// and the per-CPU decision stream under each one. The enumerated schedule
+// count per scenario is asserted exactly — stable across engines and
+// skip-ahead settings; a drift means the scenario's same-instant structure
+// changed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "fuzz/runner.hpp" // fnv1a
+#include "kernel/simulator.hpp"
+#include "rtos/policy.hpp"
+#include "rtos/processor.hpp"
+#include "rtos/task.hpp"
+
+#include "../rtos/recording.hpp"
+
+namespace k = rtsc::kernel;
+namespace r = rtsc::rtos;
+namespace ex = rtsc::explore;
+using rtsc::test::RecordingObserver;
+using namespace rtsc::kernel::time_literals;
+
+namespace {
+
+struct Scenario {
+    std::string name;
+    std::uint64_t schedules; ///< pinned exhaustive enumeration count
+    std::function<std::unique_ptr<r::SchedulingPolicy>()> policy;
+    std::function<void(r::Processor&)> build;
+};
+
+/// One leg: run the scenario with a replaying oracle; returns the
+/// transition log and fills the oracle's decision log.
+std::vector<std::string> run_leg(const Scenario& s, r::EngineKind kind,
+                                 bool skip_ahead, ex::TraceOracle& oracle) {
+    k::Simulator sim;
+    sim.set_skip_ahead(skip_ahead);
+    r::Processor cpu("cpu", s.policy(), kind);
+    cpu.engine().set_schedule_oracle(&oracle);
+    RecordingObserver rec;
+    cpu.add_observer(rec);
+    s.build(cpu);
+    sim.run();
+    return rec.strings();
+}
+
+/// RunCheck over a scenario: all four legs replay the same trace; a
+/// violation is any cross-leg disagreement (transition log, per-CPU
+/// decision stream) or a replay desync.
+ex::RunCheck scenario_check(const Scenario& s) {
+    return [&s](const ex::DecisionTrace& trace) {
+        struct Leg {
+            const char* name;
+            r::EngineKind kind;
+            bool skip;
+        };
+        static constexpr Leg legs[] = {
+            {"procedural/skip", r::EngineKind::procedure_calls, true},
+            {"threaded/skip", r::EngineKind::rtos_thread, true},
+            {"procedural/exact", r::EngineKind::procedure_calls, false},
+            {"threaded/exact", r::EngineKind::rtos_thread, false},
+        };
+        ex::RunOutcome out;
+        std::vector<std::string> base;
+        std::vector<std::string> base_rows;
+        for (std::size_t i = 0; i < 4; ++i) {
+            ex::TraceOracle oracle(&trace);
+            const auto log = run_leg(s, legs[i].kind, legs[i].skip, oracle);
+            if (!oracle.replay_ok() && !out.violation) {
+                out.violation = true;
+                out.diagnosis = std::string("replay desync on ") +
+                                legs[i].name + ": " + oracle.replay_error();
+            }
+            const auto rows = ex::decision_rows(oracle.log());
+            if (i == 0) {
+                base = log;
+                base_rows = rows;
+                out.log = oracle.take_log();
+            } else if (!out.violation) {
+                if (log != base) {
+                    out.violation = true;
+                    out.diagnosis = std::string("transition log of ") +
+                                    legs[i].name + " differs from " +
+                                    legs[0].name;
+                } else if (rows != base_rows) {
+                    out.violation = true;
+                    out.diagnosis = std::string("decision stream of ") +
+                                    legs[i].name + " differs from " +
+                                    legs[0].name;
+                }
+            }
+        }
+        std::uint64_t d = 1469598103934665603ull;
+        for (const auto& row : base) d = rtsc::fuzz::fnv1a(d, row);
+        out.digest = rtsc::fuzz::fnv1a(d, ex::to_text(trace));
+        return out;
+    };
+}
+
+std::vector<Scenario> scenarios() {
+    std::vector<Scenario> out;
+    out.push_back({"QuantumExpiryRotates", 6,
+                   [] { return std::make_unique<r::RoundRobinPolicy>(10_us); },
+                   [](r::Processor& cpu) {
+                       for (const char* name : {"A", "B", "C"})
+                           cpu.create_task({.name = name, .priority = 1},
+                                           [](r::Task& self) {
+                                               self.compute(25_us);
+                                           });
+                   }});
+    out.push_back({"LoneTaskQuantumExpiry", 1,
+                   [] { return std::make_unique<r::RoundRobinPolicy>(10_us); },
+                   [](r::Processor& cpu) {
+                       cpu.create_task({.name = "solo", .priority = 1},
+                                       [](r::Task& self) {
+                                           self.compute(35_us);
+                                       });
+                   }});
+    out.push_back({"SliceExpiryTiesWithArrival", 1,
+                   [] { return std::make_unique<r::RoundRobinPolicy>(10_us); },
+                   [](r::Processor& cpu) {
+                       cpu.create_task({.name = "A", .priority = 1},
+                                       [](r::Task& self) {
+                                           self.compute(15_us);
+                                       });
+                       cpu.create_task(
+                           {.name = "B", .priority = 1, .start_time = 10_us},
+                           [](r::Task& self) { self.compute(5_us); });
+                   }});
+    out.push_back({"RoundRobinBlockedLeaver", 2,
+                   [] { return std::make_unique<r::RoundRobinPolicy>(10_us); },
+                   [](r::Processor& cpu) {
+                       cpu.create_task({.name = "A", .priority = 1},
+                                       [](r::Task& self) {
+                                           self.compute(4_us);
+                                           self.sleep_for(2_us);
+                                           self.compute(4_us);
+                                       });
+                       cpu.create_task({.name = "B", .priority = 1},
+                                       [](r::Task& self) {
+                                           self.compute(8_us);
+                                       });
+                   }});
+    out.push_back({"EdfEqualDeadlines", 1,
+                   [] { return std::make_unique<r::EdfPolicy>(); },
+                   [](r::Processor& cpu) {
+                       auto& a = cpu.create_task({.name = "A", .priority = 1},
+                                                 [](r::Task& self) {
+                                                     self.compute(10_us);
+                                                 });
+                       a.set_absolute_deadline(100_us);
+                       auto& b = cpu.create_task(
+                           {.name = "B", .priority = 1, .start_time = 2_us},
+                           [](r::Task& self) { self.compute(10_us); });
+                       b.set_absolute_deadline(100_us);
+                   }});
+    out.push_back({"EdfDeadlineBeatsDeadlineLess", 1,
+                   [] { return std::make_unique<r::EdfPolicy>(); },
+                   [](r::Processor& cpu) {
+                       cpu.create_task({.name = "bg", .priority = 1},
+                                       [](r::Task& self) {
+                                           self.compute(20_us);
+                                       });
+                       auto& rt = cpu.create_task(
+                           {.name = "rt", .priority = 1, .start_time = 5_us},
+                           [](r::Task& self) { self.compute(4_us); });
+                       rt.set_absolute_deadline(12_us);
+                       cpu.create_task(
+                           {.name = "bg2", .priority = 1, .start_time = 6_us},
+                           [](r::Task& self) { self.compute(3_us); });
+                   }});
+    out.push_back({"EdfDeadlineLessFifo", 6,
+                   [] { return std::make_unique<r::EdfPolicy>(); },
+                   [](r::Processor& cpu) {
+                       for (const char* name : {"x", "y", "z"})
+                           cpu.create_task({.name = name, .priority = 1},
+                                           [](r::Task& self) {
+                                               self.compute(5_us);
+                                           });
+                   }});
+    out.push_back({"PriorityTieBreakFifo", 1,
+                   [] { return std::make_unique<r::PriorityPreemptivePolicy>(); },
+                   [](r::Processor& cpu) {
+                       cpu.create_task({.name = "low1", .priority = 2},
+                                       [](r::Task& self) {
+                                           self.compute(10_us);
+                                       });
+                       cpu.create_task(
+                           {.name = "low2", .priority = 2, .start_time = 1_us},
+                           [](r::Task& self) { self.compute(10_us); });
+                       cpu.create_task(
+                           {.name = "hi", .priority = 5, .start_time = 3_us},
+                           [](r::Task& self) { self.compute(2_us); });
+                   }});
+    out.push_back({"RotationUnderOverheads", 6,
+                   [] { return std::make_unique<r::RoundRobinPolicy>(10_us); },
+                   [](r::Processor& cpu) {
+                       cpu.set_overheads(
+                           {.scheduling = r::OverheadModel(500_ns),
+                            .context_load = r::OverheadModel(200_ns),
+                            .context_save = r::OverheadModel(200_ns)});
+                       for (const char* name : {"A", "B", "C"})
+                           cpu.create_task({.name = name, .priority = 1},
+                                           [](r::Task& self) {
+                                               self.compute(23_us);
+                                           });
+                   }});
+    return out;
+}
+
+} // namespace
+
+TEST(ExploreRotation, AllNineScenariosExhaustivelyEquivalent) {
+    for (const auto& s : scenarios()) {
+        SCOPED_TRACE(s.name);
+        ex::Bounds b;
+        b.collect_digests = true;
+        ex::Explorer e(scenario_check(s), b);
+        const ex::ExploreResult r = e.run();
+        EXPECT_FALSE(r.violation)
+            << r.diagnosis << "\ntrace: " << ex::to_text(r.counterexample);
+        EXPECT_TRUE(r.complete);
+        EXPECT_EQ(r.schedules, s.schedules)
+            << "enumerated schedule count drifted for " << s.name;
+    }
+}
+
+TEST(ExploreRotation, CountsAreSkipAheadAndEngineStable) {
+    // The pinned counts above come from the 4-leg check; additionally run
+    // the DFS against each single leg and require the same enumeration —
+    // neither the engine choice nor the fast path may change the decision
+    // structure the explorer sees.
+    const auto all = scenarios();
+    const Scenario& s = all[0]; // three-way rotation: the richest structure
+    for (const r::EngineKind kind :
+         {r::EngineKind::procedure_calls, r::EngineKind::rtos_thread}) {
+        for (const bool skip : {true, false}) {
+            ex::RunCheck one = [&](const ex::DecisionTrace& trace) {
+                ex::TraceOracle oracle(&trace);
+                const auto log = run_leg(s, kind, skip, oracle);
+                ex::RunOutcome out;
+                out.log = oracle.take_log();
+                std::uint64_t d = 1469598103934665603ull;
+                for (const auto& row : log) d = rtsc::fuzz::fnv1a(d, row);
+                out.digest = d;
+                return out;
+            };
+            ex::Explorer e(one, ex::Bounds{});
+            const ex::ExploreResult r = e.run();
+            EXPECT_TRUE(r.complete);
+            EXPECT_EQ(r.schedules, s.schedules)
+                << "leg kind=" << static_cast<int>(kind) << " skip=" << skip;
+        }
+    }
+}

@@ -100,6 +100,25 @@ TEST(FuzzSpec, RejectsMalformedInput) {
                  std::runtime_error);
 }
 
+TEST(FuzzSpec, RejectsOutOfRangeNumbers) {
+    // strtoull wraps "-1" to 2^64-1 without setting errno: a negative must
+    // fail loudly, not silently become a huge unsigned.
+    EXPECT_THROW((void)fuzz::from_text("model seed=-1 horizon=0"),
+                 std::runtime_error);
+    EXPECT_THROW((void)fuzz::from_text("model seed=+3 horizon=0"),
+                 std::runtime_error);
+    // Larger than 2^64: ERANGE path.
+    EXPECT_THROW(
+        (void)fuzz::from_text("model seed=99999999999999999999999 horizon=0"),
+        std::runtime_error);
+    // Trailing garbage after a valid prefix.
+    EXPECT_THROW((void)fuzz::from_text("model seed=12abc horizon=0"),
+                 std::runtime_error);
+    // Empty value.
+    EXPECT_THROW((void)fuzz::from_text("model seed= horizon=0"),
+                 std::runtime_error);
+}
+
 // --------------------------------------------------------------- runner
 
 TEST(FuzzRunner, EnginesAgreeOnSmokeSeeds) {

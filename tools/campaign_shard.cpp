@@ -18,6 +18,7 @@
 // scenarios, injections, timeout/retry config) — never on worker count,
 // crashes, interruption or resume.
 
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -89,9 +90,19 @@ struct Cli {
 
 [[nodiscard]] long num_arg(int argc, char** argv, int& i) {
     if (i + 1 >= argc) usage(2);
+    const char* s = argv[++i];
+    // errno must be cleared first: strtol reports overflow ONLY via ERANGE,
+    // returning LONG_MAX/LONG_MIN — without the check "99999999999999999999"
+    // silently became a clamped (or on 32-bit, wrapped) value. An empty
+    // string parses to 0 with *end == '\0', so require progress too.
+    errno = 0;
     char* end = nullptr;
-    const long v = std::strtol(argv[++i], &end, 10);
-    if (end == nullptr || *end != '\0' || v < 0) usage(2);
+    const long v = std::strtol(s, &end, 10);
+    if (errno != 0 || end == s || end == nullptr || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "campaign_shard: bad numeric argument for %s: '%s'\n",
+                     argv[i - 1], s);
+        usage(2);
+    }
     return v;
 }
 

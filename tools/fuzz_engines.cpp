@@ -20,6 +20,7 @@
 // --emit-test <path>, renders a self-contained GoogleTest regression file.
 // Exit status: 0 = all seeds equivalent, 1 = divergence found, 2 = usage.
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -66,7 +67,17 @@ void usage(const char* argv0) {
 }
 
 std::uint64_t parse_u64(const char* s) {
-    return std::strtoull(s, nullptr, 10);
+    // Reject signs (strtoull negates "-1" silently), garbage and overflow:
+    // a mistyped seed must fail loudly, not run a different sweep.
+    errno = 0;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(s, &end, 10);
+    if (*s == '\0' || s[0] == '-' || s[0] == '+' || errno != 0 ||
+        end == s || *end != '\0') {
+        std::fprintf(stderr, "fuzz_engines: bad number: '%s'\n", s);
+        std::exit(2);
+    }
+    return v;
 }
 
 /// Handle one confirmed divergence: report, shrink, persist artifacts.
@@ -275,8 +286,13 @@ int bench(const Options& opt) {
                 entry.speedup, entry.workers,
                 entry.digests_match ? "match" : "MISMATCH",
                 opt.bench.c_str());
-    const auto* div = serial.find("diverged");
-    (void)div;
+    // A scenario that crashed or threw never reported a `diverged` metric at
+    // all — a bench over failed runs is not a clean bench.
+    if (serial.failures() != 0 || parallel.failures() != 0) {
+        std::printf("bench campaign contained %zu failed scenarios\n",
+                    serial.failures() + parallel.failures());
+        return 1;
+    }
     for (const auto& m : entry.metrics)
         if (m.name == "diverged" && m.max != 0.0) {
             std::printf("bench campaign contained divergent seeds\n");
