@@ -11,12 +11,21 @@
 // attribution attached the cost stays small — the hooks do integer bucketing
 // and segment arithmetic, no allocation on the steady-state hot path.
 //
+// A fourth lane times the full live-telemetry stack: collector plus a
+// PerfettoStreamWriter spooling the trace to disk as the run progresses and
+// a MetricsSampler emitting counter tracks each simulated millisecond. Its
+// cost is dominated by sequential spool I/O (~80% over bare on this
+// dispatch-dense micro-workload; real scenarios with computation amortize
+// far better), so it gets its own gate: RTSC_OBS_STREAM_GATE_PCT,
+// defaulting to 10x the hook gate.
+//
 // The measured deltas land in BENCH_obs.json (same line-based entry format
 // as BENCH_campaign.json; path overridable with RTSC_BENCH_OBS_JSON).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -30,6 +39,8 @@
 #include "obs/attribution.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfetto_stream.hpp"
+#include "obs/sampler.hpp"
 #include "rtos/processor.hpp"
 
 namespace k = rtsc::kernel;
@@ -42,8 +53,12 @@ using namespace rtsc::kernel::time_literals;
 
 namespace {
 
-/// Instrumentation lanes, in increasing cost order.
-enum class Lane { bare, collector, attribution };
+/// Instrumentation lanes, in increasing cost order. `streaming` is the live
+/// telemetry stack: collector + PerfettoStreamWriter spooling to disk +
+/// MetricsSampler counter tracks.
+enum class Lane { bare, collector, attribution, streaming };
+
+constexpr const char* kStreamPath = "bench_obs_stream.tmp.perfetto-bench";
 
 /// Same token-ring + periodic-IRQ workload as bench_engine_compare, with an
 /// optional metrics collector (and optionally the attribution analyzer fed
@@ -63,6 +78,15 @@ std::uint64_t run_ring(r::EngineKind kind, int n_tasks, int rounds, Lane lane) {
         collector->attach(cpu);
         if (lane == Lane::attribution)
             collector->set_attribution(&attribution);
+    }
+    std::unique_ptr<o::PerfettoStreamWriter> writer;
+    std::unique_ptr<o::MetricsSampler> sampler;
+    if (lane == Lane::streaming) {
+        writer = std::make_unique<o::PerfettoStreamWriter>(kStreamPath);
+        writer->attach(cpu);
+        sampler = std::make_unique<o::MetricsSampler>(*writer);
+        sampler->attach(cpu);
+        sampler->start(sim);
     }
 
     std::vector<std::unique_ptr<m::Event>> ring;
@@ -98,7 +122,12 @@ std::uint64_t run_ring(r::EngineKind kind, int n_tasks, int rounds, Lane lane) {
     sim.spawn("starter", [&] { ring[0]->signal(); });
 
     sim.run_until(Time::ms(static_cast<Time::rep>(rounds) * 2u));
-    return cpu.engine().phase_stats().dispatches;
+    const std::uint64_t dispatches = cpu.engine().phase_stats().dispatches;
+    if (writer != nullptr) {
+        writer->finish();
+        std::remove(kStreamPath); // timing artifact only; do not accumulate
+    }
+    return dispatches;
 }
 
 void BM_Ring(benchmark::State& state, r::EngineKind kind, Lane lane) {
@@ -141,25 +170,28 @@ double time_once(r::EngineKind kind, Lane lane) {
 }
 
 struct LaneTimes {
-    std::vector<double> bare, coll, attr;
+    std::vector<double> bare, coll, attr, stream;
 };
 
 /// Warm-up runs first (cold caches and allocator growth otherwise land in
 /// whichever lane happens to run first), then the lanes interleaved per rep
-/// so slow monotonic drift (thermal, frequency scaling) biases all three
+/// so slow monotonic drift (thermal, frequency scaling) biases every lane
 /// equally instead of penalizing the lane timed last.
 LaneTimes time_lanes(r::EngineKind kind, int reps, int warmup) {
     LaneTimes t;
     for (int i = 0; i < warmup; ++i)
-        for (Lane lane : {Lane::bare, Lane::collector, Lane::attribution})
+        for (Lane lane : {Lane::bare, Lane::collector, Lane::attribution,
+                          Lane::streaming})
             benchmark::DoNotOptimize(run_ring(kind, 8, 200, lane));
     t.bare.reserve(static_cast<std::size_t>(reps));
     t.coll.reserve(static_cast<std::size_t>(reps));
     t.attr.reserve(static_cast<std::size_t>(reps));
+    t.stream.reserve(static_cast<std::size_t>(reps));
     for (int i = 0; i < reps; ++i) {
         t.bare.push_back(time_once(kind, Lane::bare));
         t.coll.push_back(time_once(kind, Lane::collector));
         t.attr.push_back(time_once(kind, Lane::attribution));
+        t.stream.push_back(time_once(kind, Lane::streaming));
     }
     return t;
 }
@@ -184,6 +216,9 @@ BENCHMARK_CAPTURE(BM_Ring, rtos_thread_collector, r::EngineKind::rtos_thread,
 BENCHMARK_CAPTURE(BM_Ring, rtos_thread_attribution, r::EngineKind::rtos_thread,
                   Lane::attribution)
     ->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Ring, procedural_streaming, r::EngineKind::procedure_calls,
+                  Lane::streaming)
+    ->Arg(8)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
     benchmark::Initialize(&argc, argv);
@@ -198,9 +233,12 @@ int main(int argc, char** argv) {
         run_ring(r::EngineKind::procedure_calls, 8, 200, Lane::collector);
     const std::uint64_t attr =
         run_ring(r::EngineKind::procedure_calls, 8, 200, Lane::attribution);
-    if (bare != coll || bare != attr) {
+    const std::uint64_t stream =
+        run_ring(r::EngineKind::procedure_calls, 8, 200, Lane::streaming);
+    if (bare != coll || bare != attr || bare != stream) {
         std::cerr << "BUG: instrumentation changed dispatch count (" << bare
-                  << " vs " << coll << " vs " << attr << ")\n";
+                  << " vs " << coll << " vs " << attr << " vs " << stream
+                  << ")\n";
         return 1;
     }
 
@@ -211,10 +249,13 @@ int main(int argc, char** argv) {
     const auto& bare_ms = t.bare;
     const auto& coll_ms = t.coll;
     const auto& attr_ms = t.attr;
+    const auto& stream_ms = t.stream;
     const double coll_delta_pct =
         (median(coll_ms) / median(bare_ms) - 1.0) * 100.0;
     const double attr_delta_pct =
         (median(attr_ms) / median(bare_ms) - 1.0) * 100.0;
+    const double stream_delta_pct =
+        (median(stream_ms) / median(bare_ms) - 1.0) * 100.0;
 
     std::cout << "\n=== observability hook overhead (procedural, 8 tasks, "
               << reps << " reps after " << warmup
@@ -224,6 +265,8 @@ int main(int argc, char** argv) {
               << coll_delta_pct << " %)\n"
               << "  attribution  median " << median(attr_ms) << " ms  ("
               << attr_delta_pct << " %)\n"
+              << "  streaming    median " << median(stream_ms) << " ms  ("
+              << stream_delta_pct << " %, incl. spool I/O + counter tracks)\n"
               << "  (no-sink configurations pay one untaken branch per hook "
                  "site; see docs/OBSERVABILITY.md)\n";
 
@@ -240,10 +283,13 @@ int main(int argc, char** argv) {
     entry.metrics.push_back(summarize("obs.bare_ms", bare_ms));
     entry.metrics.push_back(summarize("obs.collector_ms", coll_ms));
     entry.metrics.push_back(summarize("obs.attribution_ms", attr_ms));
+    entry.metrics.push_back(summarize("obs.streaming_ms", stream_ms));
     entry.metrics.push_back(
         summarize("obs.collector_delta_pct", {coll_delta_pct}));
     entry.metrics.push_back(
         summarize("obs.attribution_delta_pct", {attr_delta_pct}));
+    entry.metrics.push_back(
+        summarize("obs.streaming_delta_pct", {stream_delta_pct}));
 
     const char* path = std::getenv("RTSC_BENCH_OBS_JSON");
     c::write_bench_entry(path != nullptr ? path : "BENCH_obs.json", entry);
@@ -252,9 +298,13 @@ int main(int argc, char** argv) {
 
     // Perf-smoke gate for CI: RTSC_OBS_GATE_PCT=<limit> fails the run when
     // the attribution overhead exceeds the limit or the instrumentation
-    // changed simulated behaviour.
+    // changed simulated behaviour. The streaming lane pays real disk I/O,
+    // so it gates against RTSC_OBS_STREAM_GATE_PCT (default: 10x the limit).
     if (const char* gate = std::getenv("RTSC_OBS_GATE_PCT")) {
         const double limit = std::atof(gate);
+        const char* sgate = std::getenv("RTSC_OBS_STREAM_GATE_PCT");
+        const double stream_limit =
+            sgate != nullptr ? std::atof(sgate) : 10.0 * limit;
         int rc = 0;
         if (!entry.digests_match) {
             std::cerr << "GATE FAIL: instrumentation changed the dispatch "
@@ -266,9 +316,16 @@ int main(int argc, char** argv) {
                       << attr_delta_pct << " > " << limit << "\n";
             rc = 1;
         }
+        if (stream_delta_pct > stream_limit) {
+            std::cerr << "GATE FAIL: obs.streaming_delta_pct "
+                      << stream_delta_pct << " > " << stream_limit << "\n";
+            rc = 1;
+        }
         if (rc == 0)
             std::cout << "gate ok: attribution_delta_pct " << attr_delta_pct
-                      << " <= " << limit << ", digests match\n";
+                      << " <= " << limit << ", streaming_delta_pct "
+                      << stream_delta_pct << " <= " << stream_limit
+                      << ", digests match\n";
         return rc;
     }
     return 0;

@@ -13,8 +13,14 @@
 //
 // The seed-42 campaign run is additionally traced: crashes, watchdog
 // timeouts and deadline misses land as instant markers in
-// fault_tolerant_soc.perfetto.json (load it in ui.perfetto.dev).
+// fault_tolerant_soc.perfetto.json (load it in ui.perfetto.dev). The same
+// run is exported three ways: batch, streaming (…stream.perfetto.json,
+// canonically-sorted byte-identical to batch — CI checks), and live
+// (…live.perfetto.json) with sim-time counter tracks from a MetricsSampler
+// (per-CPU utilization / overhead share / ready depth, kernel delta cycles
+// and wheel state).
 #include <iostream>
+#include <memory>
 
 #include "fault/deadline_handler.hpp"
 #include "fault/fault_injector.hpp"
@@ -23,9 +29,12 @@
 #include "mcse/message_queue.hpp"
 #include "obs/attribution.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/perfetto_stream.hpp"
+#include "obs/sampler.hpp"
 #include "rtos/interrupt.hpp"
 #include "rtos/processor.hpp"
 #include "trace/constraints.hpp"
+#include "trace/marker.hpp"
 #include "trace/recorder.hpp"
 
 namespace k = rtsc::kernel;
@@ -55,6 +64,24 @@ Outcome run(std::uint64_t seed, bool inject, tr::Recorder* rec = nullptr) {
     if (rec != nullptr) rec->attach(cpu);
     rtsc::obs::Attribution attr;
     if (rec != nullptr) attr.attach(cpu);
+
+    // Streaming exports ride the same traced run: `stream` must end up
+    // event-equal to the batch export, `live` adds counter tracks sampled
+    // every 100 us of simulated time.
+    std::unique_ptr<rtsc::obs::PerfettoStreamWriter> stream, live;
+    std::unique_ptr<rtsc::obs::MetricsSampler> sampler;
+    if (rec != nullptr) {
+        stream = std::make_unique<rtsc::obs::PerfettoStreamWriter>(
+            "fault_tolerant_soc.stream.perfetto.json");
+        stream->attach(cpu);
+        live = std::make_unique<rtsc::obs::PerfettoStreamWriter>(
+            "fault_tolerant_soc.live.perfetto.json");
+        live->attach(cpu);
+        sampler = std::make_unique<rtsc::obs::MetricsSampler>(
+            *live, rtsc::obs::MetricsSampler::Options{.period = 100_us});
+        sampler->attach(cpu);
+        sampler->start(sim);
+    }
 
     r::InterruptLine sensor("sensor");
     sensor.set_max_pending(4); // a real line has a bounded latch
@@ -112,12 +139,18 @@ Outcome run(std::uint64_t seed, bool inject, tr::Recorder* rec = nullptr) {
         plan.task_crashes.push_back(
             {&control, 2_ms, /*restart=*/true, /*restart_delay=*/100_us});
     }
+    // Markers fan out to the recorder and both stream writers through one
+    // tee, so every export carries the same fault/watchdog/deadline instants.
+    tr::MarkerTee markers;
     if (rec != nullptr) {
-        watchdog.set_trace(rec);
-        handler.set_trace(rec);
+        markers.add(*rec);
+        markers.add(*stream);
+        markers.add(*live);
+        watchdog.set_trace(&markers);
+        handler.set_trace(&markers);
     }
     f::FaultInjector injector(sim, plan, seed);
-    if (rec != nullptr) injector.set_trace(rec);
+    if (rec != nullptr) injector.set_trace(&markers);
     injector.arm();
 
     sim.run_until(8_ms);
@@ -132,6 +165,8 @@ Outcome run(std::uint64_t seed, bool inject, tr::Recorder* rec = nullptr) {
                                        *rec,
                                        {.attribution = &attr,
                                         .misses = &misses});
+        stream->finish(&attr, &misses);
+        live->finish();
     }
 
     out.violations = monitor.violations().size();

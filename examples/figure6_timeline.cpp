@@ -2,7 +2,12 @@
 // functions (priorities 5/3/2) under priority-based preemptive scheduling,
 // all RTOS overheads set to 5 us. Prints the TimeLine chart with the (a),
 // (b), (c) overhead measurements the paper annotates, and exports the trace
-// as CSV, VCD and Perfetto JSON next to the binary.
+// as CSV, VCD and Perfetto JSON next to the binary — both through the
+// post-hoc batch exporter and the streaming bounded-memory one
+// (figure6.stream.perfetto.json), whose canonically-sorted event stream CI
+// checks byte-identical to the batch export. `--engine=threaded|procedural`
+// and `--skip-ahead=0|1` let CI sweep the full equivalence matrix.
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -10,6 +15,7 @@
 #include "mcse/event.hpp"
 #include "obs/attribution.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/perfetto_stream.hpp"
 #include "rtos/processor.hpp"
 #include "trace/csv.hpp"
 #include "trace/recorder.hpp"
@@ -23,19 +29,38 @@ namespace m = rtsc::mcse;
 namespace tr = rtsc::trace;
 using namespace rtsc::kernel::time_literals;
 
-int main() {
+int main(int argc, char** argv) {
+    r::EngineKind engine = r::EngineKind::procedure_calls;
+    bool skip_ahead = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--engine=threaded") == 0)
+            engine = r::EngineKind::rtos_thread;
+        else if (std::strcmp(argv[i], "--engine=procedural") == 0)
+            engine = r::EngineKind::procedure_calls;
+        else if (std::strcmp(argv[i], "--skip-ahead=0") == 0)
+            skip_ahead = false;
+        else if (std::strcmp(argv[i], "--skip-ahead=1") == 0)
+            skip_ahead = true;
+    }
+
     k::Simulator sim;
-    r::Processor cpu("Processor");
+    sim.set_skip_ahead(skip_ahead);
+    r::Processor cpu("Processor",
+                     std::make_unique<r::PriorityPreemptivePolicy>(), engine);
     cpu.set_overheads(r::RtosOverheads::uniform(5_us));
 
     tr::Recorder rec;
     rec.attach(cpu);
+    rtsc::obs::PerfettoStreamWriter stream("figure6.stream.perfetto.json");
+    stream.attach(cpu);
     rtsc::obs::Attribution attr;
     attr.attach(cpu);
     m::Event clk("Clk", m::EventPolicy::fugitive);
     m::Event event1("Event_1", m::EventPolicy::boolean);
     rec.attach(clk);
     rec.attach(event1);
+    stream.attach(clk);
+    stream.attach(event1);
 
     cpu.create_task({.name = "Function_1", .priority = 5}, [&](r::Task& self) {
         for (;;) {
@@ -84,8 +109,10 @@ int main() {
     tr::write_vcd(vcd, rec);
     rtsc::obs::write_perfetto_file("figure6.perfetto.json", rec,
                                    {.attribution = &attr});
-    std::cout << "\nwrote figure6_states.csv, figure6.vcd and "
-                 "figure6.perfetto.json (load in ui.perfetto.dev)\n";
+    stream.finish(&attr);
+    std::cout << "\nwrote figure6_states.csv, figure6.vcd, "
+                 "figure6.perfetto.json and figure6.stream.perfetto.json "
+                 "(load in ui.perfetto.dev)\n";
     std::cout << "per-job blame is embedded in the export — try:\n"
                  "  trace_query figure6.perfetto.json blame Function_2\n";
     return 0;

@@ -17,6 +17,7 @@
 
 #include "campaign/shard/checkpoint.hpp"
 #include "campaign/shard/protocol.hpp"
+#include "campaign/shard/status.hpp"
 #include "campaign/shard/worker.hpp"
 
 namespace rtsc::campaign::shard {
@@ -75,6 +76,14 @@ struct Run {
     std::vector<Retry> retries;
     std::size_t remaining = 0;
     std::size_t completed = 0;
+    std::size_t failed = 0;
+
+    // Live status: worker heartbeat deltas folded here (exactly once each),
+    // plus the coordinator's own counters. Snapshots of this registry feed
+    // the advisory status file; it never touches the report digest.
+    obs::MetricsRegistry live;
+    clock::time_point started{};
+    clock::time_point next_status{};
 
     Run(const ShardOptions& o, const std::vector<ScenarioSpec>& s)
         : opt(o), scenarios(s) {}
@@ -96,6 +105,7 @@ struct Run {
             for (ScenarioResult& r : load.results) {
                 const std::size_t i = r.index;
                 done[i] = true;
+                if (!r.ok) ++failed;
                 out.report.results[i] = std::move(r);
                 ++out.resumed;
                 ++completed;
@@ -213,6 +223,7 @@ struct Run {
                 next = s.deadline;
         for (const Retry& r : retries)
             if (r.ready_at < next) next = r.ready_at;
+        if (!opt.status_path.empty() && next_status < next) next = next_status;
         const auto ms = std::chrono::duration_cast<milliseconds>(next - now).count();
         return static_cast<int>(std::clamp<long long>(ms, 0, 500));
     }
@@ -224,9 +235,13 @@ struct Run {
         done[i] = true;
         --remaining;
         ++completed;
-        if (!r.ok) counter("shard.failures").inc();
-        out.metrics.histogram("shard.scenario_wall_us")
-            .record(static_cast<std::uint64_t>(r.wall_ms * 1000.0));
+        if (!r.ok) {
+            ++failed;
+            counter("shard.failures").inc();
+        }
+        const auto wall_us = static_cast<std::uint64_t>(r.wall_ms * 1000.0);
+        out.metrics.histogram("shard.scenario_wall_us").record(wall_us);
+        live.histogram("shard.scenario_wall_us").record(wall_us);
         out.report.results[i] = std::move(r);
         if (writer.is_open()) {
             if (writer.append(out.report.results[i]))
@@ -355,6 +370,17 @@ struct Run {
             if (!done[r.index]) finish_scenario(std::move(r));
             return;
         }
+        case MsgType::status: {
+            // Heartbeat: the delta since the worker's previous status frame.
+            // Merge exactly once into the live registry; a frame that fails
+            // to decode is dropped (status is advisory, not worth a kill).
+            obs::MetricsRegistry reg;
+            if (decode_registry(frame.payload, reg)) {
+                live.merge(reg);
+                ++out.heartbeats;
+            }
+            return;
+        }
         case MsgType::metrics: {
             obs::MetricsRegistry reg;
             if (drain_phase && !slot.metrics_merged &&
@@ -394,12 +420,46 @@ struct Run {
                 handle_death(slot, /*killed_for_timeout=*/true);
     }
 
+    // -- status ------------------------------------------------------------
+
+    void write_status(bool final_snapshot) {
+        if (opt.status_path.empty()) return;
+        StatusSnapshot s;
+        s.done = final_snapshot;
+        s.seed = opt.seed;
+        s.scenarios = scenarios.size();
+        s.completed = completed;
+        s.failed = failed;
+        s.in_flight = static_cast<std::size_t>(std::count_if(
+            slots.begin(), slots.end(),
+            [](const Slot& sl) { return sl.alive() && sl.busy; }));
+        s.resumed = out.resumed;
+        s.retries = out.retries;
+        s.crashes = out.crashes;
+        s.timeouts = out.timeouts;
+        s.workers_live = static_cast<std::size_t>(std::count_if(
+            slots.begin(), slots.end(),
+            [](const Slot& sl) { return sl.alive(); }));
+        s.heartbeats = out.heartbeats;
+        s.elapsed_ms = elapsed_ms(started);
+        s.live = &live;
+        if (!write_status_file(opt.status_path, status_to_json(s)))
+            counter("shard.status_write_failures").inc();
+    }
+
+    void maybe_write_status(clock::time_point now) {
+        if (opt.status_path.empty() || now < next_status) return;
+        next_status = now + opt.status_period;
+        write_status(/*final_snapshot=*/false);
+    }
+
     // -- phases ------------------------------------------------------------
 
     void execute() {
         while (remaining > 0) {
             ensure_workers();
             clock::time_point now = clock::now();
+            maybe_write_status(now);
             assign_ready(now);
             if (remaining == 0) break; // assign's send failure may finish it
             poll_and_service(poll_timeout(now), /*drain_phase=*/false);
@@ -454,6 +514,13 @@ ShardOutcome ShardCoordinator::run(const std::vector<ScenarioSpec>& scenarios) c
     for (std::size_t i = 0; i < scenarios.size(); ++i)
         if (!run.done[i]) run.fresh.push_back(i);
 
+    // First status snapshot before any worker is spawned, so a watcher sees
+    // the campaign the moment it starts; then one per status_period from
+    // the poll loop; then the final "done" snapshot below.
+    run.started = t0;
+    run.next_status = t0 + run.opt.status_period;
+    run.write_status(/*final_snapshot=*/false);
+
     if (run.remaining > 0) {
         run.execute();
         run.drain();
@@ -461,6 +528,7 @@ ShardOutcome ShardCoordinator::run(const std::vector<ScenarioSpec>& scenarios) c
     run.writer.close();
 
     run.out.report.wall_ms = elapsed_ms(t0);
+    run.write_status(/*final_snapshot=*/true);
     return std::move(run.out);
 }
 

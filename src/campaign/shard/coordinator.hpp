@@ -64,6 +64,12 @@ struct ShardOptions {
     /// thread. Resumed scenarios are counted in `completed` but not
     /// re-fired.
     std::function<void(const Progress&)> on_progress;
+    /// In-flight status file (status.hpp): written atomically on every
+    /// status_period of wall clock, plus once at campaign start and a final
+    /// "done": true snapshot after the drain. Empty disables status output.
+    /// Snapshots are advisory; the report digest never depends on them.
+    std::string status_path;
+    std::chrono::milliseconds status_period{500};
 };
 
 struct ShardOutcome {
@@ -77,6 +83,7 @@ struct ShardOutcome {
     std::size_t crashes = 0;  ///< worker deaths not caused by our SIGKILL
     std::size_t timeouts = 0; ///< deadline SIGKILLs
     std::size_t retries = 0;  ///< re-assignments after a failed attempt
+    std::uint64_t heartbeats = 0; ///< worker status frames folded live
 };
 
 class ShardCoordinator {

@@ -195,7 +195,7 @@ namespace {
 
 [[nodiscard]] bool valid_type(std::uint8_t t) noexcept {
     return t >= static_cast<std::uint8_t>(MsgType::hello) &&
-           t <= static_cast<std::uint8_t>(MsgType::shutdown);
+           t <= static_cast<std::uint8_t>(MsgType::status);
 }
 
 [[nodiscard]] bool send_all(int fd, const std::uint8_t* p, std::size_t n) {

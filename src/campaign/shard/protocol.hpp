@@ -15,8 +15,14 @@
 //   worker -> coordinator   hello    {version, pid}        once, on start
 //   coordinator -> worker   assign   {scenario index}
 //   worker -> coordinator   result   {ScenarioResult}      one per assign
+//   worker -> coordinator   status   {MetricsRegistry}     heartbeat after
+//                                    each result: the *delta* since the
+//                                    worker's previous status frame, so the
+//                                    coordinator merges every frame exactly
+//                                    once into its live registry
 //   coordinator -> worker   shutdown {}                    end of campaign
-//   worker -> coordinator   metrics  {MetricsRegistry}     reply, then exit
+//   worker -> coordinator   metrics  {MetricsRegistry}     cumulative total,
+//                                    reply to shutdown, then exit
 //
 // Robustness rules: writes use MSG_NOSIGNAL (a dead peer yields EPIPE, not
 // SIGPIPE), reads tolerate partial delivery, and every decode is
@@ -32,7 +38,7 @@
 
 namespace rtsc::campaign::shard {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Upper bound on one frame's payload — far above any real result, small
 /// enough that a corrupt length prefix cannot trigger a giant allocation.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
@@ -43,6 +49,7 @@ enum class MsgType : std::uint8_t {
     result = 3,
     metrics = 4,
     shutdown = 5,
+    status = 6,
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,80 @@
+#pragma once
+// In-flight campaign status: a machine-readable snapshot of a running
+// sharded campaign, written atomically to a JSON file the coordinator
+// refreshes on a wall-clock period (ShardOptions::status_path /
+// status_period) and tools/campaign_top renders live.
+//
+// Contract: snapshots are *advisory* — they reflect wall-clock progress
+// (throughput, ETA, live latency percentiles folded from worker heartbeat
+// deltas) and may differ between two runs of the same campaign. The final
+// report digest never depends on them; it stays bit-identical to
+// CampaignRunner's regardless of status files, heartbeats, worker count,
+// crashes or resume (tests/campaign/test_shard_status.cpp pins this).
+//
+// File format: one strict-JSON object (parses with obs/json.hpp):
+//
+//   {
+//     "done": false,            // true exactly once, in the final snapshot
+//     "seed": 2026,
+//     "scenarios": 40,          // campaign size
+//     "completed": 12,          // terminal scenarios (ok + failed)
+//     "failed": 1,
+//     "in_flight": 4,           // assigned, no terminal result yet
+//     "resumed": 0,             // restored from the checkpoint journal
+//     "retries": 1,
+//     "crashes": 1,
+//     "timeouts": 0,
+//     "workers_live": 4,
+//     "heartbeats": 11,         // worker status frames folded so far
+//     "elapsed_ms": 1234.5,
+//     "throughput_per_s": 9.7,  // terminal results this run / elapsed
+//     "eta_ms": 2887.1,         // remaining / throughput; -1 when unknown
+//     "scenario_wall_us": {"count": C, "p50": …, "p90": …, "p99": …,
+//                          "max": …},
+//     "metrics": {"name": value, …}   // flattened live-registry snapshot
+//   }
+//
+// Writes go to `path + ".tmp"` followed by an atomic std::rename, so a
+// reader never observes a torn file — either the previous snapshot or the
+// new one.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace rtsc::campaign::shard {
+
+struct StatusSnapshot {
+    bool done = false;
+    std::uint64_t seed = 0;
+    std::size_t scenarios = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t in_flight = 0;
+    std::size_t resumed = 0;
+    std::size_t retries = 0;
+    std::size_t crashes = 0;
+    std::size_t timeouts = 0;
+    std::size_t workers_live = 0;
+    std::uint64_t heartbeats = 0;
+    double elapsed_ms = 0;
+    /// Live registry: coordinator shard.* metrics plus every worker
+    /// heartbeat delta folded in with MetricsRegistry::merge.
+    const obs::MetricsRegistry* live = nullptr;
+};
+
+/// Render the snapshot as one strict-JSON object (trailing newline).
+/// Throughput and ETA are derived here: terminal results this run (completed
+/// minus resumed) over elapsed wall time; eta_ms is -1 until the first
+/// terminal result. Non-finite doubles render as -1 (strict JSON has no
+/// Infinity/NaN).
+[[nodiscard]] std::string status_to_json(const StatusSnapshot& s);
+
+/// Write `content` to `path` atomically: `path + ".tmp"` then std::rename.
+/// Returns false on any I/O failure (the previous snapshot survives).
+[[nodiscard]] bool write_status_file(const std::string& path,
+                                     const std::string& content);
+
+} // namespace rtsc::campaign::shard

@@ -12,11 +12,17 @@ int shard_worker_main(int fd, const std::vector<ScenarioSpec>& scenarios,
     // Per-worker observability, merged coordinator-side on clean shutdown
     // (MetricsRegistry::merge — histograms merge exactly). Everything here
     // is host-side measurement, never part of the report digest.
-    obs::MetricsRegistry reg;
-    obs::Counter& n_run = reg.counter("shard.worker.scenarios_run");
-    obs::Counter& n_failed = reg.counter("shard.worker.scenarios_failed");
-    obs::Histogram& wall_us = reg.histogram("shard.worker.scenario_wall_us");
-    obs::Histogram& result_bytes = reg.histogram("shard.worker.result_bytes");
+    //
+    // Two registries: everything is recorded into `delta`, which is shipped
+    // as a status heartbeat after each result and then folded into `total`
+    // and reset. The coordinator thus merges every sample exactly once into
+    // its live view, while the cumulative `total` shipped on shutdown keeps
+    // the final ShardOutcome metrics identical to the pre-heartbeat path.
+    obs::MetricsRegistry total, delta;
+    // The cumulative registry always carries the full worker catalogue, so
+    // a clean run still reports scenarios_failed = 0 instead of omitting it.
+    (void)total.counter("shard.worker.scenarios_run");
+    (void)total.counter("shard.worker.scenarios_failed");
 
     {
         Encoder hello;
@@ -40,17 +46,27 @@ int shard_worker_main(int fd, const std::vector<ScenarioSpec>& scenarios,
             const ScenarioResult result =
                 run_scenario(scenarios[i], i, campaign_seed);
 
-            n_run.inc();
-            if (!result.ok) n_failed.inc();
-            wall_us.record(static_cast<std::uint64_t>(result.wall_ms * 1000.0));
+            delta.counter("shard.worker.scenarios_run").inc();
+            if (!result.ok)
+                delta.counter("shard.worker.scenarios_failed").inc();
+            delta.histogram("shard.worker.scenario_wall_us")
+                .record(static_cast<std::uint64_t>(result.wall_ms * 1000.0));
             const std::vector<std::uint8_t> payload = encode_result(result);
-            result_bytes.record(payload.size());
+            delta.histogram("shard.worker.result_bytes").record(payload.size());
             if (!send_frame(fd, MsgType::result, payload)) return 2;
+            // Heartbeat: ship the delta registry, then fold it into the
+            // cumulative total and start a fresh delta.
+            if (!send_frame(fd, MsgType::status, encode_registry(delta)))
+                return 2;
+            total.merge(delta);
+            delta.clear();
             break;
         }
         case MsgType::shutdown:
-            // Final act: ship the per-worker metrics, then exit cleanly.
-            (void)send_frame(fd, MsgType::metrics, encode_registry(reg));
+            // Final act: ship the cumulative per-worker metrics (any
+            // unshipped delta included), then exit cleanly.
+            total.merge(delta);
+            (void)send_frame(fd, MsgType::metrics, encode_registry(total));
             return 0;
         default:
             return 3; // coordinator never sends anything else

@@ -5,7 +5,7 @@
 #include "kernel/simulator.hpp"
 #include "rtos/processor.hpp"
 #include "rtos/task.hpp"
-#include "trace/recorder.hpp"
+#include "trace/marker.hpp"
 
 namespace rtsc::fault {
 

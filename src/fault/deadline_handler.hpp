@@ -21,7 +21,7 @@ namespace rtsc::kernel {
 class Process;
 }
 namespace rtsc::trace {
-class Recorder;
+class MarkerSink;
 }
 
 namespace rtsc::fault {
@@ -49,7 +49,7 @@ public:
     /// Record every handled miss as an instant marker ("deadline" category)
     /// in `rec`. Pass nullptr to detach. The recorder must outlive the
     /// handler.
-    void set_trace(trace::Recorder* rec) noexcept { trace_ = rec; }
+    void set_trace(trace::MarkerSink* rec) noexcept { trace_ = rec; }
 
 private:
     struct Entry {
@@ -66,7 +66,7 @@ private:
     std::deque<Entry> pending_;
     kernel::Event wake_;
     kernel::Process* agent_ = nullptr;
-    trace::Recorder* trace_ = nullptr;
+    trace::MarkerSink* trace_ = nullptr;
     std::uint64_t handled_ = 0;
     std::uint64_t unhandled_ = 0;
     std::uint64_t kills_ = 0;

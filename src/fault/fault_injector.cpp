@@ -8,7 +8,7 @@
 #include "rtos/interrupt.hpp"
 #include "rtos/processor.hpp"
 #include "rtos/task.hpp"
-#include "trace/recorder.hpp"
+#include "trace/marker.hpp"
 
 namespace rtsc::fault {
 

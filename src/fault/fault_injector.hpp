@@ -23,7 +23,7 @@ namespace rtsc::kernel {
 class Simulator;
 }
 namespace rtsc::trace {
-class Recorder;
+class MarkerSink;
 }
 
 namespace rtsc::fault {
@@ -57,7 +57,7 @@ public:
     /// message losses) as instant markers ("fault" category) in `rec`. Call
     /// before arm(); pass nullptr to detach. The recorder must outlive the
     /// injector.
-    void set_trace(trace::Recorder* rec) noexcept { trace_ = rec; }
+    void set_trace(trace::MarkerSink* rec) noexcept { trace_ = rec; }
 
 private:
     /// One deterministic stream per plan entry, derived from the campaign
@@ -76,7 +76,7 @@ private:
     std::uint64_t seed_;
     bool armed_ = false;
     Counters counters_;
-    trace::Recorder* trace_ = nullptr;
+    trace::MarkerSink* trace_ = nullptr;
     /// RNG streams referenced by the installed hooks; stable addresses.
     std::vector<std::unique_ptr<std::mt19937_64>> streams_;
 };

@@ -22,7 +22,7 @@ namespace rtsc::rtos {
 class Task;
 }
 namespace rtsc::trace {
-class Recorder;
+class MarkerSink;
 }
 
 namespace rtsc::fault {
@@ -47,7 +47,7 @@ public:
 
     /// Record every timeout as an instant marker ("watchdog" category) in
     /// `rec`. Pass nullptr to detach. The recorder must outlive the watchdog.
-    void set_trace(trace::Recorder* rec) noexcept { trace_ = rec; }
+    void set_trace(trace::MarkerSink* rec) noexcept { trace_ = rec; }
 
 private:
     void body();
@@ -60,7 +60,7 @@ private:
     kernel::Time last_beat_{};
     std::uint64_t timeouts_ = 0;
     kernel::Process* proc_ = nullptr;
-    trace::Recorder* trace_ = nullptr;
+    trace::MarkerSink* trace_ = nullptr;
 };
 
 } // namespace rtsc::fault

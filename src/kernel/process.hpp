@@ -53,6 +53,16 @@ public:
     void set_daemon(bool on) noexcept { daemon_ = on; }
     [[nodiscard]] bool daemon() const noexcept { return daemon_; }
 
+    /// Background processes never keep an *open-ended* run() alive: their
+    /// timed waits are not counted as pending work, so a simulation whose
+    /// only future activity is background heartbeats (obs::MetricsSampler)
+    /// goes dry instead of ticking forever. run_until() is unaffected —
+    /// with an explicit horizon, background processes run to the horizon.
+    /// Distinct from daemon: the threaded engine's RTOS kernel process is a
+    /// daemon (exempt from stall diagnostics) yet does real scheduling work.
+    void set_background(bool on) noexcept { background_ = on; }
+    [[nodiscard]] bool background() const noexcept { return background_; }
+
     /// A kill has been requested but the ProcessKilled unwind has not run
     /// yet (the process terminates at its next resumption).
     [[nodiscard]] bool kill_requested() const noexcept { return kill_requested_; }
@@ -76,12 +86,14 @@ private:
     bool terminated_ = false;
     bool runnable_ = false;              ///< already queued for execution
     bool daemon_ = false;                ///< excluded from stall diagnostics
+    bool background_ = false;            ///< timed waits aren't live work
     bool kill_requested_ = false;        ///< throw ProcessKilled on next resume
     std::uint64_t activations_ = 0;
 
     // --- wait bookkeeping (owned by Simulator) ---
     std::vector<Event*> waiting_on_;     ///< events this process is registered with
     bool timeout_armed_ = false;
+    bool timeout_counted_ = false;       ///< armed timeout counted as live work
     std::uint64_t timeout_seq_ = 0;      ///< invalidates stale zero-waiter entries
     TimingWheel::Handle timeout_handle_; ///< wheel entry of the armed timeout
     WakeReason wake_reason_ = WakeReason::none;

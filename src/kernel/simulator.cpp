@@ -1,6 +1,8 @@
 #include "kernel/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <type_traits>
 #include <utility>
 
 namespace rtsc::kernel {
@@ -151,7 +153,10 @@ void Simulator::next_trigger(Event& e) {
 void Simulator::schedule_timed(Event& e, Time at) {
     // Rescheduling earlier: the previous wheel entry is cancelled through
     // its handle, never left to go stale.
-    if (e.timed_handle_.valid()) wheel_.cancel(e.timed_handle_);
+    if (e.timed_handle_.valid())
+        wheel_.cancel(e.timed_handle_);
+    else
+        ++live_timed_; // a reschedule is already counted
     e.timed_handle_ = wheel_.insert(at, now_, order_counter_++,
                                     TimingWheel::Kind::event_notify, &e, nullptr);
 }
@@ -160,6 +165,7 @@ void Simulator::cancel_timed(Event& e) noexcept {
     if (e.timed_handle_.valid()) {
         wheel_.cancel(e.timed_handle_);
         e.timed_handle_.reset();
+        --live_timed_;
     }
 }
 
@@ -212,6 +218,10 @@ void Simulator::clear_wait_state(Process& p) {
     if (p.timeout_armed_) {
         ++p.timeout_seq_; // invalidates a zero-waiter entry, if any
         p.timeout_armed_ = false;
+        if (p.timeout_counted_) {
+            p.timeout_counted_ = false;
+            --live_timed_;
+        }
         if (hot_.proc == &p) {
             hot_.proc = nullptr; // staged: dropped in place, no tombstone
         } else if (p.timeout_handle_.valid()) {
@@ -226,6 +236,12 @@ void Simulator::arm_timeout(Process& p, Time timeout) {
     p.timeout_armed_ = true;
     const Time at = now_ + timeout; // saturating: Time::max() means "never"
     if (at == Time::max()) return;  // no wheel entry: the timeout cannot fire
+    if (!p.background_) {
+        // Snapshot the background flag at arm time: toggling it while the
+        // timeout is in flight must not unbalance the live-work count.
+        p.timeout_counted_ = true;
+        ++live_timed_;
+    }
     if (skip_ahead_) {
         // Stage the newest timeout; in the dominant compute/charge pattern
         // it is also the next to fire and never touches the wheel.
@@ -374,6 +390,10 @@ bool Simulator::advance_time(Time limit) {
                 deltas_this_instant_ = 0;
             }
             p->timeout_armed_ = false;
+            if (p->timeout_counted_) {
+                p->timeout_counted_ = false;
+                --live_timed_;
+            }
             wake(*p, Process::WakeReason::timeout, nullptr);
             return true;
         }
@@ -393,10 +413,15 @@ bool Simulator::advance_time(Time limit) {
         if (f.kind == TimingWheel::Kind::event_notify) {
             f.ev->timed_handle_.reset();
             f.ev->pending_ = Event::Pending::none;
+            --live_timed_;
             trigger(*f.ev);
         } else {
             f.proc->timeout_handle_.reset();
             f.proc->timeout_armed_ = false;
+            if (f.proc->timeout_counted_) {
+                f.proc->timeout_counted_ = false;
+                --live_timed_;
+            }
             wake(*f.proc, Process::WakeReason::timeout, nullptr);
         }
     }
@@ -502,12 +527,39 @@ void Simulator::run_loop(Time limit) {
     }
     running_ = true;
     stop_requested_ = false;
+    // Host self-profiling wraps each phase in two steady_clock reads; the
+    // timed wrapper compiles down to the plain call when disabled. It must
+    // not perturb the phase sequencing in any way — only measure it.
+    const auto timed = [this](auto&& phase, std::uint64_t& acc) {
+        if (!host_profiling_) return phase();
+        const auto t0 = std::chrono::steady_clock::now();
+        using R = decltype(phase());
+        if constexpr (std::is_void_v<R>) {
+            phase();
+            acc += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+        } else {
+            R r = phase();
+            acc += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            return r;
+        }
+    };
     try {
         while (!stop_requested_) {
             if (runnable_.empty() && delta_pending_.empty() && zero_waiters_.empty()) {
-                if (!advance_time(limit)) break;
+                // Open-ended run: background heartbeats alone are not work.
+                // An explicit run_until() horizon keeps them ticking to it.
+                if (limit == Time::max() && live_timed_ == 0) break;
+                if (!timed([&] { return advance_time(limit); },
+                           host_profile_.advance_ns))
+                    break;
             }
-            evaluate_phase();
+            timed([&] { evaluate_phase(); }, host_profile_.evaluate_ns);
             if (skip_ahead_ && update_requests_.empty() &&
                 delta_pending_.empty() && zero_waiters_.empty()) {
                 // Skip-ahead: the update and delta-notification phases have
@@ -520,8 +572,8 @@ void Simulator::run_loop(Time limit) {
                 ++deltas_this_instant_;
                 continue;
             }
-            update_phase();
-            delta_notify_phase();
+            timed([&] { update_phase(); }, host_profile_.update_ns);
+            timed([&] { delta_notify_phase(); }, host_profile_.delta_notify_ns);
         }
     } catch (...) {
         running_ = false;

@@ -145,6 +145,26 @@ public:
         return wheel_.compactions();
     }
 
+    // ---- host self-profiling ----
+
+    /// Wall-clock cost of the kernel's own phases, accumulated while
+    /// set_host_profiling(true). Purely host-side: enabling it never changes
+    /// simulated behaviour (the skip-ahead branch, delta counters and every
+    /// trace observable stay bit-identical), it only adds two steady_clock
+    /// reads around each phase. Off by default — one untaken branch per
+    /// phase — because wall-clock readings are inherently nondeterministic.
+    struct HostProfile {
+        std::uint64_t evaluate_ns = 0;     ///< evaluate phases
+        std::uint64_t update_ns = 0;       ///< update phases
+        std::uint64_t delta_notify_ns = 0; ///< delta-notification phases
+        std::uint64_t advance_ns = 0;      ///< timed-queue advances
+    };
+    void set_host_profiling(bool on) noexcept { host_profiling_ = on; }
+    [[nodiscard]] bool host_profiling() const noexcept { return host_profiling_; }
+    [[nodiscard]] const HostProfile& host_profile() const noexcept {
+        return host_profile_;
+    }
+
     // ---- skip-ahead fast path ----
 
     /// Toggle the skip-ahead fast path for this simulator: empty update/
@@ -220,6 +240,13 @@ private:
 
     Time now_{};
     std::uint64_t order_counter_ = 0;
+    /// Timed entries that count as live work: every pending timed event
+    /// notification plus armed timeouts of non-background processes. When
+    /// an open-ended run() finds nothing runnable and this is zero, the
+    /// simulation is dry — background heartbeats (obs::MetricsSampler)
+    /// alone never keep it alive. run_until() ignores it: an explicit
+    /// horizon means background processes run to the horizon.
+    std::size_t live_timed_ = 0;
     std::uint64_t delta_count_ = 0;
     std::uint64_t deltas_this_instant_ = 0;
     std::uint64_t max_deltas_per_instant_ = 1'000'000;
@@ -227,9 +254,11 @@ private:
     bool stop_requested_ = false;
     bool running_ = false;
     bool deadlock_detection_ = false;
+    bool host_profiling_ = false;
     bool skip_ahead_ = true;            ///< initialised from the static default
     int trigger_depth_ = 0;             ///< guards the trigger scratch buffer
     StallReport stall_report_;
+    HostProfile host_profile_;
 
     std::vector<std::unique_ptr<Process>> processes_;
     std::vector<Process*> runnable_;

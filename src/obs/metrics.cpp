@@ -1,14 +1,21 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <stdexcept>
 
 namespace rtsc::obs {
 
 void Histogram::merge(const Histogram& other) {
     if (other.count_ == 0) return;
     if (buckets_.empty()) buckets_.resize(kBuckets, 0);
-    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
-        buckets_[i] += other.buckets_[i];
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+        // Saturating add: a u32 bucket overflowing (4 billion samples in one
+        // ±6% band) pins at max instead of wrapping to a tiny count, which
+        // would silently shift every quantile estimate downward.
+        const std::uint32_t s = buckets_[i] + other.buckets_[i];
+        buckets_[i] = s < buckets_[i] ? UINT32_MAX : s;
+    }
     if (count_ == 0 || other.min_ < min_) min_ = other.min_;
     if (other.max_ > max_) max_ = other.max_;
     sum_ += other.sum_;
@@ -70,6 +77,10 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name) const 
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+    if (&other == this)
+        throw std::logic_error(
+            "MetricsRegistry::merge: merging a registry into itself would "
+            "double every metric");
     for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
     for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
     for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);

@@ -145,7 +145,8 @@ public:
     /// sum/count combine, so the merged histogram is bit-identical — buckets
     /// and every derived quantile — to one that recorded both sample
     /// streams itself. This is what makes per-worker shard metrics safe to
-    /// aggregate without any loss.
+    /// aggregate without any loss. Bucket adds saturate at UINT32_MAX
+    /// rather than wrapping.
     void merge(const Histogram& other);
 
     /// Raw bucket counts (empty until the first record()).
@@ -214,7 +215,10 @@ public:
     /// counters and histograms combine exactly (see Histogram::merge),
     /// gauges combine min/max/sum/samples. Metrics present only in `other`
     /// are copied. The shard coordinator uses this to aggregate per-worker
-    /// registries into one campaign-wide registry.
+    /// registries into one campaign-wide registry; workers ship *deltas*
+    /// per heartbeat precisely so each sample is merged exactly once —
+    /// merging the same cumulative snapshot twice doubles every counter.
+    /// Throws std::logic_error on self-merge (&other == this).
     void merge(const MetricsRegistry& other);
 
     void clear() {

@@ -1,15 +1,11 @@
 #include "obs/perfetto.hpp"
 
 #include <cstdint>
-#include <cstdio>
 #include <fstream>
-#include <map>
 #include <ostream>
-#include <sstream>
 
 #include "kernel/report.hpp"
-#include "rtos/dvfs.hpp"
-#include "trace/csv.hpp"
+#include "obs/perfetto_format.hpp"
 #include "trace/timeline.hpp"
 
 namespace rtsc::obs {
@@ -45,6 +41,8 @@ std::string json_escape(std::string_view s) {
 namespace {
 
 /// Serialises one event per raw() call, handling the comma/newline plumbing.
+/// Event strings themselves come from obs::pfmt so the streaming writer
+/// emits identical bytes.
 class EventStream {
 public:
     EventStream(std::ostream& os, bool one_per_line)
@@ -59,48 +57,6 @@ public:
         os_ << event;
     }
 
-    void meta_process(int pid, std::string_view name) {
-        std::ostringstream e;
-        e << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
-          << ", \"tid\": 0, \"args\": {\"name\": \"" << json_escape(name)
-          << "\"}}";
-        raw(e.str());
-    }
-
-    void meta_thread(int pid, int tid, std::string_view name) {
-        std::ostringstream e;
-        e << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
-          << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
-          << json_escape(name) << "\"}}";
-        raw(e.str());
-    }
-
-    /// Complete slice ("X"). `args_json` is a full {"k": v} object or empty.
-    void slice(int pid, int tid, k::Time at, k::Time dur, std::string_view cat,
-               std::string_view name, const std::string& args_json = {}) {
-        std::ostringstream e;
-        e << "{\"name\": \"" << json_escape(name) << "\", \"cat\": \""
-          << json_escape(cat) << "\", \"ph\": \"X\", \"ts\": "
-          << trace::format_us(at) << ", \"dur\": " << trace::format_us(dur)
-          << ", \"pid\": " << pid << ", \"tid\": " << tid;
-        if (!args_json.empty()) e << ", \"args\": " << args_json;
-        e << '}';
-        raw(e.str());
-    }
-
-    /// Instant ("i") with scope `s` ("t" thread, "g" global).
-    void instant(int pid, int tid, k::Time at, char scope, std::string_view cat,
-                 std::string_view name, const std::string& args_json = {}) {
-        std::ostringstream e;
-        e << "{\"name\": \"" << json_escape(name) << "\", \"cat\": \""
-          << json_escape(cat) << "\", \"ph\": \"i\", \"s\": \"" << scope
-          << "\", \"ts\": " << trace::format_us(at) << ", \"pid\": " << pid
-          << ", \"tid\": " << tid;
-        if (!args_json.empty()) e << ", \"args\": " << args_json;
-        e << '}';
-        raw(e.str());
-    }
-
 private:
     std::ostream& os_;
     const char* nl_;
@@ -109,13 +65,6 @@ private:
 
 bool visible_state(rtos::TaskState s) {
     return s != rtos::TaskState::created && s != rtos::TaskState::terminated;
-}
-
-/// Energy in joules as a round-trippable JSON number.
-std::string format_joules(rtos::Energy e) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", rtos::energy_to_joules(e));
-    return buf;
 }
 
 } // namespace
@@ -135,27 +84,29 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
     // attach/creation order, so repeated exports of one model agree.
     for (std::size_t pi = 0; pi < cpus.size(); ++pi) {
         const int pid = static_cast<int>(pi) + 1;
-        ev.meta_process(pid, cpus[pi]->name());
-        ev.meta_thread(pid, 0, cpus[pi]->name() + ".rtos");
+        ev.raw(pfmt::meta_process(pid, cpus[pi]->name()));
+        ev.raw(pfmt::meta_thread(pid, 0, cpus[pi]->name() + ".rtos"));
         const auto& tasks = cpus[pi]->tasks();
         for (std::size_t ti = 0; ti < tasks.size(); ++ti)
-            ev.meta_thread(pid, static_cast<int>(ti) + 1, tasks[ti]->name());
+            ev.raw(pfmt::meta_thread(pid, static_cast<int>(ti) + 1,
+                                     tasks[ti]->name()));
         if (opts.attribution != nullptr)
             for (std::size_t ti = 0; ti < tasks.size(); ++ti)
-                ev.meta_thread(pid,
-                               static_cast<int>(tasks.size() + 1 + ti),
-                               tasks[ti]->name() + ".jobs");
+                ev.raw(pfmt::meta_thread(
+                    pid, static_cast<int>(tasks.size() + 1 + ti),
+                    tasks[ti]->name() + ".jobs"));
     }
     if (opts.include_comms && !rec.relations().empty()) {
-        ev.meta_process(comm_pid, "comm");
+        ev.raw(pfmt::meta_process(comm_pid, "comm"));
         const auto& rels = rec.relations();
         for (std::size_t ri = 0; ri < rels.size(); ++ri)
-            ev.meta_thread(comm_pid, static_cast<int>(ri) + 1,
-                           rels[ri]->name() + " (" +
-                               std::string(rels[ri]->type_name()) + ")");
+            ev.raw(pfmt::meta_thread(comm_pid, static_cast<int>(ri) + 1,
+                                     rels[ri]->name() + " (" +
+                                         std::string(rels[ri]->type_name()) +
+                                         ")"));
     }
     if (opts.include_markers && !rec.markers().empty())
-        ev.meta_process(marker_pid, "events");
+        ev.raw(pfmt::meta_process(marker_pid, "events"));
 
     // --- task state slices ------------------------------------------------
     // Segments from one task never overlap (they partition the trace), so
@@ -168,9 +119,9 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
             for (const auto& seg : tl.segments(*tasks[ti])) {
                 if (!visible_state(seg.state) || seg.end <= seg.begin)
                     continue;
-                ev.slice(pid, static_cast<int>(ti) + 1, seg.begin,
-                         seg.end - seg.begin, "task_state",
-                         rtos::to_string(seg.state));
+                ev.raw(pfmt::slice(pid, static_cast<int>(ti) + 1, seg.begin,
+                                   seg.end - seg.begin, "task_state",
+                                   rtos::to_string(seg.state)));
             }
         }
     }
@@ -185,162 +136,26 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
         std::string args;
         if (o.about != nullptr)
             args = "{\"task\": \"" + json_escape(o.about->name()) + "\"}";
-        ev.slice(pid, 0, o.at, o.duration, "rtos", rtos::to_string(o.kind),
-                 args);
+        ev.raw(pfmt::slice(pid, 0, o.at, o.duration, "rtos",
+                           rtos::to_string(o.kind), args));
     }
 
     // --- causal latency attribution (jobs, chains, misses) ----------------
     if (opts.attribution != nullptr) {
         // Locate each task's tracks by name (Attribution records names so
         // its results outlive the model; the recorder still has the model).
-        struct Track {
-            int pid = 0;
-            int state_tid = 0;
-            int jobs_tid = 0;
-        };
-        std::map<std::string, Track> tracks;
+        pfmt::TrackIndex tracks;
         for (std::size_t pi = 0; pi < cpus.size(); ++pi) {
             const auto& tasks = cpus[pi]->tasks();
             for (std::size_t ti = 0; ti < tasks.size(); ++ti)
-                tracks.emplace(
-                    tasks[ti]->name(),
-                    Track{static_cast<int>(pi) + 1, static_cast<int>(ti) + 1,
-                          static_cast<int>(tasks.size() + 1 + ti)});
+                tracks.emplace(tasks[ti]->name(),
+                               pfmt::Track{static_cast<int>(pi) + 1,
+                                           static_cast<int>(ti) + 1,
+                                           static_cast<int>(tasks.size() + 1 +
+                                                            ti)});
         }
-        const auto ps = [](k::Time t) { return std::to_string(t.raw_ps()); };
-        const auto time_map =
-            [&](const std::vector<std::pair<std::string, k::Time>>& m) {
-                std::string out = "{";
-                bool first = true;
-                for (const auto& [name, t] : m) {
-                    if (!first) out += ", ";
-                    first = false;
-                    out += "\"" + json_escape(name) + "\": " + ps(t);
-                }
-                return out + "}";
-            };
-        const auto str_list = [&](const std::vector<std::string>& v) {
-            std::string out = "[";
-            for (std::size_t i = 0; i < v.size(); ++i) {
-                if (i != 0) out += ", ";
-                out += "\"" + json_escape(v[i]) + "\"";
-            }
-            return out + "]";
-        };
-
-        // One complete slice per job on the task's jobs track, blame
-        // decomposition as args in exact picoseconds. Jobs of one task are
-        // recorded in completion order == release order, so each track stays
-        // monotonic; zero-response jobs are dropped (the validator rejects
-        // zero-width slices) — their decomposition is all-zero anyway.
-        for (const auto& [name, tr] : tracks) {
-            for (const auto* j : opts.attribution->jobs_for(name)) {
-                if (j->response().is_zero()) continue;
-                std::string args = "{\"task\": \"" + json_escape(j->task) +
-                                   "\", \"index\": " + std::to_string(j->index) +
-                                   ", \"release_ps\": " + ps(j->release) +
-                                   ", \"end_ps\": " + ps(j->end) +
-                                   ", \"response_ps\": " + ps(j->response()) +
-                                   ", \"aborted\": " +
-                                   (j->aborted ? "true" : "false") +
-                                   ", \"exec_ps\": " + ps(j->exec) +
-                                   ", \"preempt_ps\": " + ps(j->preemption) +
-                                   ", \"block_ps\": " + ps(j->blocking) +
-                                   ", \"overhead_ps\": " + ps(j->overhead) +
-                                   ", \"interrupt_ps\": " + ps(j->interrupt) +
-                                   ", \"ov_sched_ps\": " + ps(j->ov_scheduling) +
-                                   ", \"ov_load_ps\": " + ps(j->ov_load) +
-                                   ", \"ov_save_ps\": " + ps(j->ov_save) +
-                                   ", \"ov_switch_ps\": " + ps(j->ov_switch) +
-                                   ", \"residual_ps\": " + ps(j->residual) +
-                                   // Raw model units as strings (128-bit,
-                                   // exact); joules as doubles for humans.
-                                   ", \"energy_exec_fj\": \"" +
-                                   rtos::energy_to_string(j->energy_exec) +
-                                   "\", \"energy_overhead_fj\": \"" +
-                                   rtos::energy_to_string(j->energy_overhead) +
-                                   "\", \"energy_exec_j\": " +
-                                   format_joules(j->energy_exec) +
-                                   ", \"energy_overhead_j\": " +
-                                   format_joules(j->energy_overhead) +
-                                   ", \"preempted_by\": " +
-                                   time_map(j->preempted_by) +
-                                   ", \"blocked_on\": " +
-                                   time_map(j->blocked_on) + "}";
-                ev.slice(tr.pid, tr.jobs_tid, j->release, j->response(), "job",
-                         "job #" + std::to_string(j->index) +
-                             (j->aborted ? " (aborted)" : ""),
-                         args);
-            }
-        }
-
-        // Blocking episodes: a chain instant on the victim's jobs track plus
-        // a culprit -> victim flow ("s" on the owner's state track, "f" on
-        // the victim's).
-        std::uint64_t flow_id = 1;
-        for (const auto& e : opts.attribution->episodes()) {
-            const auto vit = tracks.find(e.victim);
-            if (vit == tracks.end()) continue;
-            std::string args =
-                "{\"victim\": \"" + json_escape(e.victim) +
-                "\", \"job\": " + std::to_string(e.job_index) +
-                ", \"resource\": \"" + json_escape(e.resource) +
-                "\", \"owner\": \"" + json_escape(e.owner) +
-                "\", \"victim_priority\": " + std::to_string(e.victim_priority) +
-                ", \"owner_priority\": " + std::to_string(e.owner_priority) +
-                ", \"duration_ps\": " + ps(e.duration()) +
-                ", \"inversion\": " + (e.inversion ? "true" : "false") +
-                ", \"chain\": " + str_list(e.chain) +
-                ", \"aggravators\": " + str_list(e.aggravators) + "}";
-            ev.instant(vit->second.pid, vit->second.jobs_tid, e.start, 't',
-                       "blocking_chain",
-                       "blocked on " + e.resource +
-                           (e.inversion ? " [inversion]" : ""),
-                       args);
-            const auto oit = tracks.find(e.owner);
-            if (oit == tracks.end()) continue;
-            std::ostringstream fs;
-            fs << "{\"name\": \"blocking\", \"cat\": \"blocking\", \"ph\": "
-                  "\"s\", \"id\": "
-               << flow_id << ", \"ts\": " << trace::format_us(e.start)
-               << ", \"pid\": " << oit->second.pid
-               << ", \"tid\": " << oit->second.state_tid << "}";
-            ev.raw(fs.str());
-            std::ostringstream ff;
-            ff << "{\"name\": \"blocking\", \"cat\": \"blocking\", \"ph\": "
-                  "\"f\", \"bp\": \"e\", \"id\": "
-               << flow_id << ", \"ts\": " << trace::format_us(e.end)
-               << ", \"pid\": " << vit->second.pid
-               << ", \"tid\": " << vit->second.state_tid << "}";
-            ev.raw(ff.str());
-            ++flow_id;
-        }
-
-        // Deadline misses with their critical path.
-        if (opts.misses != nullptr) {
-            for (const auto& m : *opts.misses) {
-                const auto vit = tracks.find(m.task);
-                if (vit == tracks.end()) continue;
-                std::string args =
-                    "{\"task\": \"" + json_escape(m.task) +
-                    "\", \"constraint\": \"" + json_escape(m.constraint) +
-                    "\", \"measured_ps\": " + ps(m.measured) +
-                    ", \"bound_ps\": " + ps(m.bound) + ", \"critical_path\": [";
-                for (std::size_t i = 0; i < m.critical_path.size(); ++i) {
-                    const auto& item = m.critical_path[i];
-                    if (i != 0) args += ", ";
-                    args += "{\"start_ps\": " + ps(item.start) +
-                            ", \"dur_ps\": " + ps(item.duration) +
-                            ", \"culprit\": \"" + json_escape(item.culprit) +
-                            "\", \"reason\": \"" + json_escape(item.reason) +
-                            "\"}";
-                }
-                args += "]}";
-                ev.instant(vit->second.pid, vit->second.jobs_tid, m.at, 't',
-                           "deadline_miss", "deadline miss: " + m.constraint,
-                           args);
-            }
-        }
+        pfmt::emit_attribution([&](std::string e) { ev.raw(e); }, tracks,
+                               *opts.attribution, opts.misses);
     }
 
     // --- communication accesses as thread instants ------------------------
@@ -354,17 +169,17 @@ void write_perfetto_json(std::ostream& os, const trace::Recorder& rec,
             std::string args = "{\"task\": \"";
             args += c.task != nullptr ? json_escape(c.task->name()) : "<hw>";
             args += c.blocked ? "\", \"blocked\": true}" : "\", \"blocked\": false}";
-            ev.instant(comm_pid, tid, c.at, 't', "comm",
-                       std::string(mcse::to_string(c.kind)) +
-                           (c.blocked ? " [blocked]" : ""),
-                       args);
+            ev.raw(pfmt::instant(comm_pid, tid, c.at, 't', "comm",
+                                 std::string(mcse::to_string(c.kind)) +
+                                     (c.blocked ? " [blocked]" : ""),
+                                 args));
         }
     }
 
     // --- fault / watchdog / deadline markers as global instants -----------
     if (opts.include_markers) {
         for (const auto& m : rec.markers())
-            ev.instant(marker_pid, 1, m.at, 'g', m.category, m.name);
+            ev.raw(pfmt::instant(marker_pid, 1, m.at, 'g', m.category, m.name));
     }
 
     ev.end();

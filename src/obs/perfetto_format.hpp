@@ -1,0 +1,76 @@
+#pragma once
+// Shared Perfetto/Chrome trace-event formatting layer.
+//
+// Both exporters — the post-hoc batch writer (obs/perfetto.hpp) and the
+// streaming bounded-memory writer (obs/perfetto_stream.hpp) — must emit
+// byte-identical event strings for the same underlying record, or the
+// "streamed export equals batch export after canonical sort" contract
+// (tests/obs/test_perfetto_stream.cpp) breaks. Every event string is built
+// here, in one place, by allocation-light append formatting; the writers
+// only decide *when* an event is emitted and where its bytes go.
+//
+// Also hosts the causal-attribution event emitter: the per-job blame
+// slices, blocking-chain instants, culprit->victim flows and deadline-miss
+// instants are a pure function of (track index, Attribution) and are always
+// emitted post-run, so batch and streaming share the exact code path.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "obs/attribution.hpp"
+
+namespace rtsc::obs::pfmt {
+
+/// Append-formatted event strings; each returns one complete JSON object
+/// (no trailing comma/newline — the writers own the separator plumbing).
+[[nodiscard]] std::string meta_process(int pid, std::string_view name);
+[[nodiscard]] std::string meta_thread(int pid, int tid, std::string_view name);
+
+/// Complete slice ("X"). `args_json` is a full {"k": v} object or empty.
+[[nodiscard]] std::string slice(int pid, int tid, kernel::Time at,
+                                kernel::Time dur, std::string_view cat,
+                                std::string_view name,
+                                const std::string& args_json = {});
+
+/// Instant ("i") with scope `scope` ("t" thread, "g" global).
+[[nodiscard]] std::string instant(int pid, int tid, kernel::Time at,
+                                  char scope, std::string_view cat,
+                                  std::string_view name,
+                                  const std::string& args_json = {});
+
+/// Counter sample ("C"): one point of the counter track `name` under `pid`.
+/// The value is rendered with %.17g — round-trippable, and deterministic
+/// for the simulated-time quantities the MetricsSampler emits.
+[[nodiscard]] std::string counter(int pid, kernel::Time at,
+                                  std::string_view name, double value);
+
+/// Flow endpoints used for culprit->victim blocking arrows.
+[[nodiscard]] std::string flow_start(std::uint64_t id, kernel::Time at,
+                                     int pid, int tid);
+[[nodiscard]] std::string flow_finish(std::uint64_t id, kernel::Time at,
+                                      int pid, int tid);
+
+/// Where a task's slices live: its processor's pid, its state track and
+/// (with attribution) its jobs track. Keyed by task name — Attribution
+/// records names so its results outlive the model.
+struct Track {
+    int pid = 0;
+    int state_tid = 0;
+    int jobs_tid = 0;
+};
+using TrackIndex = std::map<std::string, Track>;
+
+/// Emit every attribution-derived event — per-job blame slices, blocking
+/// chains + flow arrows, and (when `misses` is non-null) deadline-miss
+/// instants — through `sink`, in the deterministic order both writers
+/// share. Tasks absent from `tracks` are skipped, matching the batch
+/// exporter's historical behaviour.
+void emit_attribution(const std::function<void(std::string)>& sink,
+                      const TrackIndex& tracks, const Attribution& attribution,
+                      const std::vector<Attribution::DeadlineMissReport>* misses);
+
+} // namespace rtsc::obs::pfmt

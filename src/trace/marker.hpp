@@ -1,0 +1,36 @@
+#pragma once
+// Marker sink: the interface through which point events outside the
+// task/comm model (fault injections, watchdog timeouts, deadline misses)
+// reach a trace consumer. trace::Recorder implements it for post-hoc export
+// and obs::PerfettoStreamWriter for live streaming; MarkerTee fans one
+// producer out to both so a run can be recorded and streamed at once.
+
+#include <string>
+#include <vector>
+
+namespace rtsc::trace {
+
+class MarkerSink {
+public:
+    virtual ~MarkerSink() = default;
+
+    /// Record an instant marker at the current simulated time. Callable from
+    /// any simulation context; the fault layer uses this (Watchdog,
+    /// DeadlineMissHandler, FaultInjector with set_trace(&sink)).
+    virtual void mark(std::string category, std::string name) = 0;
+};
+
+/// Forwards every marker to each registered sink, in registration order.
+class MarkerTee final : public MarkerSink {
+public:
+    void add(MarkerSink& sink) { sinks_.push_back(&sink); }
+
+    void mark(std::string category, std::string name) override {
+        for (MarkerSink* s : sinks_) s->mark(category, name);
+    }
+
+private:
+    std::vector<MarkerSink*> sinks_;
+};
+
+} // namespace rtsc::trace

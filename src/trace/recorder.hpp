@@ -17,10 +17,13 @@
 #include "mcse/relation.hpp"
 #include "rtos/processor.hpp"
 #include "rtos/task.hpp"
+#include "trace/marker.hpp"
 
 namespace rtsc::trace {
 
-class Recorder final : public rtos::TaskObserver, public mcse::CommObserver {
+class Recorder final : public rtos::TaskObserver,
+                       public mcse::CommObserver,
+                       public MarkerSink {
 public:
     struct StateRecord {
         kernel::Time at;
@@ -110,7 +113,7 @@ public:
     /// Record an instant marker at the current simulated time. Callable from
     /// any simulation context; the fault layer uses this (Watchdog,
     /// DeadlineMissHandler, FaultInjector with set_trace(&rec)).
-    void mark(std::string category, std::string name) {
+    void mark(std::string category, std::string name) override {
         markers_.push_back({kernel::Simulator::current().now(),
                             std::move(category), std::move(name)});
     }

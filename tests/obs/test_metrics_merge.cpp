@@ -1,0 +1,93 @@
+// MetricsRegistry::merge edge cases: self-merge is rejected, shipping
+// *deltas* per heartbeat merges each sample exactly once while re-merging a
+// cumulative snapshot double-counts (the pinned contrast documents why the
+// shard worker heartbeat protocol ships deltas), and histogram merges add
+// bucket-wise with saturation instead of wrap-around.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace o = rtsc::obs;
+
+TEST(MetricsMergeTest, SelfMergeThrows) {
+    o::MetricsRegistry reg;
+    reg.counter("c").inc(5);
+    EXPECT_THROW(reg.merge(reg), std::logic_error);
+    // The failed merge must not have corrupted anything.
+    EXPECT_EQ(reg.counter("c").value(), 5u);
+}
+
+TEST(MetricsMergeTest, DeltaShippingMergesEachSampleExactlyOnce) {
+    // A worker records across two heartbeats. Shipping deltas: the
+    // coordinator's view after both merges equals one registry that saw
+    // every sample once.
+    o::MetricsRegistry coordinator;
+
+    o::MetricsRegistry delta1;
+    delta1.counter("runs").inc(3);
+    delta1.histogram("wall_us").record(100);
+    delta1.histogram("wall_us").record(200);
+    coordinator.merge(delta1);
+
+    o::MetricsRegistry delta2;
+    delta2.counter("runs").inc(2);
+    delta2.histogram("wall_us").record(400);
+    coordinator.merge(delta2);
+
+    EXPECT_EQ(coordinator.counter("runs").value(), 5u);
+    EXPECT_EQ(coordinator.histogram("wall_us").count(), 3u);
+    EXPECT_EQ(coordinator.histogram("wall_us").min(), 100u);
+    EXPECT_EQ(coordinator.histogram("wall_us").max(), 400u);
+}
+
+TEST(MetricsMergeTest, RemergingCumulativeSnapshotsDoubleCounts) {
+    // The anti-pattern the delta protocol avoids: merging a worker's
+    // cumulative registry once per heartbeat counts early samples again on
+    // every later heartbeat. Pinned so the contract stays visible.
+    o::MetricsRegistry coordinator;
+
+    o::MetricsRegistry cumulative;
+    cumulative.counter("runs").inc(3);
+    coordinator.merge(cumulative); // heartbeat 1
+
+    cumulative.counter("runs").inc(2); // worker keeps accumulating
+    coordinator.merge(cumulative);     // heartbeat 2: re-merges the first 3
+
+    EXPECT_EQ(coordinator.counter("runs").value(), 8u); // 3 + (3+2), not 5
+}
+
+TEST(MetricsMergeTest, HistogramMergeIsBucketwiseExact) {
+    // Merged histogram == one histogram that recorded both streams: same
+    // buckets, same quantiles.
+    o::Histogram a, b, whole;
+    for (std::uint64_t v = 1; v <= 1000; ++v) {
+        (v % 2 == 0 ? a : b).record(v * 17);
+        whole.record(v * 17);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+    EXPECT_EQ(a.bucket_counts(), whole.bucket_counts());
+    EXPECT_DOUBLE_EQ(a.p50(), whole.p50());
+    EXPECT_DOUBLE_EQ(a.p99(), whole.p99());
+}
+
+TEST(MetricsMergeTest, HistogramBucketAddsSaturateInsteadOfWrapping) {
+    // Force two histograms whose shared bucket counts sum past UINT32_MAX.
+    const std::uint32_t big = 0xC0000000u; // 3 * 2^30 each; sum wraps u32
+    o::Histogram a = o::Histogram::from_parts(
+        std::vector<std::uint32_t>{big}, /*count=*/big, /*min=*/0, /*max=*/0,
+        /*sum=*/0.0);
+    const o::Histogram b = o::Histogram::from_parts(
+        std::vector<std::uint32_t>{big}, /*count=*/big, /*min=*/0, /*max=*/0,
+        /*sum=*/0.0);
+    a.merge(b);
+    // Wrap-around would leave 0x80000000; saturation pins the bucket.
+    EXPECT_EQ(a.bucket_counts()[0], UINT32_MAX);
+    // The 64-bit total count is wide enough and adds exactly.
+    EXPECT_EQ(a.count(), 2ull * big);
+}

@@ -62,6 +62,8 @@ struct Cli {
     bool resume = false;
     bool quiet = false;
     std::string digest_out;
+    std::string status_file;
+    long status_period_ms = 500;
     std::set<std::size_t> inject_crash;
     std::set<std::size_t> inject_hang;
     std::set<std::size_t> inject_throw;
@@ -79,6 +81,9 @@ struct Cli {
         "  --backoff-cap MS   retry backoff cap (default 2000)\n"
         "  --checkpoint PATH  append-only journal for kill-9 resume\n"
         "  --resume           skip scenarios already in the journal\n"
+        "  --status-file PATH live status snapshot JSON, atomically replaced\n"
+        "                     (watch it with campaign_top)\n"
+        "  --status-period MS wall-clock refresh period (default 500)\n"
         "  --slow MS          host sleep per scenario (mid-run kill demos)\n"
         "  --inject-crash I   scenario I kills its worker (repeatable)\n"
         "  --inject-hang I    scenario I hangs until the timeout (repeatable)\n"
@@ -166,6 +171,8 @@ int main(int argc, char** argv) {
         else if (arg == "--backoff-cap") cli.backoff_cap_ms = num_arg(argc, argv, i);
         else if (arg == "--slow") cli.slow_ms = num_arg(argc, argv, i);
         else if (arg == "--checkpoint") { if (i + 1 >= argc) usage(2); cli.checkpoint = argv[++i]; }
+        else if (arg == "--status-file") { if (i + 1 >= argc) usage(2); cli.status_file = argv[++i]; }
+        else if (arg == "--status-period") cli.status_period_ms = num_arg(argc, argv, i);
         else if (arg == "--resume") cli.resume = true;
         else if (arg == "--quiet") cli.quiet = true;
         else if (arg == "--digest-out") { if (i + 1 >= argc) usage(2); cli.digest_out = argv[++i]; }
@@ -189,6 +196,8 @@ int main(int argc, char** argv) {
     opt.backoff_cap = std::chrono::milliseconds(cli.backoff_cap_ms);
     opt.checkpoint_path = cli.checkpoint;
     opt.resume = cli.resume;
+    opt.status_path = cli.status_file;
+    opt.status_period = std::chrono::milliseconds(cli.status_period_ms);
     if (!cli.quiet)
         opt.on_progress = [](const c::Progress& p) {
             std::cout << "[" << p.completed << "/" << p.total << "] "

@@ -9,10 +9,15 @@
 //   - "X" events carry numeric ts and dur > 0, and per (pid, tid) track the
 //     slices are monotonic and non-overlapping
 //   - "i" events carry a valid scope ("t"/"g"/"p")
+//   - "C" events (counter tracks, emitted by obs::MetricsSampler) carry an
+//     "args" object whose values are all numeric, and per (pid, name) track
+//     the sample timestamps never go backwards
 //
-// Usage: perfetto_validate FILE [--require CATEGORY]...
-//   --require CATEGORY   fail unless at least one event has "cat" CATEGORY
-//                        (CI uses this to pin fault markers in the export)
+// Usage: perfetto_validate FILE [--require CATEGORY]... [--require-counter NAME]...
+//   --require CATEGORY        fail unless at least one event has "cat"
+//                             CATEGORY (CI uses this to pin fault markers)
+//   --require-counter NAME    fail unless a counter track NAME exists with
+//                             at least one sample (CI pins sampler output)
 //
 // Exits 0 on success; prints the first problem and exits 1 otherwise.
 
@@ -41,11 +46,16 @@ int fail(const std::string& msg) {
 int main(int argc, char** argv) {
     std::string path;
     std::vector<std::string> required;
+    std::vector<std::string> required_counters;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--require") {
             if (i + 1 >= argc) return fail("--require needs an argument");
             required.emplace_back(argv[++i]);
+        } else if (arg == "--require-counter") {
+            if (i + 1 >= argc)
+                return fail("--require-counter needs an argument");
+            required_counters.emplace_back(argv[++i]);
         } else if (path.empty()) {
             path = arg;
         } else {
@@ -53,7 +63,8 @@ int main(int argc, char** argv) {
         }
     }
     if (path.empty())
-        return fail("usage: perfetto_validate FILE [--require CATEGORY]...");
+        return fail("usage: perfetto_validate FILE [--require CATEGORY]... "
+                    "[--require-counter NAME]...");
 
     std::ifstream in(path);
     if (!in) return fail("cannot open " + path);
@@ -74,8 +85,10 @@ int main(int argc, char** argv) {
     if (events->arr.empty()) return fail("traceEvents is empty");
 
     std::map<std::pair<long long, long long>, double> track_end;
+    std::map<std::pair<long long, std::string>, double> counter_last_ts;
+    std::set<std::string> counter_names;
     std::set<std::string> categories;
-    std::size_t slices = 0, instants = 0, meta = 0;
+    std::size_t slices = 0, instants = 0, counters = 0, meta = 0;
 
     for (std::size_t i = 0; i < events->arr.size(); ++i) {
         const j::Value& ev = *events->arr[i];
@@ -133,19 +146,47 @@ int main(int argc, char** argv) {
                 (!scope->is_string() ||
                  (scope->str != "t" && scope->str != "g" && scope->str != "p")))
                 return fail(where + ": bad instant scope");
+        } else if (ph->str == "C") {
+            ++counters;
+            const j::Value* args = ev.get("args");
+            if (args == nullptr || !args->is_object())
+                return fail(where + ": C event without \"args\" object");
+            if (args->obj.empty())
+                return fail(where + ": C event with empty \"args\"");
+            for (const auto& [key, val] : args->obj)
+                if (val == nullptr || !val->is_number())
+                    return fail(where + ": counter series \"" + key +
+                                "\" is not numeric");
+            // Samples of one counter track (pid, name) must be time-ordered:
+            // a backwards step would mean the sampler emitted out of
+            // simulated-time order (or two samplers share a track).
+            const auto key = std::make_pair(static_cast<long long>(pid->num),
+                                            name->str);
+            const auto it = counter_last_ts.find(key);
+            if (it != counter_last_ts.end() && ts->num < it->second - 1e-9)
+                return fail(where + ": counter \"" + name->str +
+                            "\" goes backwards in time on pid=" +
+                            std::to_string(key.first));
+            counter_last_ts[key] = ts->num;
+            counter_names.insert(name->str);
         }
-        // Other phases (B/E, counters, ...) are legal trace-event types;
-        // this exporter does not emit them, but do not reject a future one.
+        // Other phases (B/E, ...) are legal trace-event types; this
+        // exporter does not emit them, but do not reject a future one.
     }
 
     for (const std::string& cat : required)
         if (categories.find(cat) == categories.end())
             return fail("required category \"" + cat +
                         "\" absent from the trace");
+    for (const std::string& name : required_counters)
+        if (counter_names.find(name) == counter_names.end())
+            return fail("required counter track \"" + name +
+                        "\" absent from the trace");
 
     std::printf(
         "perfetto_validate: %s OK (%zu slices on %zu tracks, %zu instants, "
-        "%zu metadata)\n",
-        path.c_str(), slices, track_end.size(), instants, meta);
+        "%zu counter samples on %zu tracks, %zu metadata)\n",
+        path.c_str(), slices, track_end.size(), instants, counters,
+        counter_last_ts.size(), meta);
     return 0;
 }
